@@ -1,0 +1,164 @@
+// Benchmark harness: one testing.B benchmark per evaluation figure of the
+// paper (Figures 6–17), plus ablation benches for the design choices
+// DESIGN.md calls out. Each figure bench runs its experiment at reduced
+// scale and reports the paper's metric — average upstream queries per user
+// query — as a custom "queries/op-style" metric (wall time is NOT the
+// paper's cost model).
+//
+//	go test -bench=. -benchmem
+//
+// For full-scale numbers use cmd/rerankbench -paper.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/workload"
+)
+
+// benchConfig is a reduced configuration that keeps every figure bench
+// under a few seconds.
+func benchConfig() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Sizes = []int{1500, 3000}
+	cfg.Samples = 1
+	cfg.DOTN = 6000
+	cfg.BNN = 4000
+	cfg.YAN = 3000
+	cfg.TopH = 30
+	return cfg
+}
+
+// reportSeries attaches each series' final point as a benchmark metric.
+func reportSeries(b *testing.B, fig experiments.Figure) {
+	for _, s := range fig.Series {
+		if len(s.Y) > 0 {
+			b.ReportMetric(s.Y[len(s.Y)-1], "avgQ/"+sanitize(s.Name))
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '=' || r == ',':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func benchFigure(b *testing.B, id string) {
+	runner, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	cfg := benchConfig()
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = runner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+func BenchmarkFig06_OneDImpactOfN_SR1(b *testing.B)  { benchFigure(b, "fig6") }
+func BenchmarkFig07_OneDImpactOfN_SR2(b *testing.B)  { benchFigure(b, "fig7") }
+func BenchmarkFig08_OneDSystemK(b *testing.B)        { benchFigure(b, "fig8") }
+func BenchmarkFig09_OneDParamsSC(b *testing.B)       { benchFigure(b, "fig9") }
+func BenchmarkFig10_OneDQueryOrder(b *testing.B)     { benchFigure(b, "fig10") }
+func BenchmarkFig11_OneDTopHBlueNile(b *testing.B)   { benchFigure(b, "fig11") }
+func BenchmarkFig12_OneDTopHYahooAutos(b *testing.B) { benchFigure(b, "fig12") }
+func BenchmarkFig13_MDImpactOfN_SR1(b *testing.B)    { benchFigure(b, "fig13") }
+func BenchmarkFig14_MDImpactOfN_SR2(b *testing.B)    { benchFigure(b, "fig14") }
+func BenchmarkFig15_MDSystemK(b *testing.B)          { benchFigure(b, "fig15") }
+func BenchmarkFig16_MDTopHBlueNile(b *testing.B)     { benchFigure(b, "fig16") }
+func BenchmarkFig17_MDTopHYahooAutos(b *testing.B)   { benchFigure(b, "fig17") }
+
+// ablationCost measures the average top-10 MD query cost over a fixed
+// workload with the given engine options.
+func ablationCost(b *testing.B, opts core.Options) float64 {
+	b.Helper()
+	full := dataset.DOT(160205100, 6000)
+	ds := full.Sample(rand.New(rand.NewSource(4)), 3000)
+	items := workload.MD(rand.New(rand.NewSource(5)), ds,
+		workload.Spec{Count: 16, NoFilter: 4, MinAttrs: 2, MaxAttrs: 3})
+	db := ds.DBWith(10, dataset.DOTSystemRanker2())
+	opts.N = 3000
+	e := core.NewEngine(db, opts)
+	for _, it := range items {
+		cur, err := e.NewCursor(it.Q, it.R, core.Rerank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.TopH(cur, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return float64(db.QueryCount()) / float64(len(items))
+}
+
+// BenchmarkAblation toggles each MD-RERANK design feature off in turn and
+// reports the average query cost, quantifying every design choice's
+// contribution under the anti-correlated system ranking.
+func BenchmarkAblation(b *testing.B) {
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full", core.Options{}},
+		{"no-history", core.Options{DisableHistory: true}},
+		{"no-dense-index", core.Options{DisableIndex: true}},
+		{"no-virtual-tuples", core.Options{DisableVirtualTuples: true}},
+		{"no-domination-probe", core.Options{DisableDominationProbe: true}},
+		{"assume-gpa", core.Options{AssumeGeneralPositioning: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				cost = ablationCost(b, c.opts)
+			}
+			b.ReportMetric(cost, "avgQ")
+		})
+	}
+}
+
+// BenchmarkGetNextLatency measures the computational overhead (not query
+// cost) of one Get-Next call on a warm MD-RERANK cursor — the service-side
+// CPU price per increment.
+func BenchmarkGetNextLatency(b *testing.B) {
+	ds := dataset.BlueNile(3, 20000)
+	db := ds.DB()
+	rank := ranking.MustLinear("depth+table",
+		[]int{dataset.BNDepth, dataset.BNTable}, []float64{1, 1})
+	e := core.NewEngine(db, core.Options{N: 20000})
+	cur, err := e.NewCursor(query.New(), rank, core.Rerank)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.ResetCounter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := cur.Next(); err != nil || !ok {
+			b.StopTimer()
+			// Cursor drained: restart on a fresh engine.
+			e = core.NewEngine(db, core.Options{N: 20000})
+			cur, _ = e.NewCursor(query.New(), rank, core.Rerank)
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(db.QueryCount())/float64(b.N), "upstreamQ/op")
+}

@@ -1,0 +1,60 @@
+// Command hiddendb serves a synthetic dataset as a client-server database
+// with a restricted top-k search interface — the role Blue Nile, Yahoo!
+// Autos, or the offline DOT interface play in the paper. It speaks the
+// /v1/schema + /v1/search protocol that internal/service.RemoteDB consumes.
+//
+// Usage:
+//
+//	hiddendb -dataset bluenile -n 20000 -k 30 -addr :8081
+//	hiddendb -dataset dot -n 50000 -k 10 -budget 5000   # enforce a rate limit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/hidden"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "dot", "dataset: dot, bluenile, yahooautos")
+		n      = flag.Int("n", 20000, "number of tuples to generate")
+		k      = flag.Int("k", 0, "system-k (0 = dataset default)")
+		seed   = flag.Int64("seed", 160205100, "generator seed")
+		addr   = flag.String("addr", ":8081", "listen address")
+		budget = flag.Int64("budget", 0, "query budget before rate limiting (0 = unlimited)")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	switch *name {
+	case "dot":
+		ds = dataset.DOT(*seed, *n)
+	case "bluenile":
+		ds = dataset.BlueNile(*seed, *n)
+	case "yahooautos":
+		ds = dataset.YahooAutos(*seed, *n)
+	default:
+		fmt.Fprintf(os.Stderr, "hiddendb: unknown dataset %q\n", *name)
+		os.Exit(2)
+	}
+	kk := ds.DefaultSystemK
+	if *k > 0 {
+		kk = *k
+	}
+	db, err := hidden.NewDB(ds.Schema, ds.Tuples, hidden.Options{
+		K: kk, Ranker: ds.DefaultRanker, QueryBudget: *budget,
+	})
+	if err != nil {
+		log.Fatalf("hiddendb: %v", err)
+	}
+	log.Printf("hiddendb: serving %s (n=%d, k=%d, ranking=%s) on %s",
+		ds.Name, db.Size(), db.K(), db.RankerName(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, service.HiddenDBHandler(db)))
+}

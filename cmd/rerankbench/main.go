@@ -1,0 +1,118 @@
+// Command rerankbench regenerates the paper's evaluation figures
+// (Figures 6–17 of "Query Reranking As A Service", VLDB 2016) over the
+// synthetic DOT / Blue Nile / Yahoo! Autos datasets and prints each figure
+// as an aligned text table of average query costs.
+//
+// Usage:
+//
+//	rerankbench -fig fig6            # one figure at reduced default scale
+//	rerankbench -all                 # every figure
+//	rerankbench -all -paper          # full §6.1 scale (slow)
+//	rerankbench -fig fig13 -sizes 2000,4000 -samples 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figID   = flag.String("fig", "", "figure to regenerate (fig6..fig17)")
+		all     = flag.Bool("all", false, "regenerate every figure")
+		paper   = flag.Bool("paper", false, "use the paper's full scale (slow)")
+		seed    = flag.Int64("seed", 0, "override RNG seed")
+		sizes   = flag.String("sizes", "", "comma-separated database sizes for impact-of-n figures")
+		samples = flag.Int("samples", 0, "random samples per database size")
+		topH    = flag.Int("toph", 0, "top-h horizon for the cumulative-cost figures")
+		csvDir  = flag.String("csv", "", "also write each figure as <dir>/<fig>.csv")
+	)
+	flag.Parse()
+	outCSV = *csvDir
+
+	cfg := experiments.Default()
+	if *paper {
+		cfg = experiments.Paper()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	if *topH > 0 {
+		cfg.TopH = *topH
+	}
+	if *sizes != "" {
+		cfg.Sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rerankbench: bad -sizes entry %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			cfg.Sizes = append(cfg.Sizes, v)
+		}
+		if cfg.DOTN < 2*cfg.Sizes[len(cfg.Sizes)-1] {
+			cfg.DOTN = 2 * cfg.Sizes[len(cfg.Sizes)-1]
+		}
+	}
+
+	switch {
+	case *all:
+		ids := []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17"}
+		for _, id := range ids {
+			if err := runOne(id, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "rerankbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	case *figID != "":
+		if err := runOne(*figID, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rerankbench: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// outCSV, when non-empty, is the directory figures are also exported to.
+var outCSV string
+
+func runOne(id string, cfg experiments.Config) error {
+	runner, ok := experiments.ByID(id)
+	if !ok {
+		return fmt.Errorf("unknown figure %q (want fig6..fig17)", id)
+	}
+	start := time.Now()
+	fig, err := runner(cfg)
+	if err != nil {
+		return err
+	}
+	fig.Render(os.Stdout)
+	fmt.Printf("(%s regenerated in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	if outCSV != "" {
+		if err := os.MkdirAll(outCSV, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(outCSV, id+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fig.WriteCSV(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command rerankd runs the query reranking service: a third-party HTTP
+// daemon that answers user queries under arbitrary monotone ranking
+// functions using nothing but an upstream top-k search interface.
+//
+// The upstream can be a remote hiddendb instance (-upstream URL) or an
+// in-process synthetic dataset (-dataset, for demos without a second
+// process).
+//
+// Usage:
+//
+//	rerankd -upstream http://localhost:8081 -addr :8080
+//	rerankd -dataset bluenile -n 20000 -addr :8080
+//
+// Then:
+//
+//	curl -s localhost:8080/v1/rerank -d '{
+//	  "ranking": {"kind":"ratio","attrs":["Price","Carat"]},
+//	  "filters": {"Shape":"Round"},
+//	  "h": 5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/dataset"
+	"repro/internal/hidden"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		upstream = flag.String("upstream", "", "URL of the upstream hiddendb search endpoint")
+		name     = flag.String("dataset", "", "in-process dataset instead of -upstream: dot, bluenile, yahooautos")
+		n        = flag.Int("n", 20000, "tuples for the in-process dataset")
+		seed     = flag.Int64("seed", 160205100, "generator seed for the in-process dataset")
+		sizeHint = flag.Int("size-hint", 0, "upstream size estimate for dense-index thresholds (0 = n)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		state    = flag.String("state", "", "snapshot file: loaded at startup, saved on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	var db hidden.Database
+	switch {
+	case *upstream != "":
+		rdb, err := service.DialRemote(*upstream, nil)
+		if err != nil {
+			log.Fatalf("rerankd: %v", err)
+		}
+		db = rdb
+		log.Printf("rerankd: upstream %s (k=%d, %d attributes)", *upstream, rdb.K(), rdb.Schema().Len())
+	case *name != "":
+		var ds *dataset.Dataset
+		switch *name {
+		case "dot":
+			ds = dataset.DOT(*seed, *n)
+		case "bluenile":
+			ds = dataset.BlueNile(*seed, *n)
+		case "yahooautos":
+			ds = dataset.YahooAutos(*seed, *n)
+		default:
+			fmt.Fprintf(os.Stderr, "rerankd: unknown dataset %q\n", *name)
+			os.Exit(2)
+		}
+		db = ds.DB()
+		log.Printf("rerankd: in-process %s (n=%d, k=%d)", ds.Name, *n, db.K())
+	default:
+		fmt.Fprintln(os.Stderr, "rerankd: need -upstream URL or -dataset name")
+		os.Exit(2)
+	}
+	hint := *sizeHint
+	if hint == 0 {
+		hint = *n
+	}
+	srv := service.NewServer(db, hint)
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			if err := srv.LoadState(f); err != nil {
+				log.Fatalf("rerankd: load state: %v", err)
+			}
+			f.Close()
+			log.Printf("rerankd: warm start from %s", *state)
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			f, err := os.Create(*state)
+			if err == nil {
+				err = srv.SaveState(f)
+				f.Close()
+			}
+			if err != nil {
+				log.Printf("rerankd: save state: %v", err)
+			} else {
+				log.Printf("rerankd: state saved to %s", *state)
+			}
+			os.Exit(0)
+		}()
+	}
+	log.Printf("rerankd: listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

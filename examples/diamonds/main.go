@@ -1,0 +1,72 @@
+// Diamond shopping on a Blue Nile-style catalog: the paper's §1 example of
+// an unsupported ranking is "summation of depth and table percent" — a cut
+// quality heuristic the site cannot sort by. This example also ranks by
+// price-per-carat (which the real site supports, so we can sanity-check) and
+// demonstrates incremental Get-Next paging: each additional page costs only
+// the incremental queries.
+//
+//	go run ./examples/diamonds
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/qrank"
+)
+
+func main() {
+	ds := dataset.BlueNile(7, 30000)
+	db := ds.DB() // top-30 interface, ranked by descending price-per-carat
+	rr := qrank.New(db, qrank.Options{N: len(ds.Tuples)})
+
+	// Unsupported ranking: depth% + table% (lower is better-cut, say),
+	// restricted to round ideal-cut stones between 0.9 and 2 carats.
+	cut := qrank.MustLinear("depth+table",
+		[]int{dataset.BNDepth, dataset.BNTable}, []float64{1, 1})
+	q := qrank.NewQuery().
+		WithCat("Shape", "Round").
+		WithCat("Cut", "Ideal").
+		WithRange(dataset.BNCarat, qrank.ClosedInterval(0.9, 2.0))
+
+	cur, err := rr.Query(q, cut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== best-cut round ideal 0.9–2ct stones (depth+table) ==")
+	for page := 1; page <= 3; page++ {
+		before := rr.QueriesIssued()
+		stones, err := qrank.TopH(cur, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" page %d (cost %d queries):\n", page, rr.QueriesIssued()-before)
+		for _, t := range stones {
+			fmt.Printf("   #%-6d %.2fct depth=%.3f table=%.3f $%.0f\n",
+				t.ID, t.Ord[dataset.BNCarat], t.Ord[dataset.BNDepth],
+				t.Ord[dataset.BNTable], t.Ord[dataset.BNPrice])
+		}
+	}
+
+	// Supported ranking, unsupported *direction* of use: cheapest price
+	// per carat across the whole catalog (the site only sorts pages by
+	// its own default).
+	ppc := qrank.NewRatio("price-per-carat", dataset.BNPrice, dataset.BNCarat)
+	before := rr.QueriesIssued()
+	cur, err = rr.Query(qrank.NewQuery(), ppc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := qrank.TopH(cur, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== best value stones (price per carat) — %d queries ==\n",
+		rr.QueriesIssued()-before)
+	for i, t := range best {
+		fmt.Printf("  %d. #%-6d %.2fct $%.0f → $%.0f/ct\n",
+			i+1, t.ID, t.Ord[dataset.BNCarat], t.Ord[dataset.BNPrice],
+			t.Ord[dataset.BNPrice]/t.Ord[dataset.BNCarat])
+	}
+}

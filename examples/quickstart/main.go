@@ -1,0 +1,79 @@
+// Quickstart: rerank a tiny in-memory "web database" by a ranking function
+// the database itself does not support.
+//
+// The database ranks laptops by an opaque "popularity" score and returns at
+// most 5 results per search. We want them by price + weight-penalty — a
+// preference the site never offers — and we want the exact answer while
+// issuing as few searches as possible.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/qrank"
+)
+
+func main() {
+	schema := qrank.MustSchema([]qrank.Attribute{
+		{Name: "Price", Kind: qrank.Ordinal, Domain: qrank.Domain{Min: 200, Max: 4000}},
+		{Name: "WeightKg", Kind: qrank.Ordinal, Domain: qrank.Domain{Min: 0.8, Max: 4.5}},
+		{Name: "ScreenIn", Kind: qrank.Ordinal, Domain: qrank.Domain{Min: 11, Max: 17}},
+		{Name: "Brand", Kind: qrank.Categorical, Values: []string{"apfel", "lemono", "dill"}},
+	})
+
+	// 400 synthetic laptops with an opaque popularity ranking.
+	rng := rand.New(rand.NewSource(1))
+	brands := []string{"apfel", "lemono", "dill"}
+	tuples := make([]qrank.Tuple, 400)
+	for i := range tuples {
+		tuples[i] = qrank.Tuple{
+			ID: i,
+			Ord: []float64{
+				200 + rng.Float64()*3800,
+				0.8 + rng.Float64()*3.7,
+				11 + rng.Float64()*6,
+				0,
+			},
+			Cat: map[string]string{"Brand": brands[rng.Intn(3)]},
+		}
+	}
+	popularity := func(t qrank.Tuple) float64 {
+		// Unknown to the reranker: heavier, pricier laptops are
+		// "popular" — the worst case for our preference.
+		return -(t.Ord[0] + 500*t.Ord[1])
+	}
+	db, err := qrank.NewMemoryDatabase(schema, tuples, 5, popularity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The reranking service: knows nothing but the top-5 interface.
+	rr := qrank.New(db, qrank.Options{N: len(tuples)})
+
+	// User preference: cheap and light, 13"+ screens, dill brand only.
+	q := qrank.NewQuery().
+		WithRange(2, qrank.ClosedInterval(13, 17)).
+		WithCat("Brand", "dill")
+	rank := qrank.MustLinear("price+700*weight", []int{0, 1}, []float64{1, 700})
+
+	cur, err := rr.Query(q, rank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := qrank.TopH(cur, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top-5 dill laptops ≥13\" by price + 700·weight:")
+	for i, t := range top {
+		fmt.Printf("  %d. #%-3d price=$%-7.0f weight=%.2fkg screen=%.1f\" score=%.0f\n",
+			i+1, t.ID, t.Ord[0], t.Ord[1], t.Ord[2], qrank.Score(rank, t))
+	}
+	fmt.Printf("search queries issued upstream: %d (database holds %d tuples)\n",
+		rr.QueriesIssued(), len(tuples))
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// testSchema builds an m-ordinal-attribute schema with one categorical
+// filter column.
+func testSchema(m int) *types.Schema {
+	attrs := make([]types.Attribute, 0, m+1)
+	for i := 0; i < m; i++ {
+		attrs = append(attrs, types.Attribute{
+			Name: fmt.Sprintf("A%d", i), Kind: types.Ordinal,
+			Domain: types.Domain{Min: 0, Max: 100},
+		})
+	}
+	attrs = append(attrs, types.Attribute{
+		Name: "cat", Kind: types.Categorical, Values: []string{"x", "y", "z"},
+	})
+	return types.MustSchema(attrs)
+}
+
+// genTuples generates n random tuples. When ties is true, values are drawn
+// from a coarse grid so duplicates (non-general-positioning) occur.
+func genTuples(rng *rand.Rand, schema *types.Schema, n int, ties bool) []types.Tuple {
+	m := schema.Len()
+	cats := []string{"x", "y", "z"}
+	out := make([]types.Tuple, n)
+	for i := range out {
+		ord := make([]float64, m)
+		for j := 0; j < m-1; j++ {
+			if ties && j < m-2 {
+				// Coarse grid on all but the last ordinal attribute
+				// so duplicates occur, while full tuples stay
+				// separable (no search interface can split more
+				// than k fully-identical tuples).
+				ord[j] = float64(rng.Intn(12)) * 8.5
+			} else {
+				ord[j] = rng.Float64() * 100
+			}
+		}
+		out[i] = types.Tuple{
+			ID:  i,
+			Ord: ord,
+			Cat: map[string]string{"cat": cats[rng.Intn(len(cats))]},
+		}
+	}
+	return out
+}
+
+// oracleTopH computes the exact top-h of q under r by full scan.
+func oracleTopH(all []types.Tuple, q query.Query, r ranking.Ranker, h int) []types.Tuple {
+	var match []types.Tuple
+	for _, t := range all {
+		if q.Matches(t) {
+			match = append(match, t)
+		}
+	}
+	sort.Slice(match, func(i, j int) bool {
+		si, sj := ranking.ScoreTuple(r, match[i]), ranking.ScoreTuple(r, match[j])
+		if si != sj {
+			return si < sj
+		}
+		return match[i].ID < match[j].ID
+	})
+	if len(match) > h {
+		match = match[:h]
+	}
+	return match
+}
+
+// assertSameRanking checks that got matches want as a ranking: identical
+// score sequences, and within each tie group identical ID sets.
+// When full (the complete sorted match set) is provided, the boundary group
+// cut by h is checked for membership against the full tie group.
+func assertSameRanking(t *testing.T, r ranking.Ranker, got, want []types.Tuple, full ...[]types.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d tuples, want %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		sg, sw := ranking.ScoreTuple(r, got[i]), ranking.ScoreTuple(r, want[i])
+		if math.Abs(sg-sw) > 1e-9 {
+			t.Fatalf("rank %d: score %g, want %g (got %v want %v)", i, sg, sw, got[i], want[i])
+		}
+	}
+	// Group by score and compare ID sets.
+	groups := func(ts []types.Tuple) map[float64][]int {
+		g := map[float64][]int{}
+		for _, tt := range ts {
+			s := ranking.ScoreTuple(r, tt)
+			g[s] = append(g[s], tt.ID)
+		}
+		for _, ids := range g {
+			sort.Ints(ids)
+		}
+		return g
+	}
+	gg, gw := groups(got), groups(want)
+	// The boundary (highest-score) group may be cut by h, in which case
+	// any subset of the full tie group is a correct answer — skip its
+	// membership check.
+	boundary := math.Inf(-1)
+	if len(want) > 0 {
+		boundary = ranking.ScoreTuple(r, want[len(want)-1])
+	}
+	for s, ids := range gw {
+		if s == boundary {
+			// Any subset of the full tie group is correct; verify
+			// membership against it when available.
+			if len(full) == 1 {
+				valid := map[int]bool{}
+				for _, tt := range full[0] {
+					if ranking.ScoreTuple(r, tt) == s {
+						valid[tt.ID] = true
+					}
+				}
+				for _, id := range gg[s] {
+					if !valid[id] {
+						t.Fatalf("boundary score %g: got ID %d outside the true tie group", s, id)
+					}
+				}
+			}
+			continue
+		}
+		gi := gg[s]
+		if len(gi) != len(ids) {
+			t.Fatalf("score %g: got %d IDs %v, want %d IDs %v", s, len(gi), gi, len(ids), ids)
+		}
+		for i := range ids {
+			if gi[i] != ids[i] {
+				t.Fatalf("score %g: got IDs %v, want %v", s, gi, ids)
+			}
+		}
+	}
+}
+
+// randQuery builds a random user query.
+func randQuery(rng *rand.Rand, schema *types.Schema) query.Query {
+	q := query.New()
+	if rng.Intn(2) == 0 {
+		q = q.WithCat("cat", []string{"x", "y", "z"}[rng.Intn(3)])
+	}
+	m := schema.NumOrdinal()
+	if rng.Intn(3) == 0 {
+		a := rng.Intn(m)
+		lo := rng.Float64() * 50
+		q = q.WithRange(a, types.ClosedInterval(lo, lo+20+rng.Float64()*50))
+	}
+	return q
+}
+
+// randLinear builds a random linear ranker over up to maxAttrs attributes.
+func randLinear(rng *rand.Rand, m, nAttrs int) ranking.Ranker {
+	perm := rng.Perm(m)[:nAttrs]
+	w := make([]float64, nAttrs)
+	for i := range w {
+		w[i] = (rng.Float64() + 0.1)
+		if rng.Intn(2) == 0 {
+			w[i] = -w[i]
+		}
+	}
+	return ranking.MustLinear("rand", perm, w)
+}
+
+func newTestDB(t testing.TB, rng *rand.Rand, m, n, k int, ties bool, sys hidden.SystemRanker) (*hidden.DB, []types.Tuple) {
+	t.Helper()
+	schema := testSchema(m)
+	tuples := genTuples(rng, schema, n, ties)
+	db := hidden.MustDB(schema, tuples, hidden.Options{K: k, Ranker: sys})
+	return db, tuples
+}
+
+// systemRankers returns a friendly, an adversarial, and an arbitrary system
+// ranking for the test schema.
+func systemRankers(m int) []hidden.SystemRanker {
+	attrs := make([]int, m)
+	w := make([]float64, m)
+	for i := range attrs {
+		attrs[i], w[i] = i, 1
+	}
+	friendly := hidden.RankerAdapter{R: ranking.MustLinear("sys+", attrs, w)}
+	wneg := make([]float64, m)
+	for i := range wneg {
+		wneg[i] = -1
+	}
+	hostile := hidden.RankerAdapter{R: ranking.MustLinear("sys-", attrs, wneg)}
+	arbitrary := hidden.FuncRanker{
+		Label: "hash",
+		F: func(t types.Tuple) float64 {
+			return float64((t.ID*2654435761)%1000) + t.Ord[0]*0.001
+		},
+	}
+	return []hidden.SystemRanker{friendly, hostile, arbitrary}
+}
+
+func TestOneDExactness(t *testing.T) {
+	for _, variant := range []Variant{Baseline, Binary, Rerank} {
+		for _, ties := range []bool{false, true} {
+			name := fmt.Sprintf("%v/ties=%v", variant, ties)
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(42))
+				for trial := 0; trial < 12; trial++ {
+					m := 2 + rng.Intn(2)
+					n := 50 + rng.Intn(300)
+					k := 1 + rng.Intn(9)
+					sys := systemRankers(m)[trial%3]
+					db, all := newTestDB(t, rng, m, n, k, ties, sys)
+					e := NewEngine(db, Options{N: n})
+					for sub := 0; sub < 3; sub++ {
+						q := randQuery(rng, db.Schema())
+						attr := rng.Intn(m)
+						dir := ranking.Asc
+						if rng.Intn(2) == 0 {
+							dir = ranking.Desc
+						}
+						r := ranking.NewSingle("1d", attr, dir)
+						cur := e.NewOneDCursor(q, attr, dir, variant)
+						h := 1 + rng.Intn(20)
+						got, err := TopH(cur, h)
+						if err != nil {
+							t.Fatalf("trial %d: %v", trial, err)
+						}
+						want := oracleTopH(all, q, r, h)
+						assertSameRanking(t, r, got, want, oracleTopH(all, q, r, 1<<30))
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestMDExactness(t *testing.T) {
+	for _, variant := range []Variant{Baseline, Binary, Rerank} {
+		for _, ties := range []bool{false, true} {
+			name := fmt.Sprintf("%v/ties=%v", variant, ties)
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(7))
+				for trial := 0; trial < 10; trial++ {
+					m := 2 + rng.Intn(2)
+					n := 40 + rng.Intn(200)
+					k := 1 + rng.Intn(9)
+					sys := systemRankers(m)[trial%3]
+					db, all := newTestDB(t, rng, m, n, k, ties, sys)
+					e := NewEngine(db, Options{N: n})
+					for sub := 0; sub < 2; sub++ {
+						q := randQuery(rng, db.Schema())
+						nr := 2 + rng.Intn(m-1)
+						r := randLinear(rng, m, nr)
+						cur := e.NewMDCursor(q, r, variant)
+						h := 1 + rng.Intn(12)
+						got, err := TopH(cur, h)
+						if err != nil {
+							t.Fatalf("trial %d sub %d (%v): %v", trial, sub, r, err)
+						}
+						want := oracleTopH(all, q, r, h)
+						assertSameRanking(t, r, got, want, oracleTopH(all, q, r, 1<<30))
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestTAExactness(t *testing.T) {
+	for _, ties := range []bool{false, true} {
+		t.Run(fmt.Sprintf("ties=%v", ties), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 8; trial++ {
+				m := 2 + rng.Intn(2)
+				n := 40 + rng.Intn(150)
+				k := 1 + rng.Intn(9)
+				sys := systemRankers(m)[trial%3]
+				db, all := newTestDB(t, rng, m, n, k, ties, sys)
+				e := NewEngine(db, Options{N: n})
+				q := randQuery(rng, db.Schema())
+				r := randLinear(rng, m, m)
+				cur := e.NewTACursor(q, r)
+				h := 1 + rng.Intn(12)
+				got, err := TopH(cur, h)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				want := oracleTopH(all, q, r, h)
+				assertSameRanking(t, r, got, want, oracleTopH(all, q, r, 1<<30))
+			}
+		})
+	}
+}
+
+// TestExhaustion drains cursors past the end of R(q) and checks every
+// matching tuple is produced exactly once.
+func TestExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db, all := newTestDB(t, rng, 2, 80, 4, true, systemRankers(2)[1])
+	q := query.New().WithCat("cat", "x")
+	for _, variant := range []Variant{Baseline, Binary, Rerank} {
+		e := NewEngine(db, Options{N: 80})
+		r := ranking.MustLinear("lin", []int{0, 1}, []float64{1, 2})
+		cur := e.NewMDCursor(q, r, variant)
+		got, err := TopH(cur, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracleTopH(all, q, r, 10_000)
+		assertSameRanking(t, r, got, want, oracleTopH(all, q, r, 1<<30))
+		// One more Next must report exhaustion without error.
+		_, ok, err := cur.Next()
+		if ok || err != nil {
+			t.Fatalf("expected clean exhaustion, got ok=%v err=%v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// clusteredTuples builds a database with a dense cluster near the low end of
+// attribute 0 — the regime where the dense index pays off (§3.2.1).
+func clusteredTuples(rng *rand.Rand, schema *types.Schema, n int) []types.Tuple {
+	out := make([]types.Tuple, n)
+	for i := range out {
+		ord := make([]float64, schema.Len())
+		if i < n/3 {
+			ord[0] = 0.5 + rng.Float64()*0.05 // dense cluster in [0.5, 0.55]
+		} else {
+			ord[0] = 1 + rng.Float64()*99 // the cluster sits at the bottom
+		}
+		for j := 1; j < schema.NumOrdinal(); j++ {
+			ord[j] = rng.Float64() * 100
+		}
+		out[i] = types.Tuple{ID: i, Ord: ord, Cat: map[string]string{"cat": "x"}}
+	}
+	return out
+}
+
+// measure1D returns the total query cost of retrieving top-h on attr 0
+// ascending for several user queries under the given variant.
+func measure1D(t *testing.T, db *hidden.DB, n int, v Variant, h int) int64 {
+	t.Helper()
+	db.ResetCounter()
+	e := NewEngine(db, Options{N: n})
+	for trial := 0; trial < 5; trial++ {
+		cur := e.NewOneDCursor(query.New(), 0, ranking.Asc, v)
+		if _, err := TopH(cur, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db.QueryCount()
+}
+
+// TestCostOrdering1D checks the paper's qualitative claim: under a system
+// ranking anti-correlated with the user's, 1D-RERANK ≤ 1D-BINARY ≪
+// 1D-BASELINE in amortized query cost on dense data.
+func TestCostOrdering1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	schema := testSchema(2)
+	n := 3000
+	tuples := clusteredTuples(rng, schema, n)
+	// Hostile system ranking: descending attribute 0.
+	sys := hidden.RankerAdapter{R: ranking.NewSingle("sys", 0, ranking.Desc)}
+	db := hidden.MustDB(schema, tuples, hidden.Options{K: 10, Ranker: sys})
+
+	costBase := measure1D(t, db, n, Baseline, 10)
+	costBin := measure1D(t, db, n, Binary, 10)
+	costRer := measure1D(t, db, n, Rerank, 10)
+	t.Logf("1D costs over 5 queries (top-10 each): baseline=%d binary=%d rerank=%d", costBase, costBin, costRer)
+	if costBase <= costBin {
+		t.Errorf("expected baseline (%d) > binary (%d) on hostile ranking + dense cluster", costBase, costBin)
+	}
+	if costRer > costBin {
+		t.Errorf("expected rerank (%d) ≤ binary (%d)", costRer, costBin)
+	}
+}
+
+// TestCostOrderingMD checks MD-RERANK beats TA-over-1D when many tuples
+// carry extreme values on one attribute (the Figure 1 pathology).
+func TestCostOrderingMD(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	schema := testSchema(2)
+	n := 2000
+	tuples := make([]types.Tuple, n)
+	for i := range tuples {
+		ord := make([]float64, schema.Len())
+		switch {
+		case i < n/3: // extreme on attr 0
+			ord[0], ord[1] = rng.Float64()*0.3, 20+rng.Float64()*80
+		case i < 2*n/3: // extreme on attr 1
+			ord[0], ord[1] = 20+rng.Float64()*80, rng.Float64()*0.3
+		default:
+			ord[0], ord[1] = rng.Float64()*100, rng.Float64()*100
+		}
+		tuples[i] = types.Tuple{ID: i, Ord: ord, Cat: map[string]string{"cat": "x"}}
+	}
+	sys := hidden.FuncRanker{Label: "arb", F: func(t types.Tuple) float64 {
+		return float64((t.ID * 2654435761) % 100000)
+	}}
+	db := hidden.MustDB(schema, tuples, hidden.Options{K: 10, Ranker: sys})
+	r := ranking.MustLinear("user", []int{0, 1}, []float64{1, 1})
+
+	run := func(v Variant) int64 {
+		db.ResetCounter()
+		e := NewEngine(db, Options{N: n})
+		cur, err := e.NewCursor(query.New(), r, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := TopH(cur, 5); err != nil {
+			t.Fatal(err)
+		}
+		return db.QueryCount()
+	}
+	costTA := run(TAOverOneD)
+	costMD := run(Rerank)
+	t.Logf("MD top-5 costs: TA=%d MD-RERANK=%d", costTA, costMD)
+	if costMD >= costTA {
+		t.Errorf("expected MD-RERANK (%d) < TA (%d) with extreme-value tuples", costMD, costTA)
+	}
+}

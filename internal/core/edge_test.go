@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// TestEmptyResultSets: queries matching nothing must exhaust immediately,
+// for every algorithm, without errors.
+func TestEmptyResultSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	db, _ := newTestDB(t, rng, 2, 100, 5, false, nil)
+	q := query.New().WithRange(0, types.ClosedInterval(-10, -5)) // out of domain
+	for _, v := range []Variant{Baseline, Binary, Rerank, TAOverOneD} {
+		e := NewEngine(db, Options{N: 100})
+		r := ranking.MustLinear("u", []int{0, 1}, []float64{1, 1})
+		cur, err := e.NewCursor(q, r, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TopH(cur, 5)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("%v: got %d tuples from an empty result set", v, len(got))
+		}
+		// Exhaustion is stable.
+		if _, ok, _ := cur.Next(); ok {
+			t.Fatalf("%v: produced a tuple after exhaustion", v)
+		}
+	}
+}
+
+// TestSingleTupleDB: the smallest database must round-trip through every
+// algorithm.
+func TestSingleTupleDB(t *testing.T) {
+	schema := testSchema(2)
+	tuples := []types.Tuple{{ID: 0, Ord: []float64{5, 7, 0}, Cat: map[string]string{"cat": "x"}}}
+	db := hidden.MustDB(schema, tuples, hidden.Options{K: 1})
+	for _, v := range []Variant{Baseline, Binary, Rerank, TAOverOneD} {
+		e := NewEngine(db, Options{N: 1})
+		r := ranking.MustLinear("u", []int{0, 1}, []float64{1, 1})
+		cur, err := e.NewCursor(query.New(), r, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TopH(cur, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if len(got) != 1 || got[0].ID != 0 {
+			t.Fatalf("%v: got %v", v, got)
+		}
+	}
+}
+
+// TestDomainBoundaryValues: tuples sitting exactly at domain endpoints must
+// be discoverable (off-by-one open/closed bugs bite here).
+func TestDomainBoundaryValues(t *testing.T) {
+	schema := testSchema(2)
+	tuples := []types.Tuple{
+		{ID: 0, Ord: []float64{0, 100, 0}, Cat: map[string]string{"cat": "x"}},   // both at min/max
+		{ID: 1, Ord: []float64{100, 0, 0}, Cat: map[string]string{"cat": "x"}},   // reversed
+		{ID: 2, Ord: []float64{50, 50, 0}, Cat: map[string]string{"cat": "x"}},   // middle
+		{ID: 3, Ord: []float64{0, 0, 0}, Cat: map[string]string{"cat": "x"}},     // best corner
+		{ID: 4, Ord: []float64{100, 100, 0}, Cat: map[string]string{"cat": "x"}}, // worst corner
+	}
+	sys := hidden.FuncRanker{Label: "rev", F: func(tp types.Tuple) float64 { return -float64(tp.ID) }}
+	db := hidden.MustDB(schema, tuples, hidden.Options{K: 1, Ranker: sys})
+	for _, v := range []Variant{Baseline, Binary, Rerank} {
+		e := NewEngine(db, Options{N: len(tuples)})
+		r := ranking.MustLinear("u", []int{0, 1}, []float64{1, 1})
+		cur, err := e.NewCursor(query.New(), r, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TopH(cur, 5)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		want := oracleTopH(tuples, query.New(), r, 5)
+		assertSameRanking(t, r, got, want)
+		// Descending 1D must surface the max-value boundary tuple first.
+		cur1 := e.NewOneDCursor(query.New(), 0, ranking.Desc, v)
+		first, ok, err := cur1.Next()
+		if err != nil || !ok || first.Ord[0] != 100 {
+			t.Fatalf("%v desc: got %v ok=%v err=%v", v, first, ok, err)
+		}
+	}
+}
+
+// TestCursorErrorsOnBadRanker: NewCursor must reject rankers referencing
+// categorical or out-of-range attributes.
+func TestCursorErrorsOnBadRanker(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	db, _ := newTestDB(t, rng, 2, 20, 3, false, nil)
+	e := NewEngine(db, Options{N: 20})
+	// Attribute 2 is the categorical "cat" column in testSchema(2).
+	if _, err := e.NewCursor(query.New(), ranking.MustLinear("bad", []int{0, 2}, []float64{1, 1}), Rerank); err == nil {
+		t.Error("categorical ranking attribute accepted")
+	}
+	if _, err := e.NewCursor(query.New(), ranking.MustLinear("bad", []int{0, 99}, []float64{1, 1}), Rerank); err == nil {
+		t.Error("out-of-range ranking attribute accepted")
+	}
+}
+
+// TestVariantString covers the diagnostic names used in experiment output.
+func TestVariantString(t *testing.T) {
+	for v, want := range map[Variant]string{
+		Baseline: "BASELINE", Binary: "BINARY", Rerank: "RERANK",
+		TAOverOneD: "TA-over-1D-RERANK", Variant(9): "Variant(9)",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), v.String(), want)
+		}
+	}
+}
+
+// TestHZeroAndNegative: TopH with h ≤ 0 returns empty without touching the
+// database.
+func TestHZeroAndNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	db, _ := newTestDB(t, rng, 2, 50, 5, false, nil)
+	db.ResetCounter()
+	e := NewEngine(db, Options{N: 50})
+	cur := e.NewOneDCursor(query.New(), 0, ranking.Asc, Rerank)
+	for _, h := range []int{0, -3} {
+		got, err := TopH(cur, h)
+		if err != nil || len(got) != 0 {
+			t.Fatalf("TopH(%d) = %v, %v", h, got, err)
+		}
+	}
+	if db.QueryCount() != 0 {
+		t.Fatalf("TopH(0) issued %d queries", db.QueryCount())
+	}
+}

@@ -1,0 +1,276 @@
+// Package core implements the paper's contribution: the query reranking
+// algorithms 1D-BASELINE, 1D-BINARY, 1D-RERANK (§3), TA-over-1D-RERANK
+// (§4.1), MD-BASELINE (§4.2), MD-BINARY (§4.3) and MD-RERANK (§4.4), all
+// exposed through an incremental Get-Next interface (§2.2).
+//
+// An Engine is the long-lived state of one reranking service instance bound
+// to one hidden database: the cross-query answer history (§3.1.1 "Leveraging
+// History") and the on-the-fly dense-region indexes (§3.2.2, §4.4) live here
+// and amortize across all user queries. Cursors are per-(query, ranking
+// function) iterators created from the engine.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/crawl"
+	"repro/internal/hidden"
+	"repro/internal/history"
+	"repro/internal/index"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// Variant selects which algorithm family a cursor runs.
+type Variant int
+
+const (
+	// Baseline is 1D-BASELINE / MD-BASELINE.
+	Baseline Variant = iota
+	// Binary is 1D-BINARY / MD-BINARY.
+	Binary
+	// Rerank is 1D-RERANK / MD-RERANK (the paper's full algorithms,
+	// with on-the-fly dense indexing).
+	Rerank
+	// TAOverOneD is the §4.1 strawman: Fagin's threshold algorithm
+	// driven by per-attribute 1D-RERANK Get-Next cursors. Only valid for
+	// multi-attribute rankers.
+	TAOverOneD
+)
+
+// String names the variant as the paper does.
+func (v Variant) String() string {
+	switch v {
+	case Baseline:
+		return "BASELINE"
+	case Binary:
+		return "BINARY"
+	case Rerank:
+		return "RERANK"
+	case TAOverOneD:
+		return "TA-over-1D-RERANK"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Options tune an Engine. The zero value enables everything with the
+// paper's default parameters.
+type Options struct {
+	// N is the (estimated) database size used by the dense-region
+	// thresholds. Required for Rerank variants; when 0 dense indexing is
+	// disabled and Rerank degrades to Binary plus baseline finishing.
+	N int
+	// S is the dense-region population parameter; 0 means the paper's
+	// default s = k·log2(n).
+	S float64
+	// C is the density-factor parameter; 0 means the paper's default
+	// c = n.
+	C float64
+	// AssumeGeneralPositioning skips the §5 tie-handling point queries.
+	// Only safe when every ranked attribute's values are unique.
+	AssumeGeneralPositioning bool
+	// DisableHistory turns off cross-query answer reuse (ablation).
+	DisableHistory bool
+	// DisableIndex turns off dense-region indexing (ablation).
+	DisableIndex bool
+	// DisableVirtualTuples turns off §4.3.2 virtual-tuple pruning in
+	// MD-BINARY/MD-RERANK (ablation).
+	DisableVirtualTuples bool
+	// DisableDominationProbe turns off §4.3.2 direct domination
+	// detection (ablation).
+	DisableDominationProbe bool
+	// MaxQueriesPerOp bounds database queries for a single Get-Next
+	// call (0 = unlimited); exceeding it returns ErrBudget.
+	MaxQueriesPerOp int64
+}
+
+// Engine is one reranking service instance bound to a hidden database.
+// It is not safe for concurrent use; the service layer serializes access.
+type Engine struct {
+	db   hidden.Database
+	opts Options
+
+	hist    *history.Store
+	dense1  *index.Dense1D
+	denseMD map[string]*index.DenseMD // keyed by ranked-attribute signature
+
+	queries int64 // queries issued through this engine
+}
+
+// NewEngine builds an engine over db.
+func NewEngine(db hidden.Database, opts Options) *Engine {
+	return &Engine{
+		db:      db,
+		opts:    opts,
+		hist:    history.NewStore(db.Schema()),
+		dense1:  index.NewDense1D(),
+		denseMD: make(map[string]*index.DenseMD),
+	}
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() hidden.Database { return e.db }
+
+// Queries returns the number of database queries issued through the engine
+// (including dense-index crawling).
+func (e *Engine) Queries() int64 { return e.queries }
+
+// History returns the engine's cross-query tuple cache.
+func (e *Engine) History() *history.Store { return e.hist }
+
+// DenseIndex1D exposes the 1D dense index for inspection by experiments.
+func (e *Engine) DenseIndex1D() *index.Dense1D { return e.dense1 }
+
+// issue sends one query to the database, recording every returned tuple in
+// the history store.
+func (e *Engine) issue(q query.Query) (hidden.Result, error) {
+	res, err := e.db.TopK(q)
+	if err != nil {
+		return res, err
+	}
+	e.queries++
+	if !e.opts.DisableHistory {
+		e.hist.Add(res.Tuples...)
+	}
+	return res, nil
+}
+
+// sParam returns the dense-region population parameter s (§3.2.2), defaulting
+// to k·log2(n).
+func (e *Engine) sParam() float64 {
+	if e.opts.S > 0 {
+		return e.opts.S
+	}
+	n := float64(e.opts.N)
+	if n < 2 {
+		n = 2
+	}
+	return float64(e.db.K()) * math.Log2(n)
+}
+
+// cParam returns the density factor c, defaulting to n.
+func (e *Engine) cParam() float64 {
+	if e.opts.C > 0 {
+		return e.opts.C
+	}
+	return float64(e.opts.N)
+}
+
+// denseWidth1D returns the 1D dense-region width threshold
+// |V(Ai)|·(s/n)/c for the given attribute, or 0 when indexing is disabled.
+func (e *Engine) denseWidth1D(attr int) float64 {
+	if e.opts.DisableIndex || e.opts.N <= 0 {
+		return 0
+	}
+	d := e.db.Schema().Domain(attr)
+	return d.Width() * (e.sParam() / float64(e.opts.N)) / e.cParam()
+}
+
+// denseVolumeMD returns the MD dense-region volume threshold |V|·(s/n)/c
+// over the given ranked attributes, or 0 when indexing is disabled.
+func (e *Engine) denseVolumeMD(attrs []int) float64 {
+	if e.opts.DisableIndex || e.opts.N <= 0 {
+		return 0
+	}
+	vol := 1.0
+	for _, a := range attrs {
+		vol *= e.db.Schema().Domain(a).Width()
+	}
+	return vol * (e.sParam() / float64(e.opts.N)) / e.cParam()
+}
+
+// mdIndexFor returns the MD dense index shared by all rankers over the same
+// attribute subset.
+func (e *Engine) mdIndexFor(attrs []int) *index.DenseMD {
+	key := attrsKey(attrs)
+	idx, ok := e.denseMD[key]
+	if !ok {
+		idx = index.NewDenseMD()
+		e.denseMD[key] = idx
+	}
+	return idx
+}
+
+func attrsKey(attrs []int) string {
+	s := append([]int(nil), attrs...)
+	sort.Ints(s)
+	parts := make([]string, len(s))
+	for i, a := range s {
+		parts[i] = fmt.Sprint(a)
+	}
+	return strings.Join(parts, ",")
+}
+
+// crawlRegion fully crawls the given generic query (already stripped of the
+// user query's selection condition) and returns every matching tuple. The
+// cost is charged to the engine and to the provided ledger.
+func (e *Engine) crawlRegion(q query.Query, ledger func(int64)) ([]types.Tuple, error) {
+	c := crawl.New(e.db, crawl.Options{MaxQueries: 0})
+	if !e.opts.DisableHistory {
+		c.Observe = func(t types.Tuple) { e.hist.Add(t) }
+	}
+	tuples, err := c.All(q)
+	e.queries += c.Queries()
+	if ledger != nil {
+		ledger(c.Queries())
+	}
+	return tuples, err
+}
+
+// Cursor is the incremental Get-Next interface of §2.2: each call returns
+// the next-best tuple of the user query under the user ranking function.
+// ok is false once the query's matching tuples are exhausted.
+type Cursor interface {
+	Next() (t types.Tuple, ok bool, err error)
+}
+
+// TopH drains up to h tuples from a cursor. Non-positive h yields an empty
+// result without touching the cursor.
+func TopH(c Cursor, h int) ([]types.Tuple, error) {
+	if h <= 0 {
+		return nil, nil
+	}
+	out := make([]types.Tuple, 0, h)
+	for len(out) < h {
+		t, ok, err := c.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ErrBudget is returned when a single Get-Next exceeds MaxQueriesPerOp.
+var ErrBudget = fmt.Errorf("core: per-operation query budget exhausted")
+
+// NewCursor builds a cursor running the given algorithm variant for user
+// query q under ranker r. Single-attribute rankers use the 1D algorithms;
+// multi-attribute rankers use the MD family (or TA). It returns an error for
+// invalid combinations.
+func (e *Engine) NewCursor(q query.Query, r ranking.Ranker, v Variant) (Cursor, error) {
+	attrs := r.Attrs()
+	for _, a := range attrs {
+		if a < 0 || a >= e.db.Schema().Len() || e.db.Schema().Attr(a).Kind != types.Ordinal {
+			return nil, fmt.Errorf("core: ranker attribute %d is not an ordinal attribute", a)
+		}
+	}
+	if len(attrs) == 1 {
+		if v == TAOverOneD {
+			return nil, fmt.Errorf("core: TA requires a multi-attribute ranking function")
+		}
+		return e.NewOneDCursor(q, attrs[0], r.Dir(0), v), nil
+	}
+	if v == TAOverOneD {
+		return e.NewTACursor(q, r), nil
+	}
+	return e.NewMDCursor(q, r, v), nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+)
+
+// TestKnownRankCursorExactness: the pager over an ORDER BY view must emit
+// the same ranking as the search-based 1D cursor.
+func TestKnownRankCursorExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 6; trial++ {
+		ties := trial%2 == 0
+		db, all := newTestDB(t, rng, 2, 100+rng.Intn(200), 1+rng.Intn(8), ties, systemRankers(2)[trial%3])
+		attr := rng.Intn(2)
+		dir := ranking.Asc
+		if rng.Intn(2) == 0 {
+			dir = ranking.Desc
+		}
+		view := hidden.NewOrderByView(db, attr, dir)
+		e := NewEngine(db, Options{N: db.Size()})
+		q := randQuery(rng, db.Schema())
+		cur := e.NewKnownRankCursor(view, q, attr, dir)
+		h := 1 + rng.Intn(25)
+		got, err := TopH(cur, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := ranking.NewSingle("1d", attr, dir)
+		want := oracleTopH(all, q, r, h)
+		assertSameRanking(t, r, got, want, oracleTopH(all, q, r, 1<<30))
+	}
+}
+
+// TestKnownRankCursorCost: paging must cost about h/k queries — far fewer
+// than search-based Get-Next.
+func TestKnownRankCursorCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	db, _ := newTestDB(t, rng, 2, 600, 10, false, systemRankers(2)[1])
+	view := hidden.NewOrderByView(db, 0, ranking.Asc)
+	db.ResetCounter()
+	e := NewEngine(db, Options{N: 600})
+	cur := e.NewKnownRankCursor(view, query.New(), 0, ranking.Asc)
+	if _, err := TopH(cur, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.QueryCount(); got > 20 {
+		t.Errorf("paged top-100 cost %d queries, want ~10 (h/k)", got)
+	}
+}
+
+// TestTAWithKnownAccess: TA over ORDER BY views must be exact, and when the
+// rankings are public it should beat TA over 1D-RERANK on query cost.
+func TestTAWithKnownAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db, all := newTestDB(t, rng, 3, 400, 10, false, systemRankers(3)[2])
+	r := ranking.MustLinear("u", []int{0, 1}, []float64{1, 2})
+	q := query.New()
+
+	// Known-access TA.
+	db.ResetCounter()
+	e := NewEngine(db, Options{N: 400})
+	var access []Cursor
+	for j, attr := range r.Attrs() {
+		view := hidden.NewOrderByView(db, attr, r.Dir(j))
+		access = append(access, e.NewKnownRankCursor(view, q, attr, r.Dir(j)))
+	}
+	ta := e.NewTACursorWithAccess(q, r, access)
+	got, err := TopH(ta, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleTopH(all, q, r, 8)
+	assertSameRanking(t, r, got, want, oracleTopH(all, q, r, 1<<30))
+	knownCost := db.QueryCount()
+
+	// Search-based TA on the same task.
+	db.ResetCounter()
+	e2 := NewEngine(db, Options{N: 400})
+	ta2 := e2.NewTACursor(q, r)
+	if _, err := TopH(ta2, 8); err != nil {
+		t.Fatal(err)
+	}
+	searchCost := db.QueryCount()
+	if knownCost >= searchCost {
+		t.Errorf("known-ranking TA (%d) should beat search-based TA (%d)", knownCost, searchCost)
+	}
+}

@@ -1,0 +1,506 @@
+// Multi-dimensional query reranking (§4): MD-BASELINE, MD-BINARY and
+// MD-RERANK.
+//
+// The search is a branch-and-bound over axis-space boxes:
+//
+//   - Boxes are tightened against the current threshold score using the
+//     rank-contour bounds (ranking.Tighten unifies the paper's Eq. 6 ℓ(A_i)
+//     and Eq. 8 b(A_j)).
+//   - An overflowing box is partitioned around a pivot point into disjoint
+//     children whose union covers every potentially-better tuple; the
+//     pivot's anti-dominance region is pruned when sound (its score is at
+//     least the threshold).
+//   - MD-BINARY replaces the discovered-tuple pivot with a virtual tuple v'
+//     on the threshold contour (§4.3.2), maximizing pruned volume, and
+//     probes v''s dominance box first (direct domination detection).
+//   - MD-RERANK answers boxes smaller than the dense-region volume
+//     threshold from the on-the-fly crawled-box index (§4.4, Algorithm 6).
+//
+// MD-BASELINE and MD-BINARY restart the whole search on improvement, as the
+// paper prescribes ("we restart the entire process with t = t'"). MD-RERANK
+// keeps the box queue and re-tightens boxes against the latest threshold
+// when popped — a documented refinement with identical coverage and fewer
+// repeated queries.
+//
+// Top-k proceeds by subspace splitting (§4.2.2): emitting a tuple splits its
+// box on the first ranked attribute at the tuple's value, and the next
+// answer is the best of the per-box top-1s.
+
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// MDCursor incrementally returns tuples matching a user query in ascending
+// order of an arbitrary monotone multi-attribute ranking function.
+type MDCursor struct {
+	e       *Engine
+	q       query.Query
+	axis    *ranking.Axis
+	variant Variant
+
+	started   bool
+	regions   []mdRegion
+	emitted   map[int]bool
+	pending   []types.Tuple
+	exhausted bool
+	opQueries int64
+
+	denseVol float64
+	denseDim []float64 // per-dimension dense-region width thresholds
+	sorted   []int     // ranked attrs sorted ascending (dense-index canonical order)
+}
+
+type mdRegion struct {
+	box      query.Box
+	best     types.Tuple
+	have     bool
+	resolved bool
+}
+
+// NewMDCursor builds an MD cursor for ranker r (which must rank ≥ 2
+// attributes; single-attribute rankers should use NewOneDCursor).
+func (e *Engine) NewMDCursor(q query.Query, r ranking.Ranker, v Variant) *MDCursor {
+	ax := ranking.NewAxis(r, e.db.Schema())
+	c := &MDCursor{
+		e: e, q: q.Clone(), axis: ax, variant: v,
+		emitted: make(map[int]bool),
+	}
+	if v == Rerank {
+		c.denseVol = e.denseVolumeMD(ax.Attrs())
+		// Per-dimension dense widths: the volume test alone would
+		// classify thin full-width slabs (which tightening produces
+		// constantly) as dense regions and crawl them; requiring every
+		// side below the m-th root of the relative volume threshold
+		// restricts the oracle to genuinely small boxes while keeping
+		// the same |V|·(s/n)/c volume bound for cubes.
+		rel := (e.sParam() / math.Max(float64(e.opts.N), 1)) / math.Max(e.cParam(), 1)
+		side := math.Pow(rel, 1/float64(ax.M()))
+		for j := 0; j < ax.M(); j++ {
+			c.denseDim = append(c.denseDim, (ax.Hi()[j]-ax.Lo()[j])*side)
+		}
+	}
+	c.sorted = append([]int(nil), ax.Attrs()...)
+	sort.Ints(c.sorted)
+	return c
+}
+
+// issue sends one box-restricted query, charging the per-op budget.
+func (c *MDCursor) issue(b query.Box) (hidden.Result, error) {
+	if c.e.opts.MaxQueriesPerOp > 0 && c.opQueries >= c.e.opts.MaxQueriesPerOp {
+		return hidden.Result{}, ErrBudget
+	}
+	c.opQueries++
+	return c.e.issue(c.axis.BoxToQuery(c.q, b))
+}
+
+// Next implements Cursor.
+func (c *MDCursor) Next() (types.Tuple, bool, error) {
+	if len(c.pending) > 0 {
+		t := c.pending[0]
+		c.pending = c.pending[1:]
+		return t, true, nil
+	}
+	if c.exhausted {
+		return types.Tuple{}, false, nil
+	}
+	c.opQueries = 0
+	if !c.started {
+		c.started = true
+		root := c.axis.QueryToBox(c.q)
+		c.regions = []mdRegion{{box: root}}
+	}
+	// Resolve the top-1 of every unresolved region.
+	live := c.regions[:0]
+	for _, r := range c.regions {
+		if !r.resolved {
+			best, have, err := c.top1(r.box)
+			if err != nil {
+				return types.Tuple{}, false, err
+			}
+			r.best, r.have, r.resolved = best, have, true
+		}
+		if r.have {
+			live = append(live, r)
+		}
+	}
+	c.regions = live
+	if len(c.regions) == 0 {
+		c.exhausted = true
+		return types.Tuple{}, false, nil
+	}
+	// Emit the best region's top-1 and split that region.
+	bi := 0
+	for i := 1; i < len(c.regions); i++ {
+		if c.regionLess(c.regions[i], c.regions[bi]) {
+			bi = i
+		}
+	}
+	reg := c.regions[bi]
+	t := reg.best
+	if err := c.collectTies(t); err != nil {
+		return types.Tuple{}, false, err
+	}
+	for _, tt := range c.pending {
+		c.emitted[tt.ID] = true
+	}
+	// Split the region on the first ranked attribute at t's value. The
+	// right part keeps the boundary (closed) so tuples sharing the split
+	// coordinate remain reachable; the emitted set excludes the tie
+	// group itself.
+	z0 := c.axis.ToAxis(t)[0]
+	b1 := reg.box.Clone()
+	b1.Dims[0] = b1.Dims[0].Intersect(types.Interval{Lo: math.Inf(-1), Hi: z0, HiOpen: true})
+	b2 := reg.box.Clone()
+	b2.Dims[0] = b2.Dims[0].Intersect(types.Interval{Lo: z0, Hi: math.Inf(1), HiOpen: true})
+	c.regions = append(c.regions[:bi], c.regions[bi+1:]...)
+	if !b1.Empty() {
+		c.regions = append(c.regions, mdRegion{box: b1})
+	}
+	if !b2.Empty() {
+		c.regions = append(c.regions, mdRegion{box: b2})
+	}
+	out := c.pending[0]
+	c.pending = c.pending[1:]
+	return out, true, nil
+}
+
+// regionLess orders resolved regions by (score, tuple ID).
+func (c *MDCursor) regionLess(a, b mdRegion) bool {
+	sa, sb := c.axis.ScoreTuple(a.best), c.axis.ScoreTuple(b.best)
+	if sa != sb {
+		return sa < sb
+	}
+	return a.best.ID < b.best.ID
+}
+
+// collectTies fills the pending buffer with every tuple matching q that
+// shares t's values on all ranked attributes (§5).
+func (c *MDCursor) collectTies(t types.Tuple) error {
+	if c.e.opts.AssumeGeneralPositioning {
+		c.pending = []types.Tuple{t}
+		return nil
+	}
+	z := c.axis.ToAxis(t)
+	point := query.Box{Dims: make([]types.Interval, len(z))}
+	for j, v := range z {
+		point.Dims[j] = types.ClosedInterval(v, v)
+	}
+	res, err := c.issue(point)
+	if err != nil {
+		return err
+	}
+	var ties []types.Tuple
+	if !res.Overflow {
+		ties = res.Tuples
+	} else {
+		ties, err = c.e.crawlRegion(c.axis.BoxToQuery(c.q, point), nil)
+		if err != nil {
+			return err
+		}
+	}
+	seen := map[int]bool{}
+	c.pending = c.pending[:0]
+	for _, tt := range ties {
+		if !seen[tt.ID] && !c.emitted[tt.ID] {
+			seen[tt.ID] = true
+			c.pending = append(c.pending, tt)
+		}
+	}
+	if !seen[t.ID] && !c.emitted[t.ID] {
+		c.pending = append(c.pending, t)
+	}
+	sort.Slice(c.pending, func(i, j int) bool { return c.pending[i].ID < c.pending[j].ID })
+	return nil
+}
+
+// candidate tracks the best non-emitted tuple found during one top-1 search.
+type candidate struct {
+	t     types.Tuple
+	score float64
+	have  bool
+}
+
+func (c *MDCursor) improve(cand *candidate, ts []types.Tuple, box query.Box) {
+	for _, t := range ts {
+		if c.emitted[t.ID] || !c.q.Matches(t) {
+			continue
+		}
+		z := c.axis.ToAxis(t)
+		if !box.Contains(z) {
+			continue
+		}
+		s := c.axis.ScoreTuple(t)
+		if !cand.have || s < cand.score || (s == cand.score && t.ID < cand.t.ID) {
+			cand.t, cand.score, cand.have = t, s, true
+		}
+	}
+}
+
+// top1 finds the best non-emitted tuple matching q inside box.
+func (c *MDCursor) top1(box query.Box) (types.Tuple, bool, error) {
+	var cand candidate
+	// Seed from history (§3.1.1 applied to MD).
+	if !c.e.opts.DisableHistory {
+		c.e.hist.ForEachMatching(c.q, func(t types.Tuple) bool {
+			c.improve(&cand, []types.Tuple{t}, box)
+			return true
+		})
+	}
+	stack := []query.Box{box}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b.Empty() {
+			continue
+		}
+		if cand.have {
+			tb, ok := c.axis.Tighten(b, cand.score)
+			if !ok {
+				continue
+			}
+			b = tb
+		}
+		// MD-RERANK fast path: a box already covered by a crawled
+		// dense region is answered locally with zero queries.
+		if c.variant == Rerank && c.denseVol > 0 && b.IsFinite() && c.isDense(b) {
+			if reg, ok := c.e.mdIndexFor(c.axis.Attrs()).Lookup(c.realBoxOf(b)); ok {
+				c.improve(&cand, reg.Tuples, b)
+				continue
+			}
+		}
+		res, err := c.issue(b)
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
+		prevScore, prevHave := cand.score, cand.have
+		c.improve(&cand, res.Tuples, b)
+		if !res.Overflow {
+			continue
+		}
+		// MD-RERANK dense-region handling (Algorithm 6): an overflowing
+		// sub-threshold box is a certified dense region — crawl it once
+		// (generically, without Sel(q)) and index it for every future
+		// user query.
+		if c.variant == Rerank && c.denseVol > 0 && b.IsFinite() && c.isDense(b) {
+			if err := c.denseAnswer(b, &cand); err != nil {
+				return types.Tuple{}, false, err
+			}
+			continue
+		}
+		if cand.have && (!prevHave || cand.score < prevScore) {
+			// The query improved the threshold. MD-BASELINE and
+			// MD-BINARY restart the whole search around the new
+			// contour ("we restart the entire process with t = t'",
+			// §4.2.1 / Algorithm 5 line 7). MD-RERANK instead keeps
+			// the partition queue and only re-searches the
+			// overflowing box re-tightened — a documented
+			// refinement with identical coverage and fewer
+			// repeated queries.
+			if c.variant == Rerank {
+				if tb, ok := c.axis.Tighten(b, cand.score); ok {
+					stack = append(stack, tb)
+				}
+			} else {
+				stack = stack[:0]
+				if tb, ok := c.axis.Tighten(box, cand.score); ok {
+					stack = append(stack, tb)
+				}
+			}
+			continue
+		}
+		kids, err := c.partition(b, res.Tuples, &cand)
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
+		stack = append(stack, kids...)
+	}
+	return cand.t, cand.have, nil
+}
+
+// partition splits an overflowing box into disjoint children covering every
+// potentially-better tuple, excluding all returned tuples so the search
+// always progresses.
+func (c *MDCursor) partition(b query.Box, returned []types.Tuple, cand *candidate) ([]query.Box, error) {
+	var kids []query.Box
+	// Pivot on the lowest-score returned tuple by default; switch to the
+	// virtual-tuple machinery when the pivot sits so close to the box's
+	// best corner that splitting around it prunes almost nothing — the
+	// ill-conditioned-system-ranking pathology of §4.3.1.
+	pi := 0
+	for i := 1; i < len(returned); i++ {
+		if c.axis.ScoreTuple(returned[i]) < c.axis.ScoreTuple(returned[pi]) {
+			pi = i
+		}
+	}
+	// MD-BINARY applies the virtual-tuple machinery on every stuck
+	// overflow (Algorithm 5); MD-RERANK reserves it for boxes where the
+	// pivot split would prune almost nothing.
+	useVirtual := c.variant != Baseline && !c.e.opts.DisableVirtualTuples && cand.have &&
+		(c.variant == Binary || c.prunedFraction(b, c.axis.ToAxis(returned[pi])) < 0.02)
+	placed := false
+	if useVirtual {
+		if vp, ok := c.axis.VirtualTuple(b, cand.score); ok {
+			if !c.e.opts.DisableDominationProbe {
+				// Direct domination detection (§4.3.2): probe
+				// the box dominating v' for a better tuple.
+				domB := b.Clone()
+				for j := range domB.Dims {
+					domB.Dims[j] = domB.Dims[j].Intersect(types.ClosedInterval(math.Inf(-1), vp[j]))
+				}
+				if !domB.Empty() {
+					res, err := c.issue(domB)
+					if err != nil {
+						return nil, err
+					}
+					c.improve(cand, res.Tuples, b)
+				}
+			}
+			// Virtual-tuple pruning: children exclude the
+			// anti-dominance region of v', which is sound because
+			// S(v') ≥ threshold.
+			kids = c.splitAt(b, vp, true)
+			placed = true
+		}
+	}
+	if !placed {
+		zp := c.axis.ToAxis(returned[pi])
+		kids = c.splitAt(b, zp, c.pruneAntiOK(returned[pi], cand))
+		returned = append(returned[:pi:pi], returned[pi+1:]...)
+	}
+	// Exclude every remaining returned tuple from whichever child
+	// contains it (children are disjoint), so no query can return an
+	// already-seen page forever.
+	for _, t := range returned {
+		z := c.axis.ToAxis(t)
+		for i := 0; i < len(kids); i++ {
+			if kids[i].Contains(z) {
+				repl := c.splitAt(kids[i], z, c.pruneAntiOK(t, cand))
+				kids = append(append(kids[:i:i], repl...), kids[i+1:]...)
+				break
+			}
+		}
+	}
+	return kids, nil
+}
+
+// prunedFraction estimates how much of box b the anti-dominance region of
+// axis point z occupies — the pruning power of a pivot split around z.
+// Unbounded dimensions contribute zero (the pivot prunes a negligible
+// sliver of an unbounded box).
+func (c *MDCursor) prunedFraction(b query.Box, z []float64) float64 {
+	frac := 1.0
+	for j, iv := range b.Dims {
+		lo := math.Max(iv.Lo, c.axis.Lo()[j])
+		hi := math.Min(iv.Hi, c.axis.Hi()[j])
+		w := hi - lo
+		if w <= 0 || math.IsInf(w, 1) {
+			return 0
+		}
+		frac *= math.Max(0, hi-z[j]) / w
+	}
+	return frac
+}
+
+// pruneAntiOK reports whether pruning t's anti-dominance region is sound:
+// every tuple there scores at least S(t), so the region can be dropped only
+// when S(t) is at least the current threshold.
+func (c *MDCursor) pruneAntiOK(t types.Tuple, cand *candidate) bool {
+	return cand.have && c.axis.ScoreTuple(t) >= cand.score
+}
+
+// splitAt partitions box b minus the point z into disjoint children:
+// child j  = b ∧ {dim j < z_j} ∧ {dim l ≥ z_l for l < j}      (j = 0..m-1)
+// covering b minus the anti-dominance region of z. When pruneAnti is false
+// the anti-dominance region minus the point itself is also covered, with
+// degenerate-slice children:
+// anti  j  = b ∧ {dim i = z_i for i < j} ∧ {dim j > z_j} ∧ {dim l ≥ z_l for l > j}.
+func (c *MDCursor) splitAt(b query.Box, z []float64, pruneAnti bool) []query.Box {
+	m := len(z)
+	var out []query.Box
+	for j := 0; j < m; j++ {
+		kid := b.Clone()
+		kid.Dims[j] = kid.Dims[j].Intersect(types.Interval{Lo: math.Inf(-1), Hi: z[j], HiOpen: true})
+		for l := 0; l < j; l++ {
+			kid.Dims[l] = kid.Dims[l].Intersect(types.Interval{Lo: z[l], Hi: math.Inf(1), HiOpen: true})
+		}
+		if !kid.Empty() {
+			out = append(out, kid)
+		}
+	}
+	if !pruneAnti {
+		for j := 0; j < m; j++ {
+			kid := b.Clone()
+			for i := 0; i < j; i++ {
+				kid.Dims[i] = kid.Dims[i].Intersect(types.ClosedInterval(z[i], z[i]))
+			}
+			kid.Dims[j] = kid.Dims[j].Intersect(types.Interval{Lo: z[j], LoOpen: true, Hi: math.Inf(1), HiOpen: true})
+			for l := j + 1; l < m; l++ {
+				kid.Dims[l] = kid.Dims[l].Intersect(types.Interval{Lo: z[l], Hi: math.Inf(1), HiOpen: true})
+			}
+			if !kid.Empty() {
+				out = append(out, kid)
+			}
+		}
+	}
+	return out
+}
+
+// isDense reports whether the box qualifies for dense-region handling:
+// every side below its per-dimension threshold (hence volume below the
+// paper's |V|·(s/n)/c bound).
+func (c *MDCursor) isDense(b query.Box) bool {
+	for j, iv := range b.Dims {
+		if iv.Width() >= c.denseDim[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// denseAnswer resolves a sub-threshold box through the MD dense index,
+// crawling it generically (without Sel(q)) on a miss so the region serves
+// every future user query (Algorithm 6).
+func (c *MDCursor) denseAnswer(b query.Box, cand *candidate) error {
+	realBox := c.realBoxOf(b)
+	idx := c.e.mdIndexFor(c.axis.Attrs())
+	reg, ok := idx.Lookup(realBox)
+	if !ok {
+		generic := query.New()
+		for i, attr := range c.sorted {
+			generic = generic.WithRange(attr, realBox.Dims[i])
+		}
+		tuples, err := c.e.crawlRegion(generic, idx.AddCrawlCost)
+		if err != nil {
+			return err
+		}
+		idx.Insert(realBox, tuples)
+		reg, _ = idx.Lookup(realBox)
+	}
+	c.improve(cand, reg.Tuples, b)
+	return nil
+}
+
+// realBoxOf converts an axis box to real-value space with dimensions in
+// canonical (sorted attribute) order so that rankers sharing an attribute
+// subset share index regions.
+func (c *MDCursor) realBoxOf(b query.Box) query.Box {
+	attrs := c.axis.Attrs()
+	pos := make(map[int]int, len(attrs)) // attr -> axis dim
+	for j, a := range attrs {
+		pos[a] = j
+	}
+	rb := query.Box{Dims: make([]types.Interval, len(c.sorted))}
+	for i, a := range c.sorted {
+		j := pos[a]
+		rb.Dims[i] = c.axis.RealInterval(j, b.Dims[j])
+	}
+	return rb
+}

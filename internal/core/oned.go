@@ -1,0 +1,419 @@
+// 1D query reranking (§3): Get-Next on a single ordinal attribute.
+//
+// All three variants share one cursor type. Coordinates are handled in axis
+// space (value·direction) so ascending and descending preferences use the
+// same logic; axis intervals are translated back to real ranges when queries
+// are issued.
+//
+// Ties (the removal of the general positioning assumption, §5) are handled
+// at emission time: when the search pins down the next attribute value, a
+// fully-specified point query collects every tuple sharing it (crawling the
+// point region if even that overflows), and the tie group is emitted from a
+// buffer. All search ranges are therefore strictly open at the cursor
+// position.
+
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/hidden"
+	"repro/internal/ranking"
+	"repro/internal/types"
+
+	"repro/internal/query"
+)
+
+// OneDCursor incrementally returns the tuples matching a user query in
+// ascending order of one attribute along a direction. It implements
+// 1D-BASELINE (Algorithm 1), 1D-BINARY (Algorithm 2) or 1D-RERANK
+// (Algorithm 3 + the Algorithm 4 oracle) depending on the variant.
+type OneDCursor struct {
+	e       *Engine
+	q       query.Query
+	attr    int
+	dir     ranking.Direction
+	variant Variant
+
+	lastAxis  float64       // axis value of the last emitted tie group
+	pending   []types.Tuple // small tie group awaiting emission
+	exhausted bool
+	opQueries int64 // queries spent in the current Next call
+
+	// Plateau state (§5): when more than k tuples share one attribute
+	// value, they are enumerated lazily — "one at a time" — through a
+	// sub-cursor ordered by another ordinal attribute, instead of
+	// crawling the whole plateau eagerly.
+	sub         *OneDCursor
+	plateauAxis float64
+}
+
+// NewOneDCursor builds a 1D cursor over ordinal attribute attr along dir.
+// Variant TAOverOneD is treated as Rerank (TA's sorted access is built from
+// 1D-RERANK cursors).
+func (e *Engine) NewOneDCursor(q query.Query, attr int, dir ranking.Direction, v Variant) *OneDCursor {
+	if v == TAOverOneD {
+		v = Rerank
+	}
+	return &OneDCursor{
+		e: e, q: q.Clone(), attr: attr, dir: dir, variant: v,
+		lastAxis: math.Inf(-1),
+	}
+}
+
+// axisOf returns the tuple's axis coordinate on the cursor's attribute.
+func (c *OneDCursor) axisOf(t types.Tuple) float64 {
+	return float64(c.dir) * t.Ord[c.attr]
+}
+
+// axisDomainLo returns the smallest axis coordinate inside the attribute's
+// domain.
+func (c *OneDCursor) axisDomainLo() float64 {
+	d := c.e.db.Schema().Domain(c.attr)
+	if c.dir == ranking.Asc {
+		return d.Min
+	}
+	return -d.Max
+}
+
+// realRange converts an axis interval to the real-value interval for the
+// cursor's attribute.
+func (c *OneDCursor) realRange(iv types.Interval) types.Interval {
+	if c.dir == ranking.Asc {
+		return iv
+	}
+	return types.Interval{Lo: -iv.Hi, Hi: -iv.Lo, LoOpen: iv.HiOpen, HiOpen: iv.LoOpen}
+}
+
+// issue sends one range-restricted query, charging the per-op budget.
+func (c *OneDCursor) issue(iv types.Interval) (hidden.Result, error) {
+	if c.e.opts.MaxQueriesPerOp > 0 && c.opQueries >= c.e.opts.MaxQueriesPerOp {
+		return hidden.Result{}, ErrBudget
+	}
+	c.opQueries++
+	return c.e.issue(c.q.WithRange(c.attr, c.realRange(iv)))
+}
+
+// minAxis returns the returned tuple with the smallest axis value strictly
+// beyond the cursor position.
+func (c *OneDCursor) minAxis(ts []types.Tuple) (types.Tuple, bool) {
+	var best types.Tuple
+	found := false
+	for _, t := range ts {
+		if c.axisOf(t) <= c.lastAxis {
+			continue
+		}
+		if !found || c.axisOf(t) < c.axisOf(best) ||
+			(c.axisOf(t) == c.axisOf(best) && t.ID < best.ID) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// histNext returns the best known (from history) tuple strictly after the
+// cursor position.
+func (c *OneDCursor) histNext() (types.Tuple, bool) {
+	if c.e.opts.DisableHistory {
+		return types.Tuple{}, false
+	}
+	iv := types.Interval{Lo: c.lastAxis, LoOpen: true, Hi: math.Inf(1), HiOpen: true}
+	real := c.realRange(iv)
+	if c.dir == ranking.Asc {
+		return c.e.hist.MinMatching(c.q, c.attr, real)
+	}
+	return c.e.hist.MaxMatching(c.q, c.attr, real)
+}
+
+// Next implements Cursor.
+func (c *OneDCursor) Next() (types.Tuple, bool, error) {
+	if len(c.pending) > 0 {
+		t := c.pending[0]
+		c.pending = c.pending[1:]
+		return t, true, nil
+	}
+	if c.sub != nil {
+		t, ok, err := c.sub.Next()
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
+		if ok {
+			return t, true, nil
+		}
+		// Plateau drained: resume the main search beyond it.
+		c.sub = nil
+		c.lastAxis = c.plateauAxis
+	}
+	if c.exhausted {
+		return types.Tuple{}, false, nil
+	}
+	c.opQueries = 0
+	var (
+		t   types.Tuple
+		ok  bool
+		err error
+	)
+	switch c.variant {
+	case Baseline:
+		t, ok, err = c.nextBaseline()
+	case Binary:
+		t, ok, err = c.nextBinary(false)
+	default:
+		t, ok, err = c.nextBinary(true)
+	}
+	if err != nil {
+		return types.Tuple{}, false, err
+	}
+	if !ok {
+		c.exhausted = true
+		return types.Tuple{}, false, nil
+	}
+	if err := c.collectTies(t); err != nil {
+		return types.Tuple{}, false, err
+	}
+	if c.sub != nil {
+		// Large plateau: emissions stream from the sub-cursor; the
+		// first pull must yield a tuple (t itself is in the plateau).
+		tt, ok, err := c.sub.Next()
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
+		if ok {
+			return tt, true, nil
+		}
+		c.sub = nil
+		c.lastAxis = c.plateauAxis
+		return t, true, nil
+	}
+	c.lastAxis = c.axisOf(t)
+	out := c.pending[0]
+	c.pending = c.pending[1:]
+	return out, true, nil
+}
+
+// collectTies fills the pending buffer with every tuple matching q that
+// shares t's attribute value (§5 general-positioning removal). Under
+// Options.AssumeGeneralPositioning the point query is skipped.
+func (c *OneDCursor) collectTies(t types.Tuple) error {
+	if c.e.opts.AssumeGeneralPositioning {
+		c.pending = []types.Tuple{t}
+		return nil
+	}
+	v := t.Ord[c.attr]
+	point := types.ClosedInterval(v, v)
+	res, err := c.issue(types.Interval{Lo: c.axisOf(t), Hi: c.axisOf(t)})
+	if err != nil {
+		return err
+	}
+	var ties []types.Tuple
+	if !res.Overflow {
+		ties = res.Tuples
+	} else {
+		// More than k ties (a value plateau): enumerate lazily via a
+		// sub-cursor ordered by another ordinal attribute, one tuple
+		// per Get-Next, as §5 prescribes ("one at a time").
+		if sub, ok := c.plateauCursor(v); ok {
+			c.sub = sub
+			c.plateauAxis = c.axisOf(t)
+			c.pending = c.pending[:0]
+			return nil
+		}
+		// No free ordinal attribute remains: crawl the fully-pinned
+		// region, splitting on categorical attributes.
+		ties, err = c.e.crawlRegion(c.q.WithRange(c.attr, point), nil)
+		if err != nil {
+			return err
+		}
+	}
+	seen := map[int]bool{}
+	c.pending = c.pending[:0]
+	for _, tt := range ties {
+		if tt.Ord[c.attr] == v && !seen[tt.ID] {
+			seen[tt.ID] = true
+			c.pending = append(c.pending, tt)
+		}
+	}
+	if !seen[t.ID] {
+		c.pending = append(c.pending, t)
+	}
+	sort.Slice(c.pending, func(i, j int) bool { return c.pending[i].ID < c.pending[j].ID })
+	return nil
+}
+
+// plateauCursor builds the lazy plateau enumerator: a cursor over the same
+// query with this attribute pinned to v, ordered by the first ordinal
+// attribute whose range is not yet a single point. ok is false when every
+// ordinal attribute is pinned.
+func (c *OneDCursor) plateauCursor(v float64) (*OneDCursor, bool) {
+	subQ := c.q.WithRange(c.attr, types.ClosedInterval(v, v))
+	for _, a := range c.e.db.Schema().OrdinalIndexes() {
+		if a == c.attr {
+			continue
+		}
+		if iv, ok := subQ.Ranges[a]; ok && iv.Lo == iv.Hi {
+			continue // already pinned by an outer plateau level
+		}
+		return c.e.NewOneDCursor(subQ, a, ranking.Asc, c.variant), true
+	}
+	return nil, false
+}
+
+// nextBaseline is Algorithm 1: repeatedly narrow (last, cand) until the
+// query stops overflowing.
+func (c *OneDCursor) nextBaseline() (types.Tuple, bool, error) {
+	cand, have := c.histNext()
+	for {
+		hi := math.Inf(1)
+		if have {
+			hi = c.axisOf(cand)
+		}
+		res, err := c.issue(types.Interval{Lo: c.lastAxis, LoOpen: true, Hi: hi, HiOpen: true})
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
+		m, found := c.minAxis(res.Tuples)
+		if !res.Overflow {
+			if found && (!have || c.better(m, cand)) {
+				return m, true, nil
+			}
+			return cand, have, nil
+		}
+		// Overflow always yields a strictly-later tuple (every return
+		// lies strictly inside the open range).
+		cand, have = m, true
+		_ = found
+	}
+}
+
+// better reports whether a precedes b in cursor order.
+func (c *OneDCursor) better(a, b types.Tuple) bool {
+	if c.axisOf(a) != c.axisOf(b) {
+		return c.axisOf(a) < c.axisOf(b)
+	}
+	return a.ID < b.ID
+}
+
+// nextBinary is Algorithm 2 (dense=false) and Algorithm 3 (dense=true):
+// halve the search interval; with dense indexing, hand narrow intervals to
+// the oracle.
+func (c *OneDCursor) nextBinary(dense bool) (types.Tuple, bool, error) {
+	cand, have := c.histNext()
+	if !have {
+		// No known upper bound: one unbounded probe (as in Algorithm
+		// 1's first step) to obtain a candidate or prove exhaustion.
+		res, err := c.issue(types.Interval{Lo: c.lastAxis, LoOpen: true, Hi: math.Inf(1), HiOpen: true})
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
+		m, found := c.minAxis(res.Tuples)
+		if !found {
+			return types.Tuple{}, false, nil
+		}
+		if !res.Overflow {
+			return m, true, nil
+		}
+		cand = m
+	}
+	// Invariant: the next tuple's axis value lies in (searchLo,
+	// cand.axis], where cand is a known, not-yet-emitted tuple. Before
+	// the first emission the search floor is the attribute's domain
+	// minimum (binary search runs over V(Ai), §3.2.1).
+	searchLo, searchLoOpen := c.lastAxis, true
+	if math.IsInf(searchLo, -1) {
+		searchLo, searchLoOpen = c.axisDomainLo(), false
+	}
+	threshold := 0.0
+	if dense {
+		threshold = c.e.denseWidth1D(c.attr)
+	}
+	for {
+		width := c.axisOf(cand) - searchLo
+		if dense && threshold > 0 && width < threshold && !math.IsInf(searchLo, -1) {
+			return c.oracle(searchLo, searchLoOpen, cand)
+		}
+		mid := searchLo + width/2
+		if !(mid > searchLo) || !(mid < c.axisOf(cand)) || math.IsInf(searchLo, -1) {
+			// Interval no longer splittable (or unbounded below):
+			// finish with baseline narrowing.
+			return c.finishNarrow(searchLo, searchLoOpen, cand)
+		}
+		res, err := c.issue(types.Interval{Lo: searchLo, LoOpen: searchLoOpen, Hi: mid, HiOpen: true})
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
+		if m, found := c.minAxis(res.Tuples); found {
+			if !res.Overflow {
+				return m, true, nil
+			}
+			cand = m
+			continue
+		}
+		// Lower half empty: probe the upper half [mid, cand.axis).
+		res2, err := c.issue(types.Interval{Lo: mid, LoOpen: false, Hi: c.axisOf(cand), HiOpen: true})
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
+		m2, found2 := c.minAxis(res2.Tuples)
+		if !found2 {
+			return cand, true, nil
+		}
+		if !res2.Overflow {
+			return m2, true, nil
+		}
+		cand = m2
+		searchLo, searchLoOpen = mid, false
+	}
+}
+
+// finishNarrow completes the search with baseline narrowing inside
+// (searchLo, cand.axis).
+func (c *OneDCursor) finishNarrow(searchLo float64, searchLoOpen bool, cand types.Tuple) (types.Tuple, bool, error) {
+	for {
+		res, err := c.issue(types.Interval{Lo: searchLo, LoOpen: searchLoOpen, Hi: c.axisOf(cand), HiOpen: true})
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
+		m, found := c.minAxis(res.Tuples)
+		if !res.Overflow {
+			if found && c.better(m, cand) {
+				return m, true, nil
+			}
+			return cand, true, nil
+		}
+		cand = m
+	}
+}
+
+// oracle is Algorithm 4: answer the narrow interval (searchLo, cand.axis]
+// from the dense index, crawling it on a miss. The crawl deliberately drops
+// the user query's selection condition so the indexed region serves every
+// future user query.
+func (c *OneDCursor) oracle(searchLo float64, searchLoOpen bool, cand types.Tuple) (types.Tuple, bool, error) {
+	// The region is open at cand: on plateau-heavy (discrete) data a
+	// closed end would drag cand's entire tie plateau into the crawl,
+	// which the lazy §5 tie machinery already handles.
+	axisIv := types.Interval{Lo: searchLo, LoOpen: searchLoOpen, Hi: c.axisOf(cand), HiOpen: true}
+	realIv := c.realRange(axisIv)
+	reg, ok := c.e.dense1.Lookup(c.attr, realIv)
+	if !ok {
+		generic := query.New().WithRange(c.attr, realIv)
+		tuples, err := c.e.crawlRegion(generic, c.e.dense1.AddCrawlCost)
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
+		c.e.dense1.Insert(c.attr, realIv, tuples)
+		reg, _ = c.e.dense1.Lookup(c.attr, realIv)
+	}
+	var t types.Tuple
+	var found bool
+	if c.dir == ranking.Asc {
+		t, found = reg.MinMatching(c.q, c.attr, realIv)
+	} else {
+		t, found = reg.MaxMatching(c.q, c.attr, realIv)
+	}
+	if found && c.axisOf(t) > c.lastAxis && c.better(t, cand) {
+		return t, true, nil
+	}
+	return cand, true, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// TestQuickOneDExactness is the property-based form of the 1D oracle test:
+// for arbitrary seeds (databases, queries, k, ties, directions, variants),
+// the cursor's output ranking equals the full-scan oracle's.
+func TestQuickOneDExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(2)
+		n := 30 + rng.Intn(150)
+		k := 1 + rng.Intn(7)
+		ties := rng.Intn(2) == 0
+		sys := systemRankers(m)[rng.Intn(3)]
+		schema := testSchema(m)
+		tuples := genTuples(rng, schema, n, ties)
+		db := hidden.MustDB(schema, tuples, hidden.Options{K: k, Ranker: sys})
+		e := NewEngine(db, Options{N: n})
+		q := randQuery(rng, schema)
+		attr := rng.Intn(m)
+		dir := ranking.Asc
+		if rng.Intn(2) == 0 {
+			dir = ranking.Desc
+		}
+		variant := []Variant{Baseline, Binary, Rerank}[rng.Intn(3)]
+		r := ranking.NewSingle("1d", attr, dir)
+		cur := e.NewOneDCursor(q, attr, dir, variant)
+		h := 1 + rng.Intn(15)
+		got, err := TopH(cur, h)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return sameScores(r, got, oracleTopH(tuples, q, r, h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMDExactness is the MD property-based oracle test.
+func TestQuickMDExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(2)
+		n := 30 + rng.Intn(120)
+		k := 1 + rng.Intn(7)
+		ties := rng.Intn(2) == 0
+		sys := systemRankers(m)[rng.Intn(3)]
+		schema := testSchema(m)
+		tuples := genTuples(rng, schema, n, ties)
+		db := hidden.MustDB(schema, tuples, hidden.Options{K: k, Ranker: sys})
+		e := NewEngine(db, Options{N: n})
+		q := randQuery(rng, schema)
+		r := randLinear(rng, m, 2+rng.Intn(m-1))
+		variant := []Variant{Baseline, Binary, Rerank, TAOverOneD}[rng.Intn(4)]
+		cur, err := e.NewCursor(q, r, variant)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		h := 1 + rng.Intn(10)
+		got, err := TopH(cur, h)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return sameScores(r, got, oracleTopH(tuples, q, r, h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameScores compares two rankings by score sequence only (ID sets within
+// tie groups are validated by the deterministic tests).
+func sameScores(r ranking.Ranker, got, want []types.Tuple) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if ranking.ScoreTuple(r, got[i]) != ranking.ScoreTuple(r, want[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickCursorDeterminism: two engines fed the same seed must produce
+// identical answer sequences AND identical query costs — the whole stack is
+// deterministic.
+func TestQuickCursorDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func() ([]float64, int64) {
+			rng := rand.New(rand.NewSource(seed))
+			schema := testSchema(2)
+			tuples := genTuples(rng, schema, 120, true)
+			db := hidden.MustDB(schema, tuples, hidden.Options{K: 4, Ranker: systemRankers(2)[1]})
+			e := NewEngine(db, Options{N: 120})
+			r := ranking.MustLinear("u", []int{0, 1}, []float64{1, 2})
+			cur, _ := e.NewCursor(query.New(), r, Rerank)
+			out, err := TopH(cur, 9)
+			if err != nil {
+				return nil, -1
+			}
+			scores := make([]float64, len(out))
+			for i, tp := range out {
+				scores[i] = ranking.ScoreTuple(r, tp)
+			}
+			return scores, db.QueryCount()
+		}
+		a, ca := run()
+		b, cb := run()
+		if ca != cb || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Engine state persistence.
+//
+// The whole value of the reranking service compounds over time: every
+// upstream answer lands in the history store and every crawled dense region
+// in the on-the-fly indexes. Real deployments restart; losing that state
+// means re-spending rate-limited upstream queries. Snapshot serializes the
+// engine's accumulated knowledge (history tuples + 1D dense regions) to
+// JSON so a service can restart warm.
+//
+// MD dense regions are rebuilt from history on demand rather than
+// serialized: their tuples are a subset of history, and region boxes are
+// cheap to re-crawl relative to their payload.
+
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/query"
+	"repro/internal/types"
+)
+
+// snapshotVersion guards against loading incompatible files.
+const snapshotVersion = 1
+
+// Snapshot is the serialized engine state.
+type Snapshot struct {
+	Version int            `json:"version"`
+	Queries int64          `json:"queries"`
+	Tuples  []snapTuple    `json:"tuples"`
+	Dense1D []snapInterval `json:"dense1d"`
+	Schema  []string       `json:"schema"` // attribute names, for validation
+}
+
+type snapTuple struct {
+	ID  int               `json:"id"`
+	Ord []float64         `json:"ord"`
+	Cat map[string]string `json:"cat,omitempty"`
+}
+
+type snapInterval struct {
+	Attr   int     `json:"attr"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	LoOpen bool    `json:"loOpen"`
+	HiOpen bool    `json:"hiOpen"`
+	IDs    []int   `json:"ids"` // tuple IDs; payloads live in Tuples
+}
+
+// SaveSnapshot writes the engine's accumulated knowledge to w.
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	snap := Snapshot{
+		Version: snapshotVersion,
+		Queries: e.queries,
+		Schema:  e.db.Schema().Names(),
+	}
+	e.hist.ForEachMatching(query.New(), func(t types.Tuple) bool {
+		snap.Tuples = append(snap.Tuples, snapTuple{ID: t.ID, Ord: t.Ord, Cat: t.Cat})
+		return true
+	})
+	for _, attr := range e.db.Schema().OrdinalIndexes() {
+		for _, reg := range e.dense1.Export(attr) {
+			si := snapInterval{
+				Attr: attr,
+				Lo:   reg.Range.Lo, Hi: reg.Range.Hi,
+				LoOpen: reg.Range.LoOpen, HiOpen: reg.Range.HiOpen,
+			}
+			for _, t := range reg.Tuples {
+				si.IDs = append(si.IDs, t.ID)
+			}
+			snap.Dense1D = append(snap.Dense1D, si)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// LoadSnapshot restores previously saved knowledge into a fresh engine.
+// The snapshot must come from an engine over the same schema. Dense-region
+// tuples that reference IDs missing from the snapshot are rejected.
+func (e *Engine) LoadSnapshot(r io.Reader) error {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("core: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	names := e.db.Schema().Names()
+	if len(names) != len(snap.Schema) {
+		return fmt.Errorf("core: snapshot schema has %d attributes, database has %d", len(snap.Schema), len(names))
+	}
+	for i := range names {
+		if names[i] != snap.Schema[i] {
+			return fmt.Errorf("core: snapshot schema mismatch at %d: %q vs %q", i, snap.Schema[i], names[i])
+		}
+	}
+	byID := make(map[int]types.Tuple, len(snap.Tuples))
+	for _, st := range snap.Tuples {
+		if len(st.Ord) != len(names) {
+			return fmt.Errorf("core: snapshot tuple %d has %d values, want %d", st.ID, len(st.Ord), len(names))
+		}
+		t := types.Tuple{ID: st.ID, Ord: st.Ord, Cat: st.Cat}
+		byID[st.ID] = t
+		e.hist.Add(t)
+	}
+	for _, si := range snap.Dense1D {
+		if si.Attr < 0 || si.Attr >= len(names) {
+			return fmt.Errorf("core: snapshot dense region on invalid attribute %d", si.Attr)
+		}
+		tuples := make([]types.Tuple, 0, len(si.IDs))
+		for _, id := range si.IDs {
+			t, ok := byID[id]
+			if !ok {
+				return fmt.Errorf("core: dense region references unknown tuple %d", id)
+			}
+			tuples = append(tuples, t)
+		}
+		e.dense1.Insert(si.Attr, types.Interval{
+			Lo: si.Lo, Hi: si.Hi, LoOpen: si.LoOpen, HiOpen: si.HiOpen,
+		}, tuples)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// TestSnapshotRoundTrip: a warm-restarted engine must answer a repeated
+// query for (almost) no upstream cost, and still exactly.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	schema := testSchema(2)
+	n := 2000
+	tuples := make([]types.Tuple, n)
+	for i := range tuples {
+		ord := make([]float64, schema.Len())
+		if i < n/3 {
+			ord[0] = 0.5 + rng.Float64()*0.05
+		} else {
+			ord[0] = 1 + rng.Float64()*99
+		}
+		ord[1] = rng.Float64() * 100
+		tuples[i] = types.Tuple{ID: i, Ord: ord, Cat: map[string]string{"cat": "x"}}
+	}
+	sys := hidden.RankerAdapter{R: ranking.NewSingle("sys", 0, ranking.Desc)}
+	db := hidden.MustDB(schema, tuples, hidden.Options{K: 10, Ranker: sys})
+
+	// Warm up an engine (builds history + a dense region), snapshot it.
+	e1 := NewEngine(db, Options{N: n})
+	cur := e1.NewOneDCursor(query.New(), 0, ranking.Asc, Rerank)
+	want, err := TopH(cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e1.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh engine, load the snapshot, repeat the query.
+	db.ResetCounter()
+	e2 := NewEngine(db, Options{N: n})
+	if err := e2.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if e2.History().Size() != e1.History().Size() {
+		t.Fatalf("history size %d, want %d", e2.History().Size(), e1.History().Size())
+	}
+	if e2.DenseIndex1D().Regions(0) != e1.DenseIndex1D().Regions(0) {
+		t.Fatal("dense regions lost")
+	}
+	cur2 := e2.NewOneDCursor(query.New(), 0, ranking.Asc, Rerank)
+	got, err := TopH(cur2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ranking.NewSingle("1d", 0, ranking.Asc)
+	assertSameRanking(t, r, got, want)
+	// The warm engine should answer mostly from state: far fewer queries
+	// than a cold run (which cost well over 20 here).
+	if db.QueryCount() > 15 {
+		t.Errorf("warm repeat cost %d queries, want ≤ 15", db.QueryCount())
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	db, _ := newTestDB(t, rng, 2, 50, 5, false, nil)
+	e := NewEngine(db, Options{N: 50})
+	// Wrong version.
+	if err := e.LoadSnapshot(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("version mismatch accepted")
+	}
+	// Wrong schema arity.
+	if err := e.LoadSnapshot(strings.NewReader(`{"version":1,"schema":["only-one"]}`)); err == nil {
+		t.Error("schema arity mismatch accepted")
+	}
+	// Wrong schema names.
+	if err := e.LoadSnapshot(strings.NewReader(`{"version":1,"schema":["a","b","c"]}`)); err == nil {
+		t.Error("schema name mismatch accepted")
+	}
+	// Dense region referencing an unknown tuple.
+	bad := `{"version":1,"schema":["A0","A1","cat"],"tuples":[],` +
+		`"dense1d":[{"attr":0,"lo":0,"hi":1,"ids":[42]}]}`
+	if err := e.LoadSnapshot(strings.NewReader(bad)); err == nil {
+		t.Error("dangling dense-region reference accepted")
+	}
+	// Malformed JSON.
+	if err := e.LoadSnapshot(strings.NewReader(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Tuple with wrong arity.
+	bad2 := `{"version":1,"schema":["A0","A1","cat"],"tuples":[{"id":1,"ord":[1]}]}`
+	if err := e.LoadSnapshot(strings.NewReader(bad2)); err == nil {
+		t.Error("short tuple accepted")
+	}
+}

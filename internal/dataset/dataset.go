@@ -1,0 +1,347 @@
+// Package dataset provides seeded synthetic generators for the three
+// real-world databases used in the paper's evaluation (§6.1):
+//
+//   - DOT: the US Department of Transportation flight on-time dataset
+//     (457,013 flights, May 2015) with the paper's 8 ranking attributes and
+//     their exact domain sizes.
+//   - Blue Nile: the diamond catalog (117,641 stones) with Carat, Depth,
+//     LengthWidthRatio, Price, Table ranking attributes.
+//   - Yahoo! Autos: 13,169 used cars near New York with Price, Mileage,
+//     Year.
+//
+// The generators reproduce the properties the experiments depend on —
+// domain ranges, value skew, and inter-attribute correlations (e.g. price
+// rises with carat; mileage falls with year) — so the paper's query-cost
+// *shapes* transfer even though individual rows are synthetic. Substitution
+// rationale is documented in DESIGN.md §2.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/hidden"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// Dataset bundles a schema, its tuples, and metadata used by experiments.
+type Dataset struct {
+	Name   string
+	Schema *types.Schema
+	Tuples []types.Tuple
+	// DefaultSystemK is the system-k the corresponding real site used
+	// (10 for the offline DOT interface, 30 for Blue Nile, 15 for
+	// Yahoo! Autos).
+	DefaultSystemK int
+	// DefaultRanker is the site's default proprietary ranking.
+	DefaultRanker hidden.SystemRanker
+}
+
+// DB builds a hidden database over the dataset with its default settings.
+func (d *Dataset) DB() *hidden.DB {
+	return hidden.MustDB(d.Schema, d.Tuples, hidden.Options{
+		K:      d.DefaultSystemK,
+		Ranker: d.DefaultRanker,
+	})
+}
+
+// DBWith builds a hidden database with an explicit system-k and ranking.
+func (d *Dataset) DBWith(k int, r hidden.SystemRanker) *hidden.DB {
+	return hidden.MustDB(d.Schema, d.Tuples, hidden.Options{K: k, Ranker: r})
+}
+
+// Sample returns a simple random sample of size m as a new dataset (the
+// paper's database-size experiments draw 10 such samples per size).
+func (d *Dataset) Sample(rng *rand.Rand, m int) *Dataset {
+	if m >= len(d.Tuples) {
+		return d
+	}
+	perm := rng.Perm(len(d.Tuples))[:m]
+	tuples := make([]types.Tuple, m)
+	for i, j := range perm {
+		tuples[i] = d.Tuples[j].Clone()
+		tuples[i].ID = i
+	}
+	return &Dataset{
+		Name:           d.Name,
+		Schema:         d.Schema,
+		Tuples:         tuples,
+		DefaultSystemK: d.DefaultSystemK,
+		DefaultRanker:  d.DefaultRanker,
+	}
+}
+
+// DOT attribute indexes, in schema order.
+const (
+	DOTDepDelay = iota
+	DOTTaxiOut
+	DOTTaxiIn
+	DOTArrDelayNew
+	DOTCRSElapsedTime
+	DOTActualElapsedTime
+	DOTAirTime
+	DOTDistance
+)
+
+// DOTSchema returns the flight schema: the paper's 8 ranking attributes
+// (with their published domain sizes as value ranges) plus categorical
+// carrier and origin columns for filtering.
+func DOTSchema() *types.Schema {
+	ord := func(name string, max float64) types.Attribute {
+		return types.Attribute{Name: name, Kind: types.Ordinal,
+			Domain: types.Domain{Min: 0, Max: max}}
+	}
+	carriers := []string{"AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9", "HA", "VX", "OO", "EV", "MQ", "US"}
+	hubs := []string{"ATL", "ORD", "DFW", "DEN", "LAX", "SFO", "JFK", "SEA"}
+	return types.MustSchema([]types.Attribute{
+		ord("DepDelay", 1988),
+		ord("TaxiOut", 180),
+		ord("TaxiIn", 180),
+		ord("ArrDelayNew", 1971),
+		ord("CRSElapsedTime", 718),
+		ord("ActualElapsedTime", 724),
+		ord("AirTime", 676),
+		ord("Distance", 5000),
+		{Name: "Carrier", Kind: types.Categorical, Values: carriers},
+		{Name: "Origin", Kind: types.Categorical, Values: hubs},
+	})
+}
+
+// expTail draws a shifted-exponential value clamped to [0, max]: flight
+// delays and taxi times are heavily right-skewed.
+func expTail(rng *rand.Rand, mean, max float64) float64 {
+	v := rng.ExpFloat64() * mean
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// DOT generates n synthetic flight records. Attribute correlations mirror
+// the real data: air time scales with distance; elapsed times are air time
+// plus taxi; arrival delay correlates with departure delay.
+func DOT(seed int64, n int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	schema := DOTSchema()
+	carriers := schema.Attr(8).Values
+	hubs := schema.Attr(9).Values
+	tuples := make([]types.Tuple, n)
+	for i := range tuples {
+		dist := 100 + 4900*math.Pow(rng.Float64(), 1.6) // short-haul heavy
+		air := dist/8.2 + rng.NormFloat64()*12
+		air = clamp(air, 20, 676)
+		taxiOut := expTail(rng, 16, 180)
+		taxiIn := expTail(rng, 7, 180)
+		crs := clamp(air+taxiOut+taxiIn+rng.NormFloat64()*10, 30, 718)
+		actual := clamp(air+taxiOut+taxiIn, 30, 724)
+		depDelay := expTail(rng, 12, 1988)
+		arrDelay := clamp(depDelay*0.8+expTail(rng, 6, 400)-5, 0, 1971)
+		tuples[i] = types.Tuple{
+			ID: i,
+			Ord: []float64{
+				jitter(rng, depDelay), jitter(rng, taxiOut), jitter(rng, taxiIn),
+				jitter(rng, arrDelay), jitter(rng, crs), jitter(rng, actual),
+				jitter(rng, air), jitter(rng, dist), 0, 0,
+			},
+			Cat: map[string]string{
+				"Carrier": carriers[rng.Intn(len(carriers))],
+				"Origin":  hubs[rng.Intn(len(hubs))],
+			},
+		}
+	}
+	return &Dataset{
+		Name:           "dot",
+		Schema:         schema,
+		Tuples:         tuples,
+		DefaultSystemK: 10,
+		DefaultRanker:  DOTSystemRanker1(),
+	}
+}
+
+// jitter rounds to whole minutes/miles: the real DOT columns are integers,
+// which produces the massive value plateaus (thousands of zero-delay
+// flights) that drive the paper's 1D cost separations. The §5 tie
+// extensions handle them.
+func jitter(_ *rand.Rand, v float64) float64 {
+	return math.Max(0, math.Round(v))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// DOTSystemRanker1 is SR1 = 0.3·AIR-TIME + TAXI-IN, the paper's default
+// (positively correlated with typical user functions).
+func DOTSystemRanker1() hidden.SystemRanker {
+	return hidden.RankerAdapter{R: ranking.MustLinear(
+		"SR1=0.3*AirTime+TaxiIn",
+		[]int{DOTAirTime, DOTTaxiIn}, []float64{0.3, 1},
+	)}
+}
+
+// DOTSystemRanker2 is SR2 = −0.1·DISTANCE − DEP-DELAY (anti-correlated).
+func DOTSystemRanker2() hidden.SystemRanker {
+	return hidden.RankerAdapter{R: ranking.MustLinear(
+		"SR2=-0.1*Distance-DepDelay",
+		[]int{DOTDistance, DOTDepDelay}, []float64{-0.1, -1},
+	)}
+}
+
+// Blue Nile attribute indexes.
+const (
+	BNCarat = iota
+	BNDepth
+	BNLWRatio
+	BNPrice
+	BNTable
+)
+
+// BlueNileSchema returns the diamond schema with the paper's five ranking
+// attributes and their published domains, plus categorical 4C-style filters.
+func BlueNileSchema() *types.Schema {
+	return types.MustSchema([]types.Attribute{
+		{Name: "Carat", Kind: types.Ordinal, Domain: types.Domain{Min: 0.23, Max: 22.74}},
+		{Name: "Depth", Kind: types.Ordinal, Domain: types.Domain{Min: 0.45, Max: 0.86}},
+		{Name: "LWRatio", Kind: types.Ordinal, Domain: types.Domain{Min: 0.49, Max: 0.89}},
+		{Name: "Price", Kind: types.Ordinal, Domain: types.Domain{Min: 220, Max: 4506938}},
+		{Name: "Table", Kind: types.Ordinal, Domain: types.Domain{Min: 0.75, Max: 2.75}},
+		{Name: "Clarity", Kind: types.Categorical, Values: []string{"FL", "IF", "VVS1", "VVS2", "VS1", "VS2", "SI1", "SI2"}},
+		{Name: "Color", Kind: types.Categorical, Values: []string{"D", "E", "F", "G", "H", "I", "J"}},
+		{Name: "Cut", Kind: types.Categorical, Values: []string{"Ideal", "VeryGood", "Good", "Fair"}},
+		{Name: "Shape", Kind: types.Categorical, Values: []string{"Round", "Princess", "Cushion", "Oval", "Emerald", "Pear"}},
+	})
+}
+
+// BlueNile generates n synthetic diamonds. Price grows superlinearly with
+// carat (the dominant correlation on the real site), with quality factors
+// adding spread; most stones are small, giving a dense low-carat region.
+func BlueNile(seed int64, n int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	schema := BlueNileSchema()
+	clarity := schema.Attr(5).Values
+	color := schema.Attr(6).Values
+	cut := schema.Attr(7).Values
+	shape := schema.Attr(8).Values
+	tuples := make([]types.Tuple, n)
+	for i := range tuples {
+		carat := clamp(0.23+math.Exp(rng.NormFloat64()*0.8-0.3), 0.23, 22.74)
+		ci := rng.Intn(len(clarity))
+		quality := 1.6 - 0.12*float64(ci) + rng.Float64()*0.4
+		price := clamp(220+2800*math.Pow(carat, 2.4)*quality, 220, 4506938)
+		depth := clamp(0.58+rng.NormFloat64()*0.04, 0.45, 0.86)
+		lw := clamp(0.62+rng.NormFloat64()*0.05, 0.49, 0.89)
+		table := clamp(1.4+rng.NormFloat64()*0.25, 0.75, 2.75)
+		tuples[i] = types.Tuple{
+			ID:  i,
+			Ord: []float64{carat, depth, lw, price, table, 0, 0, 0, 0},
+			Cat: map[string]string{
+				"Clarity": clarity[ci],
+				"Color":   color[rng.Intn(len(color))],
+				"Cut":     cut[rng.Intn(len(cut))],
+				"Shape":   shape[rng.Intn(len(shape))],
+			},
+		}
+	}
+	return &Dataset{
+		Name:           "bluenile",
+		Schema:         schema,
+		Tuples:         tuples,
+		DefaultSystemK: 30,
+		DefaultRanker:  BlueNileSystemRanker(),
+	}
+}
+
+// BlueNileSystemRanker is the site's default ranking at experiment time:
+// descending price-per-carat.
+func BlueNileSystemRanker() hidden.SystemRanker {
+	return hidden.FuncRanker{
+		Label: "desc(price/carat)",
+		F: func(t types.Tuple) float64 {
+			return -(t.Ord[BNPrice] / math.Max(t.Ord[BNCarat], 1e-9))
+		},
+	}
+}
+
+// Yahoo! Autos attribute indexes.
+const (
+	YAPrice = iota
+	YAMileage
+	YAYear
+)
+
+// YahooAutosSchema returns the used-car schema with the paper's three
+// ranking attributes and categorical filters.
+func YahooAutosSchema() *types.Schema {
+	return types.MustSchema([]types.Attribute{
+		{Name: "Price", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 50000}},
+		{Name: "Mileage", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 300000}},
+		{Name: "Year", Kind: types.Ordinal, Domain: types.Domain{Min: 1993, Max: 2016}},
+		{Name: "BodyStyle", Kind: types.Categorical, Values: []string{"Sedan", "SUV", "Coupe", "Hatchback", "Truck", "Van"}},
+		{Name: "DriveType", Kind: types.Categorical, Values: []string{"FWD", "RWD", "AWD"}},
+		{Name: "Transmission", Kind: types.Categorical, Values: []string{"Automatic", "Manual"}},
+		{Name: "Make", Kind: types.Categorical, Values: []string{"Toyota", "Honda", "Ford", "Chevrolet", "BMW", "Mercedes", "Nissan", "Hyundai"}},
+	})
+}
+
+// YahooAutos generates n synthetic used-car listings: newer cars cost more
+// and have fewer miles (the negative price↔mileage correlation §6.3.2 calls
+// out as the reason TA struggles).
+func YahooAutos(seed int64, n int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	schema := YahooAutosSchema()
+	body := schema.Attr(3).Values
+	drive := schema.Attr(4).Values
+	trans := schema.Attr(5).Values
+	make_ := schema.Attr(6).Values
+	tuples := make([]types.Tuple, n)
+	for i := range tuples {
+		year := 1993 + rng.Float64()*23
+		age := 2016 - year
+		mileage := clamp(age*11500+rng.NormFloat64()*14000, 0, 300000)
+		price := clamp(32000*math.Exp(-age/6.5)*(0.7+rng.Float64()*0.6), 0, 50000)
+		// The default site ranking is "distance from a predefined
+		// location" — not monotone in any ranked attribute. Encode a
+		// synthetic location distance as an extra non-monotone score
+		// input derived from the listing.
+		tuples[i] = types.Tuple{
+			ID:  i,
+			Ord: []float64{price, mileage, year, 0, 0, 0, 0},
+			Cat: map[string]string{
+				"BodyStyle":    body[rng.Intn(len(body))],
+				"DriveType":    drive[rng.Intn(len(drive))],
+				"Transmission": trans[rng.Intn(len(trans))],
+				"Make":         make_[rng.Intn(len(make_))],
+			},
+		}
+	}
+	return &Dataset{
+		Name:           "yahooautos",
+		Schema:         schema,
+		Tuples:         tuples,
+		DefaultSystemK: 15,
+		DefaultRanker:  YahooAutosSystemRanker(),
+	}
+}
+
+// YahooAutosSystemRanker is the site's default "distance from a predefined
+// location" ranking: non-monotone in every ranked attribute, simulated by a
+// deterministic pseudo-random distance per listing.
+func YahooAutosSystemRanker() hidden.SystemRanker {
+	return hidden.FuncRanker{
+		Label: "distance-from-location",
+		F: func(t types.Tuple) float64 {
+			// A fixed hash of the listing ID: stable, uncorrelated
+			// with every ranked attribute, exactly as unhelpful as
+			// geographic distance.
+			h := uint64(t.ID+1) * 0x9E3779B97F4A7C15
+			return float64(h%30_000) / 1000.0
+		},
+	}
+}

@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestDOTGenerator(t *testing.T) {
+	ds := DOT(1, 5000)
+	if len(ds.Tuples) != 5000 || ds.DefaultSystemK != 10 {
+		t.Fatalf("n=%d k=%d", len(ds.Tuples), ds.DefaultSystemK)
+	}
+	schema := ds.Schema
+	for _, tp := range ds.Tuples {
+		for _, i := range schema.OrdinalIndexes() {
+			d := schema.Domain(i)
+			if !d.Contains(tp.Ord[i]) {
+				t.Fatalf("tuple %d attr %s=%g outside %v", tp.ID, schema.Attr(i).Name, tp.Ord[i], d)
+			}
+			if tp.Ord[i] != math.Round(tp.Ord[i]) {
+				t.Fatalf("DOT values must be integral, got %g", tp.Ord[i])
+			}
+		}
+		if tp.Cat["Carrier"] == "" || tp.Cat["Origin"] == "" {
+			t.Fatal("missing categorical values")
+		}
+	}
+	// Determinism.
+	ds2 := DOT(1, 5000)
+	for i := range ds.Tuples {
+		if ds.Tuples[i].Ord[DOTDistance] != ds2.Tuples[i].Ord[DOTDistance] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+	// Correlation: air time must rise with distance.
+	if corr(ds, DOTDistance, DOTAirTime) < 0.9 {
+		t.Errorf("distance↔airtime correlation = %.2f, want strong positive", corr(ds, DOTDistance, DOTAirTime))
+	}
+	// Skew: delays cluster near zero (median far below mean).
+	med, mean := medianMean(ds, DOTDepDelay)
+	if med >= mean {
+		t.Errorf("dep-delay not right-skewed: median %.1f ≥ mean %.1f", med, mean)
+	}
+}
+
+func TestBlueNileGenerator(t *testing.T) {
+	ds := BlueNile(2, 4000)
+	if ds.DefaultSystemK != 30 {
+		t.Fatal("k wrong")
+	}
+	for _, tp := range ds.Tuples {
+		for _, i := range ds.Schema.OrdinalIndexes() {
+			if !ds.Schema.Domain(i).Contains(tp.Ord[i]) {
+				t.Fatalf("attr %s out of domain: %g", ds.Schema.Attr(i).Name, tp.Ord[i])
+			}
+		}
+	}
+	if corr(ds, BNCarat, BNPrice) < 0.5 {
+		t.Errorf("carat↔price correlation = %.2f, want positive", corr(ds, BNCarat, BNPrice))
+	}
+	// The default ranking is descending price-per-carat.
+	r := ds.DefaultRanker
+	a, b := ds.Tuples[0], ds.Tuples[1]
+	ra := a.Ord[BNPrice] / a.Ord[BNCarat]
+	rb := b.Ord[BNPrice] / b.Ord[BNCarat]
+	if (r.SystemScore(a) < r.SystemScore(b)) != (ra > rb) {
+		t.Error("default BN ranking is not descending price-per-carat")
+	}
+}
+
+func TestYahooAutosGenerator(t *testing.T) {
+	ds := YahooAutos(3, 4000)
+	if ds.DefaultSystemK != 15 {
+		t.Fatal("k wrong")
+	}
+	if corr(ds, YAYear, YAMileage) > -0.5 {
+		t.Errorf("year↔mileage correlation = %.2f, want strong negative", corr(ds, YAYear, YAMileage))
+	}
+	if corr(ds, YAYear, YAPrice) < 0.5 {
+		t.Errorf("year↔price correlation = %.2f, want positive", corr(ds, YAYear, YAPrice))
+	}
+	// Default ranking must be deterministic and uncorrelated-ish with
+	// every ranked attribute (it simulates geographic distance).
+	r := ds.DefaultRanker
+	if r.SystemScore(ds.Tuples[0]) != r.SystemScore(ds.Tuples[0]) {
+		t.Error("system ranking not deterministic")
+	}
+}
+
+func TestSample(t *testing.T) {
+	ds := DOT(4, 2000)
+	s := ds.Sample(rand.New(rand.NewSource(1)), 500)
+	if len(s.Tuples) != 500 {
+		t.Fatalf("sample size %d", len(s.Tuples))
+	}
+	ids := map[int]bool{}
+	for _, tp := range s.Tuples {
+		if ids[tp.ID] {
+			t.Fatal("duplicate ID in sample")
+		}
+		ids[tp.ID] = true
+	}
+	// Sampling more than available returns the dataset itself.
+	if s2 := ds.Sample(rand.New(rand.NewSource(1)), 9999); len(s2.Tuples) != 2000 {
+		t.Fatal("oversample broken")
+	}
+}
+
+func TestDBConstruction(t *testing.T) {
+	ds := YahooAutos(5, 300)
+	db := ds.DB()
+	if db.K() != 15 || db.Size() != 300 {
+		t.Fatal("DB() defaults wrong")
+	}
+	db2 := ds.DBWith(3, nil)
+	if db2.K() != 3 {
+		t.Fatal("DBWith k wrong")
+	}
+	res, err := db.TopK(query.New())
+	if err != nil || len(res.Tuples) != 15 || !res.Overflow {
+		t.Fatalf("TopK: %v %d %v", err, len(res.Tuples), res.Overflow)
+	}
+}
+
+// corr computes the Pearson correlation between two ordinal attributes.
+func corr(ds *Dataset, i, j int) float64 {
+	n := float64(len(ds.Tuples))
+	var sx, sy, sxx, syy, sxy float64
+	for _, tp := range ds.Tuples {
+		x, y := tp.Ord[i], tp.Ord[j]
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	num := sxy - sx*sy/n
+	den := math.Sqrt((sxx - sx*sx/n) * (syy - sy*sy/n))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func medianMean(ds *Dataset, attr int) (median, mean float64) {
+	vals := make([]float64, len(ds.Tuples))
+	var sum float64
+	for i, tp := range ds.Tuples {
+		vals[i] = tp.Ord[attr]
+		sum += tp.Ord[attr]
+	}
+	mean = sum / float64(len(vals))
+	// Selection via sort (n is small in tests).
+	for i := range vals {
+		for j := i + 1; j < len(vals); j++ {
+			if vals[j] < vals[i] {
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+		}
+		if i > len(vals)/2 {
+			break
+		}
+	}
+	return vals[len(vals)/2], mean
+}

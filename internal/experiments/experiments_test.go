@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the per-figure smoke tests under a second or two.
+func tinyConfig() Config {
+	return Config{
+		Seed:          160205100,
+		Sizes:         []int{800, 1600},
+		Samples:       1,
+		DOTN:          3200,
+		BNN:           2000,
+		YAN:           1500,
+		WorkloadCount: 12,
+		TopH:          20,
+	}
+}
+
+// TestEveryFigureRuns executes all twelve runners at tiny scale and checks
+// structural invariants: non-empty monotone series, positive costs, and the
+// qualitative relations that must hold at any scale.
+func TestEveryFigureRuns(t *testing.T) {
+	cfg := tinyConfig()
+	figs, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 12 {
+		t.Fatalf("got %d figures, want 12", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) == 0 {
+			t.Errorf("%s: no series", f.ID)
+		}
+		for _, s := range f.Series {
+			if len(s.Y) == 0 {
+				t.Errorf("%s/%s: empty series", f.ID, s.Name)
+			}
+			for i, y := range s.Y {
+				if y < 0 {
+					t.Errorf("%s/%s[%d]: negative cost %g", f.ID, s.Name, i, y)
+				}
+			}
+		}
+		var sb strings.Builder
+		f.Render(&sb)
+		if !strings.Contains(sb.String(), f.ID) {
+			t.Errorf("%s: Render output missing figure id", f.ID)
+		}
+	}
+}
+
+// TestCumulativeFiguresMonotone: figures 8, 11, 12, 15, 16, 17 report
+// cumulative costs, which must be nondecreasing in h.
+func TestCumulativeFiguresMonotone(t *testing.T) {
+	cfg := tinyConfig()
+	for _, id := range []string{"fig8", "fig11", "fig15", "fig16"} {
+		runner, _ := ByID(id)
+		fig, err := runner(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, s := range fig.Series {
+			for i := 1; i < len(s.Y); i++ {
+				if s.Y[i] < s.Y[i-1]-1e-9 {
+					t.Errorf("%s/%s: cumulative cost decreased at %d: %g -> %g",
+						id, s.Name, i, s.Y[i-1], s.Y[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTAWorseThanMD: the central MD claim must hold even at tiny scale.
+func TestTAWorseThanMD(t *testing.T) {
+	cfg := tinyConfig()
+	fig, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ta, md float64
+	for _, s := range fig.Series {
+		last := s.Y[len(s.Y)-1]
+		switch s.Name {
+		case "TA over 1D-RERANK":
+			ta = last
+		case "MD-RERANK":
+			md = last
+		}
+	}
+	if !(ta > 2*md) {
+		t.Errorf("TA (%g) should cost well over 2x MD-RERANK (%g)", ta, md)
+	}
+}
+
+// TestSystemKOrdering: larger system-k must not cost more (fig8).
+func TestSystemKOrdering(t *testing.T) {
+	fig, err := Fig8(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := func(name string) float64 {
+		for _, s := range fig.Series {
+			if s.Name == name {
+				return s.Y[len(s.Y)-1]
+			}
+		}
+		t.Fatalf("missing series %q", name)
+		return 0
+	}
+	if last("system-k=1") < last("system-k=10") {
+		t.Errorf("k=1 (%g) should cost at least k=10 (%g)", last("system-k=1"), last("system-k=10"))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig6"); !ok {
+		t.Error("fig6 missing")
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("fig99 present")
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	d, p := Default(), Paper()
+	if d.DOTN >= p.DOTN || p.DOTN != 457013 {
+		t.Errorf("configs wrong: default DOTN=%d paper DOTN=%d", d.DOTN, p.DOTN)
+	}
+	if p.BNN != 117641 || p.YAN != 13169 {
+		t.Errorf("paper-scale dataset sizes wrong: %d %d", p.BNN, p.YAN)
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		ID: "figX", Title: "sample", XLabel: "n",
+		Series: []Series{
+			{Name: "alg-a", X: []float64{10, 20}, Y: []float64{1.5, 2.5}},
+			{Name: "alg-b", X: []float64{10, 20}, Y: []float64{3, 4}},
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleFigure().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][1] != "alg-a" || rows[1][0] != "10" || rows[2][2] != "4.000" {
+		t.Fatalf("csv content wrong: %v", rows)
+	}
+}
+
+func TestWriteCSVWithTicks(t *testing.T) {
+	f := sampleFigure()
+	f.XTicks = []string{"small", "large"}
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "small") {
+		t.Fatalf("ticks missing: %s", sb.String())
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleFigure().WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### figX", "| n | alg-a | alg-b |", "| --- | --- | --- |", "| 10 | 1.50 | 3.00 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

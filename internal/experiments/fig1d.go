@@ -1,0 +1,236 @@
+// 1D experiments: Figures 6–12.
+
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hidden"
+	"repro/internal/workload"
+)
+
+// oneDWorkloadSpec is the §6.2 DOT workload: 32 queries, 25% unfiltered.
+func oneDWorkloadSpec(cfg Config) workload.Spec {
+	count := 32
+	if cfg.WorkloadCount > 0 {
+		count = cfg.WorkloadCount
+	}
+	return workload.Spec{Count: count, NoFilter: count / 4}
+}
+
+// run1DWorkload retrieves the top-h of every workload item through one
+// shared engine and returns the average per-query cost.
+func run1DWorkload(db *hidden.DB, items []workload.Item1D, v core.Variant, h int) (float64, error) {
+	return avgCost(db, len(items), func(e *core.Engine) error {
+		for _, it := range items {
+			cur := e.NewOneDCursor(it.Q, it.Attr, it.Dir, v)
+			if _, err := core.TopH(cur, h); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// fig1DImpactOfN is the shared driver for Figures 6 and 7.
+func fig1DImpactOfN(cfg Config, id, title string, sys func() hidden.SystemRanker) (Figure, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	full := dataset.DOT(cfg.Seed, cfg.DOTN)
+	variants := []core.Variant{core.Baseline, core.Binary, core.Rerank}
+	fig := Figure{ID: id, Title: title, XLabel: "n", YLabel: "avg queries (top-1)"}
+	for _, v := range variants {
+		fig.Series = append(fig.Series, Series{Name: "1D-" + v.String()})
+	}
+	for _, size := range cfg.Sizes {
+		samples := dotSamples(cfg, full, size, rng)
+		sums := make([]float64, len(variants))
+		for _, s := range samples {
+			items := workload.OneD(rand.New(rand.NewSource(cfg.Seed+int64(size))), s, oneDWorkloadSpec(cfg))
+			db := s.DBWith(10, sys())
+			for vi, v := range variants {
+				c, err := run1DWorkload(db, items, v, 1)
+				if err != nil {
+					return fig, fmt.Errorf("%s n=%d %v: %w", id, size, v, err)
+				}
+				sums[vi] += c
+			}
+		}
+		for vi := range variants {
+			fig.Series[vi].X = append(fig.Series[vi].X, float64(size))
+			fig.Series[vi].Y = append(fig.Series[vi].Y, sums[vi]/float64(len(samples)))
+		}
+	}
+	return fig, nil
+}
+
+// Fig6 reproduces "1D: Impact of n (SR1)".
+func Fig6(cfg Config) (Figure, error) {
+	return fig1DImpactOfN(cfg, "fig6", "1D query cost vs database size, SR1 (positively correlated)", dataset.DOTSystemRanker1)
+}
+
+// Fig7 reproduces "1D: Impact of n (SR2)".
+func Fig7(cfg Config) (Figure, error) {
+	return fig1DImpactOfN(cfg, "fig7", "1D query cost vs database size, SR2 (anti-correlated)", dataset.DOTSystemRanker2)
+}
+
+// Fig8 reproduces "1D: Impact of System-k": cumulative cost of retrieving
+// top-1..top-10 under system-k ∈ {1, 4, 7, 10}, 1D-RERANK, SR1.
+func Fig8(cfg Config) (Figure, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	full := dataset.DOT(cfg.Seed, cfg.DOTN)
+	size := cfg.Sizes[len(cfg.Sizes)-1]
+	sample := full.Sample(rng, size)
+	items := workload.OneD(rand.New(rand.NewSource(cfg.Seed+8)), sample, oneDWorkloadSpec(cfg))
+	fig := Figure{ID: "fig8", Title: "1D cumulative query cost for top-1..10 vs system-k (SR1, 1D-RERANK)",
+		XLabel: "top-h", YLabel: "avg cumulative queries"}
+	for _, k := range []int{1, 4, 7, 10} {
+		db := sample.DBWith(k, dataset.DOTSystemRanker1())
+		s := Series{Name: fmt.Sprintf("system-k=%d", k)}
+		// Measure cumulative cost per h with shared engine/workload.
+		db.ResetCounter()
+		e := core.NewEngine(db, core.Options{N: db.Size()})
+		cursors := make([]*core.OneDCursor, len(items))
+		for i, it := range items {
+			cursors[i] = e.NewOneDCursor(it.Q, it.Attr, it.Dir, core.Rerank)
+		}
+		for h := 1; h <= 10; h++ {
+			for _, cur := range cursors {
+				if _, _, err := cur.Next(); err != nil {
+					return fig, err
+				}
+			}
+			s.X = append(s.X, float64(h))
+			s.Y = append(s.Y, float64(db.QueryCount())/float64(len(items)))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig9 reproduces "1D: Impact of s and c": one sweep varying c with s = n,
+// one varying s with c = k·log n, measuring average top-1 cost.
+func Fig9(cfg Config) (Figure, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	full := dataset.DOT(cfg.Seed, cfg.DOTN)
+	size := cfg.Sizes[len(cfg.Sizes)-1]
+	sample := full.Sample(rng, size)
+	items := workload.OneD(rand.New(rand.NewSource(cfg.Seed+9)), sample, oneDWorkloadSpec(cfg))
+	n := float64(size)
+	k := 10.0
+	logn := math.Log2(n)
+	ticks := []string{"10", "klog(n)", "klog^2(n)", "klog^3(n)", "n", "n^2"}
+	vals := []float64{10, k * logn, k * logn * logn, k * logn * logn * logn, n, n * n}
+	fig := Figure{ID: "fig9", Title: "1D-RERANK: impact of dense-index parameters s and c",
+		XLabel: "s (c) value", YLabel: "avg queries (top-1)", XTicks: ticks}
+
+	measure := func(s, c float64) (float64, error) {
+		db := sample.DBWith(10, dataset.DOTSystemRanker1())
+		db.ResetCounter()
+		e := core.NewEngine(db, core.Options{N: size, S: s, C: c})
+		for _, it := range items {
+			cur := e.NewOneDCursor(it.Q, it.Attr, it.Dir, core.Rerank)
+			if _, err := core.TopH(cur, 1); err != nil {
+				return 0, err
+			}
+		}
+		return float64(db.QueryCount()) / float64(len(items)), nil
+	}
+
+	varyC := Series{Name: "varying c, s=n"}
+	varyS := Series{Name: "varying s, c=k*log(n)"}
+	for i, v := range vals {
+		y, err := measure(n, v)
+		if err != nil {
+			return fig, err
+		}
+		varyC.X = append(varyC.X, float64(i))
+		varyC.Y = append(varyC.Y, y)
+		y, err = measure(v, k*logn)
+		if err != nil {
+			return fig, err
+		}
+		varyS.X = append(varyS.X, float64(i))
+		varyS.Y = append(varyS.Y, y)
+	}
+	fig.Series = []Series{varyC, varyS}
+	return fig, nil
+}
+
+// Fig10 reproduces "1D: Impact of Query order in 1D-RERANK": the shared
+// on-the-fly index should make issue order immaterial.
+func Fig10(cfg Config) (Figure, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	full := dataset.DOT(cfg.Seed, cfg.DOTN)
+	orders := []workload.Order{workload.GeneralToSpecial, workload.RandomOrder, workload.SpecialToGeneral}
+	fig := Figure{ID: "fig10", Title: "1D-RERANK query cost vs user-query issue order (SR1)",
+		XLabel: "n", YLabel: "avg queries (top-1)"}
+	for _, o := range orders {
+		fig.Series = append(fig.Series, Series{Name: o.String()})
+	}
+	for _, size := range cfg.Sizes {
+		sample := full.Sample(rng, size)
+		items := workload.OneD(rand.New(rand.NewSource(cfg.Seed+10)), sample, oneDWorkloadSpec(cfg))
+		for oi, o := range orders {
+			ordered := workload.Reorder(rand.New(rand.NewSource(cfg.Seed)), sample, items, o)
+			db := sample.DBWith(10, dataset.DOTSystemRanker1())
+			c, err := run1DWorkload(db, ordered, core.Rerank, 1)
+			if err != nil {
+				return fig, err
+			}
+			fig.Series[oi].X = append(fig.Series[oi].X, float64(size))
+			fig.Series[oi].Y = append(fig.Series[oi].Y, c)
+		}
+	}
+	return fig, nil
+}
+
+// fig1DTopH is the shared driver for the live-site experiments (Figures 11
+// and 12): average cumulative cost of top-10..top-h per user query.
+func fig1DTopH(cfg Config, id, title string, ds *dataset.Dataset, spec workload.Spec) (Figure, error) {
+	items := workload.OneD(rand.New(rand.NewSource(cfg.Seed+int64(len(id)))), ds, spec)
+	fig := Figure{ID: id, Title: title, XLabel: "top-h", YLabel: "avg cumulative queries"}
+	for _, v := range []core.Variant{core.Baseline, core.Binary, core.Rerank} {
+		db := ds.DB()
+		db.ResetCounter()
+		e := core.NewEngine(db, core.Options{N: db.Size()})
+		s := Series{Name: "1D-" + v.String()}
+		cursors := make([]*core.OneDCursor, len(items))
+		for i, it := range items {
+			cursors[i] = e.NewOneDCursor(it.Q, it.Attr, it.Dir, v)
+		}
+		step := 10
+		for h := step; h <= cfg.TopH; h += step {
+			for _, cur := range cursors {
+				for j := 0; j < step; j++ {
+					if _, _, err := cur.Next(); err != nil {
+						return fig, err
+					}
+				}
+			}
+			s.X = append(s.X, float64(h))
+			s.Y = append(s.Y, float64(db.QueryCount())/float64(len(items)))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig11 reproduces "1D: Topk Query Cost (BN)" over the Blue Nile generator
+// (system-k = 30, ranking by descending price-per-carat).
+func Fig11(cfg Config) (Figure, error) {
+	ds := dataset.BlueNile(cfg.Seed, cfg.BNN)
+	return fig1DTopH(cfg, "fig11", "1D top-h query cost, Blue Nile", ds,
+		workload.Spec{Count: 20, NoFilter: 4, AllowDesc: true})
+}
+
+// Fig12 reproduces "1D: Topk Query Cost (YA)" over the Yahoo! Autos
+// generator (system-k = 15, non-monotone distance ranking).
+func Fig12(cfg Config) (Figure, error) {
+	ds := dataset.YahooAutos(cfg.Seed, cfg.YAN)
+	return fig1DTopH(cfg, "fig12", "1D top-h query cost, Yahoo! Autos", ds,
+		workload.Spec{Count: 15, NoFilter: 2, AllowDesc: true})
+}

@@ -1,0 +1,173 @@
+// MD experiments: Figures 13–17.
+
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hidden"
+	"repro/internal/workload"
+)
+
+// mdWorkloadSpec is the §6.3 DOT MD workload: 32 queries, 8 unfiltered,
+// random-weight linear functions over 2–3 ranked attributes (the full
+// 8-attribute space makes the baselines intractable at any scale; the
+// paper's cost figures are consistent with low-dimensional functions).
+func mdWorkloadSpec(cfg Config) workload.Spec {
+	count := 32
+	if cfg.WorkloadCount > 0 {
+		count = cfg.WorkloadCount
+	}
+	return workload.Spec{Count: count, NoFilter: count / 4, MinAttrs: 2, MaxAttrs: 3}
+}
+
+// runMDWorkload retrieves the top-h of every item with one shared engine.
+func runMDWorkload(db *hidden.DB, items []workload.ItemMD, v core.Variant, h int) (float64, error) {
+	return avgCost(db, len(items), func(e *core.Engine) error {
+		for _, it := range items {
+			cur, err := e.NewCursor(it.Q, it.R, v)
+			if err != nil {
+				return err
+			}
+			if _, err := core.TopH(cur, h); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// figMDImpactOfN drives Figures 13 and 14.
+func figMDImpactOfN(cfg Config, id, title string, sys func() hidden.SystemRanker) (Figure, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	full := dataset.DOT(cfg.Seed, cfg.DOTN)
+	variants := []core.Variant{core.TAOverOneD, core.Baseline, core.Binary, core.Rerank}
+	names := []string{"TA over 1D-RERANK", "MD-BASELINE", "MD-BINARY", "MD-RERANK"}
+	fig := Figure{ID: id, Title: title, XLabel: "n", YLabel: "avg queries (top-1)"}
+	for _, n := range names {
+		fig.Series = append(fig.Series, Series{Name: n})
+	}
+	for _, size := range cfg.Sizes {
+		samples := dotSamples(cfg, full, size, rng)
+		sums := make([]float64, len(variants))
+		for _, s := range samples {
+			items := workload.MD(rand.New(rand.NewSource(cfg.Seed+int64(size))), s, mdWorkloadSpec(cfg))
+			db := s.DBWith(10, sys())
+			for vi, v := range variants {
+				c, err := runMDWorkload(db, items, v, 1)
+				if err != nil {
+					return fig, fmt.Errorf("%s n=%d %v: %w", id, size, v, err)
+				}
+				sums[vi] += c
+			}
+		}
+		for vi := range variants {
+			fig.Series[vi].X = append(fig.Series[vi].X, float64(size))
+			fig.Series[vi].Y = append(fig.Series[vi].Y, sums[vi]/float64(len(samples)))
+		}
+	}
+	return fig, nil
+}
+
+// Fig13 reproduces "MD: Impact of n (SR1)".
+func Fig13(cfg Config) (Figure, error) {
+	return figMDImpactOfN(cfg, "fig13", "MD query cost vs database size, SR1 (positively correlated)", dataset.DOTSystemRanker1)
+}
+
+// Fig14 reproduces "MD: Impact of n (SR2)".
+func Fig14(cfg Config) (Figure, error) {
+	return figMDImpactOfN(cfg, "fig14", "MD query cost vs database size, SR2 (anti-correlated)", dataset.DOTSystemRanker2)
+}
+
+// Fig15 reproduces "MD: Impact of System-k": cumulative cost of top-1..10
+// with MD-RERANK under system-k ∈ {1, 4, 7, 10}.
+func Fig15(cfg Config) (Figure, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	full := dataset.DOT(cfg.Seed, cfg.DOTN)
+	size := cfg.Sizes[len(cfg.Sizes)-1]
+	sample := full.Sample(rng, size)
+	items := workload.MD(rand.New(rand.NewSource(cfg.Seed+15)), sample, mdWorkloadSpec(cfg))
+	fig := Figure{ID: "fig15", Title: "MD cumulative query cost for top-1..10 vs system-k (SR1, MD-RERANK)",
+		XLabel: "top-h", YLabel: "avg cumulative queries"}
+	for _, k := range []int{1, 4, 7, 10} {
+		db := sample.DBWith(k, dataset.DOTSystemRanker1())
+		db.ResetCounter()
+		e := core.NewEngine(db, core.Options{N: db.Size()})
+		s := Series{Name: fmt.Sprintf("system-k=%d", k)}
+		cursors := make([]core.Cursor, len(items))
+		for i, it := range items {
+			cur, err := e.NewCursor(it.Q, it.R, core.Rerank)
+			if err != nil {
+				return fig, err
+			}
+			cursors[i] = cur
+		}
+		for h := 1; h <= 10; h++ {
+			for _, cur := range cursors {
+				if _, _, err := cur.Next(); err != nil {
+					return fig, err
+				}
+			}
+			s.X = append(s.X, float64(h))
+			s.Y = append(s.Y, float64(db.QueryCount())/float64(len(items)))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// figMDTopH drives the online MD experiments (Figures 16 and 17):
+// MD-RERANK vs TA over 1D-RERANK, cumulative top-h cost.
+func figMDTopH(cfg Config, id, title string, ds *dataset.Dataset, spec workload.Spec) (Figure, error) {
+	items := workload.MD(rand.New(rand.NewSource(cfg.Seed+int64(len(id)*7))), ds, spec)
+	fig := Figure{ID: id, Title: title, XLabel: "top-h", YLabel: "avg cumulative queries"}
+	for _, v := range []core.Variant{core.Rerank, core.TAOverOneD} {
+		name := "MD-RERANK"
+		if v == core.TAOverOneD {
+			name = "TA over 1D-RERANK"
+		}
+		db := ds.DB()
+		db.ResetCounter()
+		e := core.NewEngine(db, core.Options{N: db.Size()})
+		s := Series{Name: name}
+		cursors := make([]core.Cursor, len(items))
+		for i, it := range items {
+			cur, err := e.NewCursor(it.Q, it.R, v)
+			if err != nil {
+				return fig, err
+			}
+			cursors[i] = cur
+		}
+		step := 10
+		for h := step; h <= cfg.TopH; h += step {
+			for _, cur := range cursors {
+				for j := 0; j < step; j++ {
+					if _, _, err := cur.Next(); err != nil {
+						return fig, err
+					}
+				}
+			}
+			s.X = append(s.X, float64(h))
+			s.Y = append(s.Y, float64(db.QueryCount())/float64(len(items)))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig16 reproduces "MD: Topk Query Cost (BN)".
+func Fig16(cfg Config) (Figure, error) {
+	ds := dataset.BlueNile(cfg.Seed, cfg.BNN)
+	return figMDTopH(cfg, "fig16", "MD top-h query cost, Blue Nile", ds,
+		workload.Spec{Count: 12, NoFilter: 3, MinAttrs: 2, MaxAttrs: 3})
+}
+
+// Fig17 reproduces "MD: Topk Query Cost (YA)".
+func Fig17(cfg Config) (Figure, error) {
+	ds := dataset.YahooAutos(cfg.Seed, cfg.YAN)
+	return figMDTopH(cfg, "fig17", "MD top-h query cost, Yahoo! Autos", ds,
+		workload.Spec{Count: 10, NoFilter: 2, MinAttrs: 2, MaxAttrs: 3})
+}

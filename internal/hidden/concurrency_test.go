@@ -1,0 +1,88 @@
+package hidden
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/types"
+)
+
+// TestConcurrentTopK hammers one DB from many goroutines (the service layer
+// relies on Database being safe for concurrent use) and verifies answers
+// stay consistent. Run with -race.
+func TestConcurrentTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	db := MustDB(schema1(), mkTuples(500, rng), Options{K: 7})
+	// Reference answer computed single-threaded.
+	q := query.New().WithRange(0, types.ClosedInterval(10, 60))
+	ref, err := db.TopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := db.TopK(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Tuples) != len(ref.Tuples) || res.Overflow != ref.Overflow {
+					t.Errorf("concurrent answer diverged: %d/%v vs %d/%v",
+						len(res.Tuples), res.Overflow, len(ref.Tuples), ref.Overflow)
+					return
+				}
+				for j := range res.Tuples {
+					if res.Tuples[j].ID != ref.Tuples[j].ID {
+						t.Errorf("tuple order diverged at %d", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := db.QueryCount(); got != 1+16*50 {
+		t.Fatalf("QueryCount = %d, want %d", got, 1+16*50)
+	}
+}
+
+// TestConcurrentBudget checks the rate limiter under contention: exactly
+// budget queries succeed.
+func TestConcurrentBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	db := MustDB(schema1(), mkTuples(100, rng), Options{K: 5, QueryBudget: 40})
+	var okN, limN int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, err := db.TopK(query.New())
+				mu.Lock()
+				if err == nil {
+					okN++
+				} else {
+					limN++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if okN != 40 || limN != 40 {
+		t.Fatalf("ok=%d limited=%d, want 40/40", okN, limN)
+	}
+}

@@ -1,0 +1,51 @@
+// Failure injection: real web databases time out, throttle, and return
+// transient errors. FlakyDB wraps any Database and fails a deterministic
+// subset of queries so tests can verify that the reranking algorithms
+// surface upstream failures cleanly (no partial/corrupted answers) and that
+// retried operations still produce exact results.
+
+package hidden
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/query"
+	"repro/internal/types"
+)
+
+// ErrTransient is the error FlakyDB injects.
+var ErrTransient = errors.New("hidden: transient upstream failure (injected)")
+
+// FlakyDB wraps a Database and fails every FailEvery-th query.
+type FlakyDB struct {
+	DB Database
+	// FailEvery fails queries number FailEvery, 2·FailEvery, ... (1-based
+	// count). Zero disables injection.
+	FailEvery int64
+
+	calls    atomic.Int64
+	injected atomic.Int64
+}
+
+// TopK implements Database with injected failures.
+func (f *FlakyDB) TopK(q query.Query) (Result, error) {
+	n := f.calls.Add(1)
+	if f.FailEvery > 0 && n%f.FailEvery == 0 {
+		f.injected.Add(1)
+		return Result{}, ErrTransient
+	}
+	return f.DB.TopK(q)
+}
+
+// K implements Database.
+func (f *FlakyDB) K() int { return f.DB.K() }
+
+// Schema implements Database.
+func (f *FlakyDB) Schema() *types.Schema { return f.DB.Schema() }
+
+// Injected returns how many failures have been injected so far.
+func (f *FlakyDB) Injected() int64 { return f.injected.Load() }
+
+// Calls returns the total number of queries attempted through the wrapper.
+func (f *FlakyDB) Calls() int64 { return f.calls.Load() }

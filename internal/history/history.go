@@ -1,0 +1,170 @@
+// Package history implements the "leveraging history" idea of §3.1.1: every
+// tuple ever returned by the hidden database is cached, deduplicated by ID,
+// and indexed per ordinal attribute, so the processing of one user query can
+// prune the search space using answers observed while processing others.
+package history
+
+import (
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/types"
+)
+
+// Store caches observed tuples with a sorted index per ordinal attribute.
+// It is not safe for concurrent use; each reranking session owns one (or
+// shares one behind the service layer's lock).
+type Store struct {
+	schema *types.Schema
+	byID   map[int]types.Tuple
+	// sorted[attr] holds the cached tuples ordered ascending by
+	// attribute attr. Rebuilt lazily after inserts.
+	sorted map[int][]types.Tuple
+	dirty  map[int]bool
+}
+
+// NewStore builds an empty history over the given schema.
+func NewStore(schema *types.Schema) *Store {
+	return &Store{
+		schema: schema,
+		byID:   make(map[int]types.Tuple),
+		sorted: make(map[int][]types.Tuple),
+		dirty:  make(map[int]bool),
+	}
+}
+
+// Add records tuples returned by a query; duplicates (by ID) are ignored.
+// It returns how many tuples were new.
+func (s *Store) Add(tuples ...types.Tuple) int {
+	added := 0
+	for _, t := range tuples {
+		if _, seen := s.byID[t.ID]; seen {
+			continue
+		}
+		s.byID[t.ID] = t.Clone()
+		added++
+	}
+	if added > 0 {
+		for a := range s.sorted {
+			s.dirty[a] = true
+		}
+	}
+	return added
+}
+
+// Size returns the number of distinct tuples observed.
+func (s *Store) Size() int { return len(s.byID) }
+
+// Has reports whether the tuple ID has been observed.
+func (s *Store) Has(id int) bool {
+	_, ok := s.byID[id]
+	return ok
+}
+
+// Get returns the cached tuple with the given ID.
+func (s *Store) Get(id int) (types.Tuple, bool) {
+	t, ok := s.byID[id]
+	return t, ok
+}
+
+func (s *Store) index(attr int) []types.Tuple {
+	lst, ok := s.sorted[attr]
+	if !ok || s.dirty[attr] || len(lst) != len(s.byID) {
+		lst = make([]types.Tuple, 0, len(s.byID))
+		for _, t := range s.byID {
+			lst = append(lst, t)
+		}
+		sort.Slice(lst, func(i, j int) bool {
+			if lst[i].Ord[attr] != lst[j].Ord[attr] {
+				return lst[i].Ord[attr] < lst[j].Ord[attr]
+			}
+			return lst[i].ID < lst[j].ID
+		})
+		s.sorted[attr] = lst
+		s.dirty[attr] = false
+	}
+	return lst
+}
+
+// MinMatching returns the cached tuple matching q with the smallest value of
+// attr inside iv, scanning the per-attribute index in ascending order.
+// ok is false when no cached tuple qualifies.
+func (s *Store) MinMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
+	lst := s.index(attr)
+	// Binary search to the first tuple with value ≥ iv.Lo.
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].Ord[attr] >= iv.Lo })
+	for ; i < len(lst); i++ {
+		v := lst[i].Ord[attr]
+		if v > iv.Hi || (v == iv.Hi && iv.HiOpen) {
+			break
+		}
+		if v == iv.Lo && iv.LoOpen {
+			continue
+		}
+		if q.Matches(lst[i]) {
+			return lst[i], true
+		}
+	}
+	return types.Tuple{}, false
+}
+
+// MaxMatching is MinMatching's mirror: the largest value of attr inside iv.
+func (s *Store) MaxMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
+	lst := s.index(attr)
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].Ord[attr] > iv.Hi })
+	for i--; i >= 0; i-- {
+		v := lst[i].Ord[attr]
+		if v < iv.Lo || (v == iv.Lo && iv.LoOpen) {
+			break
+		}
+		if v == iv.Hi && iv.HiOpen {
+			continue
+		}
+		if q.Matches(lst[i]) {
+			return lst[i], true
+		}
+	}
+	return types.Tuple{}, false
+}
+
+// BestMatching returns the cached tuple matching q minimizing score(t).
+// Useful for seeding multi-dimensional search with the best tuple observed
+// so far.
+func (s *Store) BestMatching(q query.Query, score func(types.Tuple) float64) (types.Tuple, bool) {
+	var best types.Tuple
+	bestScore := 0.0
+	found := false
+	for _, t := range s.byID {
+		if !q.Matches(t) {
+			continue
+		}
+		sc := score(t)
+		if !found || sc < bestScore || (sc == bestScore && t.ID < best.ID) {
+			best, bestScore, found = t, sc, true
+		}
+	}
+	return best, found
+}
+
+// ForEachMatching invokes fn for every cached tuple matching q. Iteration
+// order is unspecified; fn returning false stops early.
+func (s *Store) ForEachMatching(q query.Query, fn func(types.Tuple) bool) {
+	for _, t := range s.byID {
+		if q.Matches(t) {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// CountMatching returns how many cached tuples match q.
+func (s *Store) CountMatching(q query.Query) int {
+	n := 0
+	for _, t := range s.byID {
+		if q.Matches(t) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+	"repro/internal/types"
+)
+
+func mk(id int, v float64) types.Tuple {
+	return types.Tuple{ID: id, Ord: []float64{v}}
+}
+
+func TestDense1DLookupAndInsert(t *testing.T) {
+	d := NewDense1D()
+	if _, ok := d.Lookup(0, types.OpenInterval(0, 1)); ok {
+		t.Fatal("empty index claims coverage")
+	}
+	d.Insert(0, types.ClosedInterval(0, 10), []types.Tuple{mk(1, 3), mk(2, 7)})
+	if reg, ok := d.Lookup(0, types.OpenInterval(2, 8)); !ok || len(reg.Tuples) != 2 {
+		t.Fatal("covered lookup failed")
+	}
+	if _, ok := d.Lookup(0, types.OpenInterval(5, 12)); ok {
+		t.Fatal("partially-covered interval must miss")
+	}
+	// Open/closed edge: region (0,10) does not cover [0, 5].
+	d2 := NewDense1D()
+	d2.Insert(0, types.OpenInterval(0, 10), []types.Tuple{mk(1, 3)})
+	if _, ok := d2.Lookup(0, types.ClosedInterval(0, 5)); ok {
+		t.Fatal("open region covered closed endpoint")
+	}
+	if _, ok := d2.Lookup(0, types.OpenInterval(0, 5)); !ok {
+		t.Fatal("open-in-open lookup failed")
+	}
+}
+
+func TestDense1DMerge(t *testing.T) {
+	d := NewDense1D()
+	d.Insert(0, types.ClosedInterval(0, 5), []types.Tuple{mk(1, 1)})
+	d.Insert(0, types.ClosedInterval(4, 9), []types.Tuple{mk(2, 6), mk(1, 1)})
+	if d.Regions(0) != 1 {
+		t.Fatalf("overlapping inserts left %d regions, want 1", d.Regions(0))
+	}
+	reg, ok := d.Lookup(0, types.ClosedInterval(1, 8))
+	if !ok {
+		t.Fatal("merged region does not cover the union")
+	}
+	if len(reg.Tuples) != 2 {
+		t.Fatalf("merged tuples = %d, want 2 (dedup)", len(reg.Tuples))
+	}
+	if d.TotalTuples(0) != 2 {
+		t.Fatalf("TotalTuples = %d", d.TotalTuples(0))
+	}
+	// Disjoint insert stays separate.
+	d.Insert(0, types.ClosedInterval(20, 30), nil)
+	if d.Regions(0) != 2 {
+		t.Fatalf("disjoint insert merged: %d regions", d.Regions(0))
+	}
+}
+
+func TestInterval1DMinMaxMatching(t *testing.T) {
+	reg := Interval1D{
+		Range:  types.ClosedInterval(0, 10),
+		Tuples: []types.Tuple{mk(1, 2), mk(2, 5), mk(3, 8)},
+	}
+	q := query.New()
+	if got, ok := reg.MinMatching(q, 0, types.OpenInterval(2, 10)); !ok || got.ID != 2 {
+		t.Fatalf("MinMatching = %v %v", got, ok)
+	}
+	if got, ok := reg.MaxMatching(q, 0, types.ClosedInterval(0, 8)); !ok || got.ID != 3 {
+		t.Fatalf("MaxMatching = %v %v", got, ok)
+	}
+	if _, ok := reg.MinMatching(q, 0, types.OpenInterval(8, 10)); ok {
+		t.Fatal("empty sub-range matched")
+	}
+}
+
+// TestDense1DMergeProperty: after arbitrary overlapping inserts, any lookup
+// fully inside the union of inserted ranges answers with exactly the tuples
+// whose values fall in the queried interval.
+func TestDense1DMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rng.Seed(seed)
+		d := NewDense1D()
+		var all []types.Tuple
+		// Insert 3 overlapping chunks of one contiguous crawl [0, 30].
+		bounds := []float64{0, 10 + rng.Float64()*5, 20 + rng.Float64()*5, 30}
+		id := 0
+		for c := 0; c < 3; c++ {
+			lo, hi := bounds[c], bounds[c+1]
+			var ts []types.Tuple
+			for i := 0; i < 10; i++ {
+				v := lo + rng.Float64()*(hi-lo)
+				ts = append(ts, mk(id, v))
+				id++
+			}
+			all = append(all, ts...)
+			d.Insert(0, types.ClosedInterval(lo, hi), ts)
+		}
+		if d.Regions(0) != 1 {
+			return false
+		}
+		qlo := rng.Float64() * 15
+		iv := types.ClosedInterval(qlo, qlo+rng.Float64()*14)
+		reg, ok := d.Lookup(0, iv)
+		if !ok {
+			return false
+		}
+		want := map[int]bool{}
+		for _, tp := range all {
+			if iv.Contains(tp.Ord[0]) {
+				want[tp.ID] = true
+			}
+		}
+		got, okMin := reg.MinMatching(query.New(), 0, iv)
+		if len(want) == 0 {
+			return !okMin
+		}
+		if !okMin || !want[got.ID] {
+			return false
+		}
+		// The min must really be minimal.
+		for _, tp := range all {
+			if iv.Contains(tp.Ord[0]) && tp.Ord[0] < got.Ord[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseMD(t *testing.T) {
+	d := NewDenseMD()
+	box := func(l0, h0, l1, h1 float64) query.Box {
+		return query.Box{Dims: []types.Interval{
+			types.ClosedInterval(l0, h0), types.ClosedInterval(l1, h1),
+		}}
+	}
+	if _, ok := d.Lookup(box(0, 1, 0, 1)); ok {
+		t.Fatal("empty MD index claims coverage")
+	}
+	d.Insert(box(0, 10, 0, 10), []types.Tuple{{ID: 1, Ord: []float64{5, 5}}})
+	if reg, ok := d.Lookup(box(2, 8, 2, 8)); !ok || len(reg.Tuples) != 1 {
+		t.Fatal("inner box lookup failed")
+	}
+	if _, ok := d.Lookup(box(5, 15, 2, 8)); ok {
+		t.Fatal("straddling box covered")
+	}
+	// Inserting a superset absorbs the old region.
+	d.Insert(box(-5, 20, -5, 20), []types.Tuple{{ID: 2, Ord: []float64{1, 1}}})
+	if d.Len() != 1 {
+		t.Fatalf("absorb failed: %d regions", d.Len())
+	}
+	d.AddCrawlCost(7)
+	if d.CrawlCost() != 7 {
+		t.Fatal("crawl ledger broken")
+	}
+}

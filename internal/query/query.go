@@ -1,0 +1,224 @@
+// Package query models the "simplistic" conjunctive search queries that a
+// client-server database accepts (§2.1 of the paper): range predicates on a
+// subset of ordinal attributes plus equality predicates on categorical
+// attributes. It also provides Box, the axis-aligned hyper-rectangle geometry
+// used by the multi-dimensional reranking algorithms.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Query is a conjunctive selection over a schema: at most one interval per
+// ordinal attribute (missing means unconstrained) and equality predicates on
+// categorical attributes.
+type Query struct {
+	// Ranges maps ordinal-attribute schema index -> interval constraint.
+	Ranges map[int]types.Interval
+	// Cats maps categorical attribute name -> required value.
+	Cats map[string]string
+}
+
+// New returns an empty (match-all) query.
+func New() Query {
+	return Query{Ranges: map[int]types.Interval{}, Cats: map[string]string{}}
+}
+
+// Clone returns a deep copy of q.
+func (q Query) Clone() Query {
+	c := Query{
+		Ranges: make(map[int]types.Interval, len(q.Ranges)),
+		Cats:   make(map[string]string, len(q.Cats)),
+	}
+	for k, v := range q.Ranges {
+		c.Ranges[k] = v
+	}
+	for k, v := range q.Cats {
+		c.Cats[k] = v
+	}
+	return c
+}
+
+// WithRange returns a copy of q whose constraint on ordinal attribute attr is
+// intersected with iv.
+func (q Query) WithRange(attr int, iv types.Interval) Query {
+	c := q.Clone()
+	if old, ok := c.Ranges[attr]; ok {
+		iv = old.Intersect(iv)
+	}
+	c.Ranges[attr] = iv
+	return c
+}
+
+// WithCat returns a copy of q with an added categorical equality predicate.
+func (q Query) WithCat(name, value string) Query {
+	c := q.Clone()
+	c.Cats[name] = value
+	return c
+}
+
+// Matches reports whether tuple t satisfies every predicate of q.
+func (q Query) Matches(t types.Tuple) bool {
+	for attr, iv := range q.Ranges {
+		if !iv.Contains(t.Ord[attr]) {
+			return false
+		}
+	}
+	for name, want := range q.Cats {
+		if t.Cat[name] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the query is trivially unsatisfiable (some range is
+// empty). A false return does not guarantee matching tuples exist.
+func (q Query) Empty() bool {
+	for _, iv := range q.Ranges {
+		if iv.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// NumPredicates returns the total number of predicates.
+func (q Query) NumPredicates() int { return len(q.Ranges) + len(q.Cats) }
+
+// String renders the query as a WHERE-clause-like description.
+func (q Query) String() string {
+	if len(q.Ranges) == 0 && len(q.Cats) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, 0, len(q.Ranges)+len(q.Cats))
+	attrs := make([]int, 0, len(q.Ranges))
+	for a := range q.Ranges {
+		attrs = append(attrs, a)
+	}
+	sort.Ints(attrs)
+	for _, a := range attrs {
+		parts = append(parts, fmt.Sprintf("A%d ∈ %s", a, q.Ranges[a]))
+	}
+	names := make([]string, 0, len(q.Cats))
+	for n := range q.Cats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s = %q", n, q.Cats[n]))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Box is an axis-aligned hyper-rectangle over a fixed list of ordinal
+// attributes, expressed in *axis coordinates* (see package ranking: axis
+// coordinates are oriented so that smaller is always better). Dims[i]
+// constrains the i-th attribute of the owning searcher's attribute list.
+type Box struct {
+	Dims []types.Interval
+}
+
+// FullBox returns the box covering all of the m-dimensional axis space.
+func FullBox(m int) Box {
+	b := Box{Dims: make([]types.Interval, m)}
+	for i := range b.Dims {
+		b.Dims[i] = types.FullInterval()
+	}
+	return b
+}
+
+// Clone returns a deep copy of b.
+func (b Box) Clone() Box {
+	return Box{Dims: append([]types.Interval(nil), b.Dims...)}
+}
+
+// Empty reports whether any dimension is empty.
+func (b Box) Empty() bool {
+	for _, iv := range b.Dims {
+		if iv.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether axis point z lies inside the box.
+func (b Box) Contains(z []float64) bool {
+	for i, iv := range b.Dims {
+		if !iv.Contains(z[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the dimension-wise intersection of two boxes.
+func (b Box) Intersect(o Box) Box {
+	r := b.Clone()
+	for i := range r.Dims {
+		r.Dims[i] = r.Dims[i].Intersect(o.Dims[i])
+	}
+	return r
+}
+
+// ContainsBox reports whether o is entirely inside b.
+func (b Box) ContainsBox(o Box) bool {
+	for i, iv := range b.Dims {
+		olo, ohi := o.Dims[i].Lo, o.Dims[i].Hi
+		if olo < iv.Lo || (olo == iv.Lo && iv.LoOpen && !o.Dims[i].LoOpen) {
+			return false
+		}
+		if ohi > iv.Hi || (ohi == iv.Hi && iv.HiOpen && !o.Dims[i].HiOpen) {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the product of dimension widths. Unbounded dimensions yield
+// +Inf; empty boxes yield 0.
+func (b Box) Volume() float64 {
+	if b.Empty() {
+		return 0
+	}
+	v := 1.0
+	for _, iv := range b.Dims {
+		v *= iv.Width()
+	}
+	return v
+}
+
+// ClampTo returns b intersected with the closed box [lo_i, hi_i] per
+// dimension, useful for restricting to attribute domains.
+func (b Box) ClampTo(lo, hi []float64) Box {
+	r := b.Clone()
+	for i := range r.Dims {
+		r.Dims[i] = r.Dims[i].Intersect(types.ClosedInterval(lo[i], hi[i]))
+	}
+	return r
+}
+
+// String renders the box as a product of intervals.
+func (b Box) String() string {
+	parts := make([]string, len(b.Dims))
+	for i, iv := range b.Dims {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " × ")
+}
+
+// IsFinite reports whether all dimensions are bounded.
+func (b Box) IsFinite() bool {
+	for _, iv := range b.Dims {
+		if math.IsInf(iv.Lo, -1) || math.IsInf(iv.Hi, 1) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func tuple(vals ...float64) types.Tuple {
+	return types.Tuple{ID: 0, Ord: vals, Cat: map[string]string{"c": "x"}}
+}
+
+func TestQueryMatches(t *testing.T) {
+	q := New().
+		WithRange(0, types.ClosedInterval(1, 3)).
+		WithRange(1, types.OpenInterval(0, 10)).
+		WithCat("c", "x")
+	cases := []struct {
+		tp   types.Tuple
+		want bool
+	}{
+		{tuple(2, 5), true},
+		{tuple(0.5, 5), false},
+		{tuple(2, 0), false},
+		{tuple(3, 9.999), true},
+	}
+	for i, c := range cases {
+		if q.Matches(c.tp) != c.want {
+			t.Errorf("case %d: Matches = %v", i, !c.want)
+		}
+	}
+	bad := tuple(2, 5)
+	bad.Cat["c"] = "y"
+	if q.Matches(bad) {
+		t.Error("categorical mismatch accepted")
+	}
+	if q.NumPredicates() != 3 {
+		t.Errorf("NumPredicates = %d", q.NumPredicates())
+	}
+}
+
+func TestQueryCloneIsolation(t *testing.T) {
+	q := New().WithRange(0, types.ClosedInterval(0, 1)).WithCat("c", "x")
+	c := q.Clone()
+	c.Ranges[0] = types.ClosedInterval(5, 6)
+	c.Cats["c"] = "y"
+	if q.Ranges[0].Hi != 1 || q.Cats["c"] != "x" {
+		t.Error("Clone shares maps")
+	}
+}
+
+func TestWithRangeIntersects(t *testing.T) {
+	q := New().WithRange(0, types.ClosedInterval(0, 10)).WithRange(0, types.ClosedInterval(5, 20))
+	iv := q.Ranges[0]
+	if iv.Lo != 5 || iv.Hi != 10 {
+		t.Errorf("stacked ranges = %v, want [5,10]", iv)
+	}
+	q2 := q.WithRange(0, types.ClosedInterval(11, 12))
+	if !q2.Empty() {
+		t.Error("contradictory ranges should yield Empty query")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := New().WithRange(1, types.OpenInterval(0, 1)).WithCat("b", "v").WithCat("a", "u")
+	s := q.String()
+	if !strings.Contains(s, "A1") || !strings.Contains(s, `"u"`) {
+		t.Errorf("String = %q", s)
+	}
+	if New().String() != "TRUE" {
+		t.Error("empty query should print TRUE")
+	}
+	// Deterministic ordering: categorical names sorted.
+	if strings.Index(s, `"u"`) > strings.Index(s, `"v"`) {
+		t.Errorf("cats not sorted: %q", s)
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := FullBox(2)
+	if b.Empty() || !b.Contains([]float64{1e12, -1e12}) {
+		t.Error("FullBox broken")
+	}
+	b.Dims[0] = types.ClosedInterval(0, 2)
+	b.Dims[1] = types.ClosedInterval(1, 3)
+	if b.Volume() != 4 {
+		t.Errorf("Volume = %g, want 4", b.Volume())
+	}
+	if !b.IsFinite() {
+		t.Error("finite box reported infinite")
+	}
+	inner := Box{Dims: []types.Interval{types.ClosedInterval(0.5, 1), types.ClosedInterval(2, 3)}}
+	if !b.ContainsBox(inner) {
+		t.Error("ContainsBox(inner) = false")
+	}
+	if inner.ContainsBox(b) {
+		t.Error("inner contains outer?")
+	}
+	// Open-endpoint subtlety: [0,2] does not contain (…,2]'s closed end
+	// reversed — an outer open end cannot cover an inner closed end.
+	outer := Box{Dims: []types.Interval{{Lo: 0, Hi: 2, HiOpen: true}, types.ClosedInterval(1, 3)}}
+	innerClosed := Box{Dims: []types.Interval{types.ClosedInterval(0, 2), types.ClosedInterval(1, 3)}}
+	if outer.ContainsBox(innerClosed) {
+		t.Error("open outer end must not cover closed inner end")
+	}
+}
+
+// TestBoxIntersectProperty: box intersection is pointwise conjunction.
+func TestBoxIntersectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	genBox := func(m int) Box {
+		b := Box{Dims: make([]types.Interval, m)}
+		for i := range b.Dims {
+			lo := rng.Float64()*10 - 5
+			b.Dims[i] = types.Interval{
+				Lo: lo, Hi: lo + rng.Float64()*6 - 1,
+				LoOpen: rng.Intn(2) == 0, HiOpen: rng.Intn(2) == 0,
+			}
+		}
+		return b
+	}
+	f := func(seed int64) bool {
+		rng.Seed(seed)
+		m := 1 + rng.Intn(3)
+		a, b := genBox(m), genBox(m)
+		x := a.Intersect(b)
+		for trial := 0; trial < 40; trial++ {
+			p := make([]float64, m)
+			for i := range p {
+				p[i] = rng.Float64()*12 - 6
+			}
+			if x.Contains(p) != (a.Contains(p) && b.Contains(p)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxClampTo(t *testing.T) {
+	b := FullBox(2).ClampTo([]float64{0, 0}, []float64{1, 2})
+	if b.Volume() != 2 {
+		t.Errorf("clamped volume = %g, want 2", b.Volume())
+	}
+	if b.String() == "" {
+		t.Error("String empty")
+	}
+}

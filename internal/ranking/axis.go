@@ -1,0 +1,152 @@
+// Axis-space view of a ranking function.
+//
+// Every reranking algorithm in internal/core works in "axis coordinates":
+// z_j = dir_j · v_j where v_j is the real value of the j-th ranked attribute
+// and dir_j ∈ {+1, -1} is the ranker's preference direction. In axis space,
+// smaller coordinates are always better and the score function is monotone
+// nondecreasing coordinatewise, so the subspace dominating a point is the
+// lower-left orthant — the geometry Figures 1–5 of the paper draw.
+
+package ranking
+
+import (
+	"math"
+
+	"repro/internal/query"
+	"repro/internal/types"
+)
+
+// Axis wraps a Ranker together with the schema it ranks over and provides
+// real↔axis coordinate transforms, domain bounds in axis space, and score
+// evaluation on axis points.
+type Axis struct {
+	R      Ranker
+	Schema *types.Schema
+
+	attrs []int     // schema indexes, copy of R.Attrs()
+	dirs  []float64 // +1 asc, -1 desc, per position in attrs
+	lo    []float64 // axis-space domain minima (best possible per attribute)
+	hi    []float64 // axis-space domain maxima (worst possible per attribute)
+}
+
+// NewAxis builds the axis view of r over schema s.
+func NewAxis(r Ranker, s *types.Schema) *Axis {
+	attrs := r.Attrs()
+	a := &Axis{
+		R:      r,
+		Schema: s,
+		attrs:  append([]int(nil), attrs...),
+		dirs:   make([]float64, len(attrs)),
+		lo:     make([]float64, len(attrs)),
+		hi:     make([]float64, len(attrs)),
+	}
+	for j, attr := range a.attrs {
+		a.dirs[j] = float64(r.Dir(j))
+		d := s.Domain(attr)
+		z1 := a.dirs[j] * d.Min
+		z2 := a.dirs[j] * d.Max
+		a.lo[j] = math.Min(z1, z2)
+		a.hi[j] = math.Max(z1, z2)
+	}
+	return a
+}
+
+// M returns the number of ranked attributes (the dimensionality of axis
+// space).
+func (a *Axis) M() int { return len(a.attrs) }
+
+// Attrs returns the schema indexes of the ranked attributes.
+func (a *Axis) Attrs() []int { return a.attrs }
+
+// Lo returns the axis-space domain minima (the best corner). Do not modify.
+func (a *Axis) Lo() []float64 { return a.lo }
+
+// Hi returns the axis-space domain maxima (the worst corner). Do not modify.
+func (a *Axis) Hi() []float64 { return a.hi }
+
+// ToAxis converts tuple t's ranked attributes to an axis point.
+func (a *Axis) ToAxis(t types.Tuple) []float64 {
+	z := make([]float64, len(a.attrs))
+	for j, attr := range a.attrs {
+		z[j] = a.dirs[j] * t.Ord[attr]
+	}
+	return z
+}
+
+// ToValue converts one axis coordinate back to a real attribute value.
+func (a *Axis) ToValue(j int, z float64) float64 { return a.dirs[j] * z }
+
+// ScoreAxis evaluates the ranking score at an axis point.
+func (a *Axis) ScoreAxis(z []float64) float64 {
+	vals := make([]float64, len(z))
+	for j := range z {
+		vals[j] = a.dirs[j] * z[j]
+	}
+	return a.R.Score(vals)
+}
+
+// ScoreTuple evaluates the ranking score of a tuple.
+func (a *Axis) ScoreTuple(t types.Tuple) float64 { return ScoreTuple(a.R, t) }
+
+// DomainBox returns the closed axis-space box spanning the attribute domains.
+func (a *Axis) DomainBox() query.Box {
+	b := query.Box{Dims: make([]types.Interval, len(a.attrs))}
+	for j := range a.attrs {
+		b.Dims[j] = types.ClosedInterval(a.lo[j], a.hi[j])
+	}
+	return b
+}
+
+// AxisInterval converts a real-value interval on the j-th ranked attribute to
+// axis space (flipping and swapping bounds for Desc attributes).
+func (a *Axis) AxisInterval(j int, iv types.Interval) types.Interval {
+	if a.dirs[j] > 0 {
+		return iv
+	}
+	return types.Interval{
+		Lo: -iv.Hi, Hi: -iv.Lo,
+		LoOpen: iv.HiOpen, HiOpen: iv.LoOpen,
+	}
+}
+
+// RealInterval converts an axis-space interval on the j-th ranked attribute
+// back to a real-value interval.
+func (a *Axis) RealInterval(j int, iv types.Interval) types.Interval {
+	return a.AxisInterval(j, iv) // the transform is an involution
+}
+
+// BoxToQuery translates an axis-space box into range predicates on the real
+// attributes, intersected onto base. Dimensions spanning the full domain are
+// still emitted: real search interfaces require explicit ranges and the
+// hidden-DB simulator treats them equivalently.
+func (a *Axis) BoxToQuery(base query.Query, b query.Box) query.Query {
+	q := base.Clone()
+	for j, attr := range a.attrs {
+		q = q.WithRange(attr, a.RealInterval(j, b.Dims[j]))
+	}
+	return q
+}
+
+// QueryToBox extracts the constraints base places on the ranked attributes as
+// an axis-space box (unconstrained dimensions become the full domain), so
+// that search can start from the user query's own region.
+func (a *Axis) QueryToBox(base query.Query) query.Box {
+	b := a.DomainBox()
+	for j, attr := range a.attrs {
+		if iv, ok := base.Ranges[attr]; ok {
+			b.Dims[j] = b.Dims[j].Intersect(a.AxisInterval(j, iv))
+		}
+	}
+	return b
+}
+
+// Dominates reports whether axis point za dominates zb: za is no worse on
+// every coordinate (and the two points may be equal).
+func Dominates(za, zb []float64) bool {
+	for j := range za {
+		if za[j] > zb[j] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,222 @@
+// Rank-contour geometry (§4.2 of the paper).
+//
+// The rank-contour of a tuple t is the level set {z : S(z) = S(t)} in axis
+// space. Three primitives are derived from it:
+//
+//   - ContourMax (the paper's ℓ(A_i), Eq. 6, and b(A_j), Eq. 8, unified):
+//     given a box and a threshold θ, the largest axis value v on dimension r
+//     such that a tuple with z_r = v and every other coordinate at the box's
+//     best corner could still score ≤ θ. Any tuple beating θ inside the box
+//     must be strictly below that bound on every dimension, so boxes can be
+//     "tightened" without losing qualifying tuples.
+//
+//   - VirtualTuple (§4.3.2): a point v' on the contour inside a box chosen to
+//     maximize the pruned volume; used by MD-BINARY both for the direct
+//     domination probe and for virtual-tuple pruning.
+//
+// For general monotone functions the primitives use bisection (pure local
+// computation — it costs zero database queries, which is the only cost the
+// paper charges). Linear functions get closed forms.
+
+package ranking
+
+import (
+	"math"
+
+	"repro/internal/query"
+	"repro/internal/types"
+)
+
+// contourIters bounds bisection steps; 60 halvings exhaust float64 precision
+// on any bounded domain.
+const contourIters = 60
+
+// ContourMax returns the largest v in [lo_r, hi_r] (the box's r-th dimension
+// clamped to the domain) such that S(corner with z_r ← v) ≤ θ, where corner
+// is the box's per-dimension best (smallest) corner clamped to the domain.
+// Returns (v, true) when such v exists, or (0, false) when even the corner
+// itself scores above θ (no tuple in the box can beat θ via this bound).
+func (a *Axis) ContourMax(b query.Box, r int, theta float64) (float64, bool) {
+	corner := a.bestCorner(b)
+	loR, hiR := corner[r], math.Min(b.Dims[r].Hi, a.hi[r])
+	if hiR < loR {
+		hiR = loR
+	}
+	probe := func(v float64) float64 {
+		corner[r] = v
+		return a.ScoreAxis(corner)
+	}
+	if probe(loR) > theta {
+		return 0, false
+	}
+	if probe(hiR) <= theta {
+		return hiR, true
+	}
+	// Monotone in v: bisect for the crossing point.
+	lo, hi := loR, hiR // invariant: probe(lo) ≤ θ < probe(hi)
+	for i := 0; i < contourIters; i++ {
+		mid := lo + (hi-lo)/2
+		if mid <= lo || mid >= hi {
+			break
+		}
+		if probe(mid) <= theta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// bestCorner returns the box's smallest (best) axis corner, clamped to the
+// attribute domains.
+func (a *Axis) bestCorner(b query.Box) []float64 {
+	c := make([]float64, a.M())
+	for j := range c {
+		c[j] = math.Max(b.Dims[j].Lo, a.lo[j])
+		if hi := math.Min(b.Dims[j].Hi, a.hi[j]); c[j] > hi {
+			c[j] = hi
+		}
+	}
+	return c
+}
+
+// Tighten clamps every dimension of b to its ContourMax bound for threshold
+// θ and reports whether the box can still contain a tuple scoring strictly
+// below θ. When it cannot (the best corner already scores ≥ θ), ok is false
+// and the box should be discarded. Tightening generalizes the paper's ℓ(A_i)
+// (Eq. 6, box = full domain) and b(A_j) (Eq. 8, box = a partition cell).
+func (a *Axis) Tighten(b query.Box, theta float64) (query.Box, bool) {
+	if b.Empty() {
+		return b, false
+	}
+	corner := a.bestCorner(b)
+	if !(a.ScoreAxis(corner) < theta) {
+		return b, false
+	}
+	t := b.Clone()
+	for r := range t.Dims {
+		bound, ok := a.ContourMax(b, r, theta)
+		if !ok {
+			return t, false
+		}
+		// Tuples at exactly the bound score ≥ θ only when every other
+		// coordinate sits at the corner; keep the bound closed to stay
+		// conservative (correctness over tightness).
+		t.Dims[r] = t.Dims[r].Intersect(types.ClosedInterval(math.Inf(-1), bound))
+		if t.Dims[r].Empty() {
+			return t, false
+		}
+	}
+	return t, true
+}
+
+// VirtualTuple returns a point v' inside box b lying (approximately) on the
+// θ-contour, chosen to maximize the volume of the pruned anti-dominance
+// region Π(hi_j − v'_j) · dominance region Π(v'_j − lo_j). ok is false when
+// the box's best corner cannot beat θ (nothing to prune — discard the box)
+// or the box's worst corner already beats θ (the whole box outranks θ; no
+// useful contour point exists inside).
+//
+// For Linear rankers a water-filling closed form is used; otherwise the
+// diagonal between the box's best and worst corners is bisected to its
+// contour crossing, which is always a valid (if not volume-optimal) choice.
+func (a *Axis) VirtualTuple(b query.Box, theta float64) ([]float64, bool) {
+	lo := a.bestCorner(b)
+	hi := make([]float64, a.M())
+	for j := range hi {
+		hi[j] = math.Min(b.Dims[j].Hi, a.hi[j])
+		if hi[j] < lo[j] {
+			return nil, false
+		}
+	}
+	sLo := a.ScoreAxis(lo)
+	sHi := a.ScoreAxis(hi)
+	if !(sLo < theta) || sHi < theta {
+		return nil, false
+	}
+	if lin, ok := a.R.(*Linear); ok {
+		if v, ok := a.waterFill(lin, lo, hi, theta); ok {
+			return v, true
+		}
+	}
+	// Diagonal bisection: v(α) = lo + α·(hi-lo); S(v(0)) < θ ≤ S(v(1)).
+	loA, hiA := 0.0, 1.0
+	point := func(alpha float64) []float64 {
+		v := make([]float64, len(lo))
+		for j := range v {
+			v[j] = lo[j] + alpha*(hi[j]-lo[j])
+		}
+		return v
+	}
+	for i := 0; i < contourIters; i++ {
+		mid := loA + (hiA-loA)/2
+		if a.ScoreAxis(point(mid)) < theta {
+			loA = mid
+		} else {
+			hiA = mid
+		}
+	}
+	// Round toward the worse side so S(v') ≥ θ, which the pruning step
+	// requires for soundness.
+	return point(hiA), true
+}
+
+// waterFill maximizes Π_j (v_j − lo_j) subject to Σ |w_j|·v_j = θ' (the
+// linear contour in axis space, where axis weights are |w_j|) and
+// lo ≤ v ≤ hi. By Lagrange the unconstrained optimum equalizes
+// |w_j|·(v_j − lo_j) = λ; coordinates hitting hi_j are clamped and λ
+// re-solved over the rest.
+func (a *Axis) waterFill(lin *Linear, lo, hi []float64, theta float64) ([]float64, bool) {
+	m := len(lo)
+	w := make([]float64, m) // axis-space weights, all positive
+	for j, wj := range lin.Weights() {
+		w[j] = math.Abs(wj)
+	}
+	// Budget beyond the best corner: Σ w_j (v_j - lo_j) = θ - S(lo).
+	budget := theta - a.ScoreAxis(lo)
+	if budget <= 0 {
+		return nil, false
+	}
+	v := make([]float64, m)
+	copy(v, lo)
+	active := make([]bool, m)
+	nActive := m
+	for j := range active {
+		active[j] = true
+	}
+	for iter := 0; iter < m; iter++ {
+		if nActive == 0 {
+			break
+		}
+		lambda := budget / float64(nActive)
+		clamped := false
+		for j := 0; j < m; j++ {
+			if !active[j] {
+				continue
+			}
+			cand := lo[j] + lambda/w[j]
+			if cand > hi[j] {
+				v[j] = hi[j]
+				budget -= w[j] * (hi[j] - lo[j])
+				active[j] = false
+				nActive--
+				clamped = true
+			}
+		}
+		if !clamped {
+			for j := 0; j < m; j++ {
+				if active[j] {
+					v[j] = lo[j] + lambda/w[j]
+				}
+			}
+			return v, true
+		}
+		if budget <= 0 {
+			break
+		}
+	}
+	// All coordinates clamped: box's worst corner is inside the contour,
+	// which the caller already excluded; fall back to bisection.
+	return nil, false
+}

@@ -1,0 +1,67 @@
+// Client is the Go client for the reranking service API.
+
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Client talks to a rerankd instance.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// NewClient builds a client for the service at baseURL.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Client{baseURL: baseURL, http: hc}
+}
+
+// Rerank submits one reranking request.
+func (c *Client) Rerank(req RerankRequest) (*RerankResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.baseURL+"/v1/rerank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("rerank request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("rerank request: status %s: %s", resp.Status, e.Error)
+	}
+	var out RerankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode rerank response: %w", err)
+	}
+	return &out, nil
+}
+
+// Stats fetches engine statistics.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.http.Get(c.baseURL + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("stats request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats request: status %s", resp.Status)
+	}
+	var out Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode stats: %w", err)
+	}
+	return &out, nil
+}

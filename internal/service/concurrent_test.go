@@ -1,0 +1,56 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRerankRequests hammers one service instance from many
+// goroutines (rerankd serves HTTP concurrently; the engine is guarded by
+// the server mutex). Run with -race. Every response must be exact and the
+// stats must account for every request.
+func TestConcurrentRerankRequests(t *testing.T) {
+	client, _ := pipeline(t, 1000, 0)
+	shapes := []string{"Round", "Princess", "Cushion", "Oval"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				resp, err := client.Rerank(RerankRequest{
+					Filters: map[string]string{"Shape": shapes[(g+i)%len(shapes)]},
+					Ranking: RankingSpec{Kind: "linear",
+						Attrs: []string{"Depth", "Table"}, Weights: []float64{1, 1}},
+					H: 3,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Scores must be nondecreasing within each response.
+				for j := 1; j < len(resp.Tuples); j++ {
+					if resp.Tuples[j].Score < resp.Tuples[j-1].Score {
+						errs <- fmt.Errorf("response not sorted: %v", resp.Tuples)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 32 {
+		t.Fatalf("stats saw %d requests, want 32", st.Requests)
+	}
+}

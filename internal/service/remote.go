@@ -1,0 +1,243 @@
+// Remote hidden-database adapter: lets the reranking service treat any HTTP
+// top-k search endpoint (such as cmd/hiddendb, or a scraper shim in front of
+// a real web database) as a hidden.Database. This is the deployment §1
+// describes — the reranker holds no data, only the public search interface.
+
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/types"
+)
+
+// SearchRequest is the wire form of one top-k search query (the hiddendb
+// protocol).
+type SearchRequest struct {
+	Ranges  []RangeSpec       `json:"ranges,omitempty"`
+	Filters map[string]string `json:"filters,omitempty"`
+}
+
+// SearchResponse is the hiddendb search answer.
+type SearchResponse struct {
+	Tuples   []WireTuple `json:"tuples"`
+	Overflow bool        `json:"overflow"`
+}
+
+// WireTuple is a tuple over the wire, keyed by attribute name.
+type WireTuple struct {
+	ID  int                `json:"id"`
+	Ord map[string]float64 `json:"ord"`
+	Cat map[string]string  `json:"cat,omitempty"`
+}
+
+// SchemaResponse describes the upstream search interface.
+type SchemaResponse struct {
+	K     int        `json:"k"`
+	Attrs []AttrSpec `json:"attrs"`
+}
+
+// AttrSpec is one attribute of the upstream schema.
+type AttrSpec struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"` // "ordinal" or "categorical"
+	Min    float64  `json:"min,omitempty"`
+	Max    float64  `json:"max,omitempty"`
+	Values []string `json:"values,omitempty"`
+}
+
+// RemoteDB implements hidden.Database over the hiddendb HTTP protocol.
+type RemoteDB struct {
+	baseURL string
+	client  *http.Client
+	schema  *types.Schema
+	k       int
+}
+
+// DialRemote fetches the remote schema and returns a ready database handle.
+func DialRemote(baseURL string, client *http.Client) (*RemoteDB, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := client.Get(baseURL + "/v1/schema")
+	if err != nil {
+		return nil, fmt.Errorf("fetch remote schema: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch remote schema: status %s", resp.Status)
+	}
+	var sr SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("decode remote schema: %w", err)
+	}
+	attrs := make([]types.Attribute, 0, len(sr.Attrs))
+	for _, a := range sr.Attrs {
+		switch a.Kind {
+		case "ordinal":
+			attrs = append(attrs, types.Attribute{
+				Name: a.Name, Kind: types.Ordinal,
+				Domain: types.Domain{Min: a.Min, Max: a.Max},
+			})
+		case "categorical":
+			attrs = append(attrs, types.Attribute{
+				Name: a.Name, Kind: types.Categorical, Values: a.Values,
+			})
+		default:
+			return nil, fmt.Errorf("remote attribute %q has unknown kind %q", a.Name, a.Kind)
+		}
+	}
+	schema, err := types.NewSchema(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("invalid remote schema: %w", err)
+	}
+	if sr.K < 1 {
+		return nil, fmt.Errorf("remote reports invalid k=%d", sr.K)
+	}
+	return &RemoteDB{baseURL: baseURL, client: client, schema: schema, k: sr.K}, nil
+}
+
+// TopK implements hidden.Database.
+func (r *RemoteDB) TopK(q query.Query) (hidden.Result, error) {
+	req := SearchRequest{Filters: q.Cats}
+	for attr, iv := range q.Ranges {
+		name := r.schema.Attr(attr).Name
+		lo, hi := iv.Lo, iv.Hi
+		rs := RangeSpec{Attr: name, MinOpen: iv.LoOpen, MaxOpen: iv.HiOpen}
+		if !isNegInf(lo) {
+			v := lo
+			rs.Min = &v
+		}
+		if !isPosInf(hi) {
+			v := hi
+			rs.Max = &v
+		}
+		req.Ranges = append(req.Ranges, rs)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return hidden.Result{}, err
+	}
+	resp, err := r.client.Post(r.baseURL+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return hidden.Result{}, fmt.Errorf("remote search: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return hidden.Result{}, hidden.ErrRateLimited
+	}
+	if resp.StatusCode != http.StatusOK {
+		return hidden.Result{}, fmt.Errorf("remote search: status %s", resp.Status)
+	}
+	var sr SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return hidden.Result{}, fmt.Errorf("decode remote search answer: %w", err)
+	}
+	out := hidden.Result{Overflow: sr.Overflow}
+	for _, wt := range sr.Tuples {
+		t, err := r.fromWire(wt)
+		if err != nil {
+			return hidden.Result{}, err
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, nil
+}
+
+func (r *RemoteDB) fromWire(wt WireTuple) (types.Tuple, error) {
+	t := types.Tuple{ID: wt.ID, Ord: make([]float64, r.schema.Len()), Cat: wt.Cat}
+	for name, v := range wt.Ord {
+		i := r.schema.Index(name)
+		if i < 0 {
+			return t, fmt.Errorf("remote tuple %d has unknown attribute %q", wt.ID, name)
+		}
+		t.Ord[i] = v
+	}
+	return t, nil
+}
+
+// K implements hidden.Database.
+func (r *RemoteDB) K() int { return r.k }
+
+// Schema implements hidden.Database.
+func (r *RemoteDB) Schema() *types.Schema { return r.schema }
+
+func isNegInf(v float64) bool { return v < -1e308 }
+func isPosInf(v float64) bool { return v > 1e308 }
+
+// HiddenDBHandler serves a *hidden.DB over the hiddendb HTTP protocol
+// (the counterpart of RemoteDB, used by cmd/hiddendb and tests).
+func HiddenDBHandler(db *hidden.DB) http.Handler {
+	mux := http.NewServeMux()
+	schema := db.Schema()
+	mux.HandleFunc("GET /v1/schema", func(w http.ResponseWriter, _ *http.Request) {
+		sr := SchemaResponse{K: db.K()}
+		for i := 0; i < schema.Len(); i++ {
+			a := schema.Attr(i)
+			spec := AttrSpec{Name: a.Name}
+			if a.Kind == types.Ordinal {
+				spec.Kind = "ordinal"
+				spec.Min, spec.Max = a.Domain.Min, a.Domain.Max
+			} else {
+				spec.Kind = "categorical"
+				spec.Values = a.Values
+			}
+			sr.Attrs = append(sr.Attrs, spec)
+		}
+		writeJSON(w, http.StatusOK, sr)
+	})
+	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		var req SearchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode search: %w", err))
+			return
+		}
+		q := query.New()
+		for _, rs := range req.Ranges {
+			idx := schema.Index(rs.Attr)
+			if idx < 0 || schema.Attr(idx).Kind != types.Ordinal {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("unknown ordinal attribute %q", rs.Attr))
+				return
+			}
+			iv := types.FullInterval()
+			if rs.Min != nil {
+				iv.Lo, iv.LoOpen = *rs.Min, rs.MinOpen
+			}
+			if rs.Max != nil {
+				iv.Hi, iv.HiOpen = *rs.Max, rs.MaxOpen
+			}
+			q = q.WithRange(idx, iv)
+		}
+		for name, val := range req.Filters {
+			q = q.WithCat(name, val)
+		}
+		res, err := db.TopK(q)
+		if err == hidden.ErrRateLimited {
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out := SearchResponse{Overflow: res.Overflow}
+		for _, t := range res.Tuples {
+			wt := WireTuple{ID: t.ID, Ord: map[string]float64{}, Cat: t.Cat}
+			for _, i := range schema.OrdinalIndexes() {
+				wt.Ord[schema.Attr(i).Name] = t.Ord[i]
+			}
+			out.Tuples = append(out.Tuples, wt)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

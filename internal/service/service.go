@@ -1,0 +1,314 @@
+// Package service implements "query reranking as a service" over HTTP: the
+// third-party deployment the paper's title promises. A Server wraps one
+// reranking engine per upstream database, keeps the cross-query history and
+// dense indexes alive across requests, and exposes a small JSON API:
+//
+//	POST /v1/rerank   {query, ranking, h, algorithm}  -> ranked tuples + cost
+//	GET  /v1/stats                                    -> engine statistics
+//	GET  /healthz                                     -> liveness
+//
+// The upstream database can be in-process (a *hidden.DB) or remote — see
+// remote.go for the adapter that speaks to any HTTP top-k search endpoint
+// such as cmd/hiddendb.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// RankingSpec describes a user ranking function over the wire.
+type RankingSpec struct {
+	// Kind is "linear", "single", or "ratio".
+	Kind string `json:"kind"`
+	// Attrs are attribute names (resolved against the upstream schema).
+	Attrs []string `json:"attrs"`
+	// Weights parameterize "linear" (same length as Attrs).
+	Weights []float64 `json:"weights,omitempty"`
+	// Desc marks a "single" ranking as descending.
+	Desc bool `json:"desc,omitempty"`
+}
+
+// RangeSpec is one range predicate over the wire.
+type RangeSpec struct {
+	Attr    string   `json:"attr"`
+	Min     *float64 `json:"min,omitempty"`
+	Max     *float64 `json:"max,omitempty"`
+	MinOpen bool     `json:"minOpen,omitempty"`
+	MaxOpen bool     `json:"maxOpen,omitempty"`
+}
+
+// RerankRequest is the /v1/rerank request body.
+type RerankRequest struct {
+	Ranges    []RangeSpec       `json:"ranges,omitempty"`
+	Filters   map[string]string `json:"filters,omitempty"`
+	Ranking   RankingSpec       `json:"ranking"`
+	H         int               `json:"h"`                   // how many answers
+	Algorithm string            `json:"algorithm,omitempty"` // "rerank" (default), "baseline", "binary", "ta"
+}
+
+// TupleJSON is one ranked answer over the wire.
+type TupleJSON struct {
+	ID    int                `json:"id"`
+	Score float64            `json:"score"`
+	Ord   map[string]float64 `json:"ord"`
+	Cat   map[string]string  `json:"cat,omitempty"`
+}
+
+// RerankResponse is the /v1/rerank response body.
+type RerankResponse struct {
+	Tuples    []TupleJSON `json:"tuples"`
+	Exhausted bool        `json:"exhausted"`
+	// QueriesIssued is the number of upstream search queries this request
+	// cost — the paper's performance measure, surfaced to clients.
+	QueriesIssued int64 `json:"queriesIssued"`
+	// EngineQueries is the engine's lifetime upstream query count.
+	EngineQueries int64 `json:"engineQueries"`
+}
+
+// Stats is the /v1/stats response body.
+type Stats struct {
+	EngineQueries  int64  `json:"engineQueries"`
+	HistoryTuples  int    `json:"historyTuples"`
+	Requests       int64  `json:"requests"`
+	UpstreamK      int    `json:"upstreamK"`
+	UpstreamRanker string `json:"upstreamRanker,omitempty"`
+}
+
+// Server is the reranking service.
+type Server struct {
+	mu       sync.Mutex
+	db       hidden.Database
+	engine   *core.Engine
+	requests int64
+	n        int
+}
+
+// NewServer builds a service over the given upstream database. n is the
+// (estimated) upstream size used for dense-index thresholds.
+func NewServer(db hidden.Database, n int) *Server {
+	return &Server{
+		db:     db,
+		engine: core.NewEngine(db, core.Options{N: n}),
+		n:      n,
+	}
+}
+
+// SaveState serializes the engine's accumulated knowledge (answer history
+// and dense indexes) so a restarted service stays warm.
+func (s *Server) SaveState(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.SaveSnapshot(w)
+}
+
+// LoadState restores knowledge saved by SaveState. Call before serving.
+func (s *Server) LoadState(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.LoadSnapshot(r)
+}
+
+// Handler returns the HTTP handler for the service API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rerank", s.handleRerank)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	st := Stats{
+		EngineQueries: s.engine.Queries(),
+		HistoryTuples: s.engine.History().Size(),
+		Requests:      s.requests,
+		UpstreamK:     s.db.K(),
+	}
+	if hdb, ok := s.db.(*hidden.DB); ok {
+		st.UpstreamRanker = hdb.RankerName()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
+	var req RerankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	resp, code, err := s.Rerank(req)
+	if err != nil {
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Rerank executes one reranking request. It is exported so in-process
+// callers (tests, examples) can skip HTTP.
+func (s *Server) Rerank(req RerankRequest) (*RerankResponse, int, error) {
+	if req.H <= 0 {
+		req.H = 10
+	}
+	if req.H > 10_000 {
+		return nil, http.StatusBadRequest, errors.New("h too large (max 10000)")
+	}
+	schema := s.db.Schema()
+	q, err := buildQuery(schema, req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	rk, err := buildRanker(schema, req.Ranking)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	variant, err := parseAlgorithm(req.Algorithm, len(rk.Attrs()))
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	before := s.engine.Queries()
+	cur, err := s.engine.NewCursor(q, rk, variant)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	tuples, err := core.TopH(cur, req.H)
+	if err != nil {
+		if errors.Is(err, hidden.ErrRateLimited) {
+			return nil, http.StatusTooManyRequests, err
+		}
+		return nil, http.StatusBadGateway, fmt.Errorf("upstream search failed: %w", err)
+	}
+	resp := &RerankResponse{
+		Exhausted:     len(tuples) < req.H,
+		QueriesIssued: s.engine.Queries() - before,
+		EngineQueries: s.engine.Queries(),
+	}
+	for _, t := range tuples {
+		resp.Tuples = append(resp.Tuples, toJSON(schema, rk, t))
+	}
+	return resp, http.StatusOK, nil
+}
+
+func toJSON(schema *types.Schema, rk ranking.Ranker, t types.Tuple) TupleJSON {
+	out := TupleJSON{
+		ID:    t.ID,
+		Score: ranking.ScoreTuple(rk, t),
+		Ord:   make(map[string]float64),
+		Cat:   t.Cat,
+	}
+	for _, i := range schema.OrdinalIndexes() {
+		out.Ord[schema.Attr(i).Name] = t.Ord[i]
+	}
+	return out
+}
+
+func buildQuery(schema *types.Schema, req RerankRequest) (query.Query, error) {
+	q := query.New()
+	for _, rs := range req.Ranges {
+		idx := schema.Index(rs.Attr)
+		if idx < 0 || schema.Attr(idx).Kind != types.Ordinal {
+			return q, fmt.Errorf("unknown ordinal attribute %q", rs.Attr)
+		}
+		iv := types.FullInterval()
+		if rs.Min != nil {
+			iv.Lo, iv.LoOpen = *rs.Min, rs.MinOpen
+		}
+		if rs.Max != nil {
+			iv.Hi, iv.HiOpen = *rs.Max, rs.MaxOpen
+		}
+		if iv.Empty() {
+			return q, fmt.Errorf("empty range on %q", rs.Attr)
+		}
+		q = q.WithRange(idx, iv)
+	}
+	for name, val := range req.Filters {
+		idx := schema.Index(name)
+		if idx < 0 || schema.Attr(idx).Kind != types.Categorical {
+			return q, fmt.Errorf("unknown categorical attribute %q", name)
+		}
+		q = q.WithCat(name, val)
+	}
+	return q, nil
+}
+
+func buildRanker(schema *types.Schema, spec RankingSpec) (ranking.Ranker, error) {
+	idx := make([]int, len(spec.Attrs))
+	for i, name := range spec.Attrs {
+		j := schema.Index(name)
+		if j < 0 || schema.Attr(j).Kind != types.Ordinal {
+			return nil, fmt.Errorf("unknown ordinal attribute %q in ranking", name)
+		}
+		idx[i] = j
+	}
+	switch spec.Kind {
+	case "linear":
+		return ranking.NewLinear("user-linear", idx, spec.Weights)
+	case "single":
+		if len(idx) != 1 {
+			return nil, errors.New(`"single" ranking takes exactly one attribute`)
+		}
+		dir := ranking.Asc
+		if spec.Desc {
+			dir = ranking.Desc
+		}
+		return ranking.NewSingle("user-single", idx[0], dir), nil
+	case "ratio":
+		if len(idx) != 2 {
+			return nil, errors.New(`"ratio" ranking takes exactly two attributes (num, den)`)
+		}
+		if schema.Domain(idx[1]).Min <= 0 {
+			return nil, fmt.Errorf("ratio denominator %q must have a positive domain", spec.Attrs[1])
+		}
+		return ranking.NewRatio("user-ratio", idx[0], idx[1]), nil
+	default:
+		return nil, fmt.Errorf("unknown ranking kind %q (want linear, single, or ratio)", spec.Kind)
+	}
+}
+
+func parseAlgorithm(s string, nAttrs int) (core.Variant, error) {
+	switch s {
+	case "", "rerank":
+		return core.Rerank, nil
+	case "baseline":
+		return core.Baseline, nil
+	case "binary":
+		return core.Binary, nil
+	case "ta":
+		if nAttrs < 2 {
+			return 0, errors.New(`algorithm "ta" requires a multi-attribute ranking`)
+		}
+		return core.TAOverOneD, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ranking"
+)
+
+func TestOneDConstruction(t *testing.T) {
+	ds := dataset.DOT(1, 2000)
+	items := OneD(rand.New(rand.NewSource(2)), ds, Spec{Count: 32, NoFilter: 8})
+	if len(items) != 32 {
+		t.Fatalf("count = %d", len(items))
+	}
+	noFilter := 0
+	for i, it := range items {
+		if it.Q.NumPredicates() == 0 {
+			noFilter++
+			if i >= 8 {
+				t.Errorf("item %d unexpectedly unfiltered", i)
+			}
+		}
+		if it.Attr < 0 || it.Attr >= ds.Schema.Len() {
+			t.Fatalf("item %d ranks invalid attr %d", i, it.Attr)
+		}
+		if it.Dir != ranking.Asc {
+			t.Errorf("item %d descending without AllowDesc", i)
+		}
+	}
+	if noFilter != 8 {
+		t.Errorf("no-filter count = %d, want 8", noFilter)
+	}
+	// AllowDesc produces both directions.
+	items = OneD(rand.New(rand.NewSource(3)), ds, Spec{Count: 40, AllowDesc: true})
+	asc, desc := 0, 0
+	for _, it := range items {
+		if it.Dir == ranking.Asc {
+			asc++
+		} else {
+			desc++
+		}
+	}
+	if asc == 0 || desc == 0 {
+		t.Errorf("AllowDesc should mix directions: asc=%d desc=%d", asc, desc)
+	}
+}
+
+func TestMDConstruction(t *testing.T) {
+	ds := dataset.BlueNile(1, 2000)
+	items := MD(rand.New(rand.NewSource(4)), ds, Spec{Count: 12, NoFilter: 3, MinAttrs: 2, MaxAttrs: 3})
+	if len(items) != 12 {
+		t.Fatalf("count = %d", len(items))
+	}
+	for i, it := range items {
+		n := len(it.R.Attrs())
+		if n < 2 || n > 3 {
+			t.Errorf("item %d ranks %d attrs", i, n)
+		}
+		lin, ok := it.R.(*ranking.Linear)
+		if !ok {
+			t.Fatalf("item %d is not linear", i)
+		}
+		for _, w := range lin.Weights() {
+			if w <= 0 || w > 1 {
+				t.Errorf("item %d weight %g outside (0,1]", i, w)
+			}
+		}
+	}
+}
+
+func TestSelectivityAndReorder(t *testing.T) {
+	ds := dataset.YahooAutos(1, 1500)
+	items := OneD(rand.New(rand.NewSource(5)), ds, Spec{Count: 10, NoFilter: 2})
+	if s := Selectivity(ds, items[0].Q); s != 1 {
+		t.Errorf("unfiltered selectivity = %g, want 1", s)
+	}
+	g2s := Reorder(rand.New(rand.NewSource(6)), ds, items, GeneralToSpecial)
+	for i := 1; i < len(g2s); i++ {
+		if Selectivity(ds, g2s[i].Q) > Selectivity(ds, g2s[i-1].Q)+1e-12 {
+			t.Fatal("GeneralToSpecial not sorted descending by selectivity")
+		}
+	}
+	s2g := Reorder(rand.New(rand.NewSource(6)), ds, items, SpecialToGeneral)
+	for i := 1; i < len(s2g); i++ {
+		if Selectivity(ds, s2g[i].Q) < Selectivity(ds, s2g[i-1].Q)-1e-12 {
+			t.Fatal("SpecialToGeneral not sorted ascending")
+		}
+	}
+	r := Reorder(rand.New(rand.NewSource(6)), ds, items, RandomOrder)
+	if len(r) != len(items) {
+		t.Fatal("Reorder changed length")
+	}
+	for _, o := range []Order{GeneralToSpecial, SpecialToGeneral, RandomOrder} {
+		if o.String() == "" {
+			t.Fatal("empty order name")
+		}
+	}
+}

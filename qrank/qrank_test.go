@@ -1,0 +1,98 @@
+package qrank_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/qrank"
+)
+
+func buildDB(t testing.TB, n, k int) (qrank.Database, []qrank.Tuple, *qrank.Schema) {
+	t.Helper()
+	schema := qrank.MustSchema([]qrank.Attribute{
+		{Name: "p", Kind: qrank.Ordinal, Domain: qrank.Domain{Min: 0, Max: 1000}},
+		{Name: "m", Kind: qrank.Ordinal, Domain: qrank.Domain{Min: 0, Max: 1000}},
+		{Name: "b", Kind: qrank.Categorical, Values: []string{"u", "v"}},
+	})
+	rng := rand.New(rand.NewSource(9))
+	tuples := make([]qrank.Tuple, n)
+	for i := range tuples {
+		tuples[i] = qrank.Tuple{
+			ID:  i,
+			Ord: []float64{rng.Float64() * 1000, rng.Float64() * 1000, 0},
+			Cat: map[string]string{"b": []string{"u", "v"}[rng.Intn(2)]},
+		}
+	}
+	db, err := qrank.NewMemoryDatabase(schema, tuples, k, func(t qrank.Tuple) float64 {
+		return -(t.Ord[0] + t.Ord[1]) // hostile: worst first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tuples, schema
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db, tuples, _ := buildDB(t, 500, 7)
+	rr := qrank.New(db, qrank.Options{N: 500})
+	rank := qrank.MustLinear("p+2m", []int{0, 1}, []float64{1, 2})
+	q := qrank.NewQuery().WithCat("b", "u")
+	cur, err := rr.Query(q, rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := qrank.TopH(cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle.
+	var want []float64
+	for _, tp := range tuples {
+		if tp.Cat["b"] == "u" {
+			want = append(want, tp.Ord[0]+2*tp.Ord[1])
+		}
+	}
+	sort.Float64s(want)
+	if len(got) != 10 {
+		t.Fatalf("got %d tuples", len(got))
+	}
+	for i, tp := range got {
+		if s := qrank.Score(rank, tp); s != want[i] {
+			t.Fatalf("rank %d: score %g, want %g", i, s, want[i])
+		}
+	}
+	if rr.QueriesIssued() <= 0 || rr.HistorySize() <= 0 {
+		t.Error("accounting broken")
+	}
+}
+
+func TestPublicVariants(t *testing.T) {
+	db, _, _ := buildDB(t, 300, 5)
+	rr := qrank.New(db, qrank.Options{N: 300})
+	rank := qrank.MustLinear("lin", []int{0, 1}, []float64{1, 1})
+	for _, v := range []qrank.Variant{qrank.Baseline, qrank.Binary, qrank.Rerank, qrank.TAOverOneD} {
+		cur, err := rr.QueryVariant(qrank.NewQuery(), rank, v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		top, err := qrank.TopH(cur, 3)
+		if err != nil || len(top) != 3 {
+			t.Fatalf("%v: %v len=%d", v, err, len(top))
+		}
+	}
+	// Single-attribute ranking routes to the 1D machinery, TA must be
+	// rejected there.
+	single := qrank.NewSingle("s", 0, qrank.Desc)
+	if _, err := rr.QueryVariant(qrank.NewQuery(), single, qrank.TAOverOneD); err == nil {
+		t.Error("TA accepted for 1D ranking")
+	}
+	cur, err := rr.Query(qrank.NewQuery(), single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := qrank.TopH(cur, 1)
+	if err != nil || len(top) != 1 {
+		t.Fatal("single-attr query failed")
+	}
+}
