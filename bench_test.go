@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -97,6 +98,9 @@ func ablationCost(b *testing.B, opts core.Options) float64 {
 		workload.Spec{Count: 16, NoFilter: 4, MinAttrs: 2, MaxAttrs: 3})
 	db := ds.DBWith(10, dataset.DOTSystemRanker2())
 	opts.N = 3000
+	// Paper-faithful accounting: the probe cache would otherwise absorb
+	// repeated probes and distort the per-feature ablation deltas.
+	opts.DisableCoalescing = true
 	e := core.NewEngine(db, opts)
 	for _, it := range items {
 		cur, err := e.NewCursor(it.Q, it.R, core.Rerank)
@@ -134,6 +138,61 @@ func BenchmarkAblation(b *testing.B) {
 			b.ReportMetric(cost, "avgQ")
 		})
 	}
+}
+
+// benchParallelRerank hammers one shared engine from GOMAXPROCS goroutines
+// with a rotating mix of overlapping requests — the multi-user service
+// scenario — and reports both throughput (ns/op is one full top-5 request)
+// and the paper's measure, upstream queries per answered request.
+func benchParallelRerank(b *testing.B, opts core.Options) {
+	ds := dataset.BlueNile(9, 6000)
+	db := ds.DB()
+	opts.N = 6000
+	e := core.NewEngine(db, opts)
+	shapes := []string{"Round", "Princess", "Cushion", "Oval", "Emerald", "Pear"}
+	rankers := []ranking.Ranker{
+		ranking.MustLinear("depth+table", []int{dataset.BNDepth, dataset.BNTable}, []float64{1, 1}),
+		ranking.NewSingle("price", dataset.BNPrice, ranking.Asc),
+		ranking.NewRatio("ppc", dataset.BNPrice, dataset.BNCarat),
+	}
+	var next, requests atomic.Int64
+	db.ResetCounter()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			q := query.New().WithCat("Shape", shapes[i%int64(len(shapes))])
+			r := rankers[i%int64(len(rankers))]
+			sess := e.NewSession()
+			cur, err := sess.NewCursor(q, r, core.Rerank)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := core.TopH(cur, 5); err != nil {
+				b.Error(err)
+				return
+			}
+			requests.Add(1)
+		}
+	})
+	b.StopTimer()
+	if n := requests.Load(); n > 0 {
+		b.ReportMetric(float64(db.QueryCount())/float64(n), "upstreamQ/req")
+	}
+}
+
+// BenchmarkParallelRerank measures concurrent throughput and upstream cost
+// with and without the probe coalescing layer. The delta between the two
+// sub-benchmarks' upstreamQ/req is what coalescing saves when overlapping
+// users hit the service at once.
+func BenchmarkParallelRerank(b *testing.B) {
+	b.Run("coalesced", func(b *testing.B) {
+		benchParallelRerank(b, core.Options{})
+	})
+	b.Run("uncoalesced", func(b *testing.B) {
+		benchParallelRerank(b, core.Options{DisableCoalescing: true})
+	})
 }
 
 // BenchmarkGetNextLatency measures the computational overhead (not query

@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/hidden"
 	"repro/internal/service"
@@ -42,6 +43,8 @@ func main() {
 		sizeHint = flag.Int("size-hint", 0, "upstream size estimate for dense-index thresholds (0 = n)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		state    = flag.String("state", "", "snapshot file: loaded at startup, saved on SIGINT/SIGTERM")
+		cache    = flag.Int("probe-cache", 0, "probe-result LRU entries (0 = default 1024, negative disables the cache)")
+		noCoal   = flag.Bool("no-coalesce", false, "disable probe coalescing (for upstreams whose corpus changes mid-run)")
 	)
 	flag.Parse()
 
@@ -77,7 +80,11 @@ func main() {
 	if hint == 0 {
 		hint = *n
 	}
-	srv := service.NewServer(db, hint)
+	srv := service.NewServerWith(db, core.Options{
+		N:                 hint,
+		ProbeCacheSize:    *cache,
+		DisableCoalescing: *noCoal,
+	})
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
 			if err := srv.LoadState(f); err != nil {

@@ -1,0 +1,192 @@
+// Probe coalescing: the issue-path layer that keeps concurrent users from
+// multiplying upstream cost — the paper's sole cost measure.
+//
+// Two mechanisms, both keyed by the query's canonical string form:
+//
+//   - Singleflight: identical upstream TopK probes in flight at the same
+//     moment are issued once; followers block on the leader's result. This
+//     matters exactly when many users ask overlapping queries concurrently.
+//   - A small bounded LRU of recent *complete* probe answers (valid or
+//     underflow results, §2.1). A complete answer is authoritative — the
+//     upstream returned every matching tuple — so replaying it is exact.
+//     Overflow pages are partial and are never cached.
+//
+// Deduplicated probes count once: only the call that actually reaches the
+// upstream charges the engine-wide and session query counters. Results are
+// shared across goroutines and must be treated as immutable (the reranking
+// algorithms only read them; the history store clones on insert).
+//
+// Correctness rests on the Database contract being deterministic for the
+// lifetime of the engine (the upstream corpus does not change mid-run) —
+// the same assumption the history store and dense indexes already make.
+// Options.DisableCoalescing opts out for volatile upstreams.
+
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+)
+
+// defaultProbeCacheSize bounds the probe LRU when Options.ProbeCacheSize is
+// zero. Entries are whole top-k pages, so the worst-case footprint is
+// defaultProbeCacheSize·k tuples.
+const defaultProbeCacheSize = 1024
+
+// flight is one in-flight upstream call shared by its followers.
+type flight struct {
+	done chan struct{}
+	res  hidden.Result
+	err  error
+}
+
+// flightGroup is a minimal singleflight: Do runs fn once per key among
+// concurrent callers and hands every caller the same result.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{inflight: make(map[string]*flight)}
+}
+
+// Do executes fn for key, coalescing concurrent callers onto one execution.
+// leader reports whether this caller actually ran fn.
+func (g *flightGroup) Do(key string, fn func() (hidden.Result, error)) (res hidden.Result, leader bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.res, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.inflight[key] = f
+	g.mu.Unlock()
+
+	// Complete the flight even if fn panics: a leaked inflight entry would
+	// wedge every future caller of this key on <-f.done forever. The
+	// pre-set error stands when fn panics (the assignment below never
+	// runs), so followers fail loudly instead of reading a fabricated
+	// empty success while the panic unwinds the leader.
+	f.err = errFlightPanicked
+	defer func() {
+		g.mu.Lock()
+		delete(g.inflight, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.res, f.err = fn()
+	return f.res, true, f.err
+}
+
+// errFlightPanicked is what coalesced followers observe when the leader's
+// upstream call panicked before producing a result.
+var errFlightPanicked = fmt.Errorf("core: coalesced upstream probe aborted by panic")
+
+// probeCache is a bounded LRU of complete (valid/underflow) probe results.
+type probeCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res hidden.Result
+}
+
+func newProbeCache(capacity int) *probeCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &probeCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (p *probeCache) get(key string) (hidden.Result, bool) {
+	if p == nil {
+		return hidden.Result{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.byKey[key]
+	if !ok {
+		return hidden.Result{}, false
+	}
+	p.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (p *probeCache) put(key string, res hidden.Result) {
+	if p == nil || res.Overflow {
+		return // only complete answers are authoritative
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		p.order.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	p.byKey[key] = p.order.PushFront(&cacheEntry{key: key, res: res})
+	for p.order.Len() > p.cap {
+		oldest := p.order.Back()
+		p.order.Remove(oldest)
+		delete(p.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// coalescer wraps the engine's primary database with singleflight dedup and
+// the complete-answer LRU. It is safe for concurrent use.
+type coalescer struct {
+	db       hidden.Database
+	flights  *flightGroup
+	cache    *probeCache
+	disabled bool // pass every probe straight through
+}
+
+func newCoalescer(db hidden.Database, cacheSize int, disabled bool) *coalescer {
+	if cacheSize == 0 {
+		cacheSize = defaultProbeCacheSize
+	}
+	return &coalescer{
+		db:       db,
+		flights:  newFlightGroup(),
+		cache:    newProbeCache(cacheSize),
+		disabled: disabled,
+	}
+}
+
+// TopK answers q, deduplicating in-flight identical probes and serving
+// recent complete answers from the LRU. issued reports whether this call
+// actually reached the upstream (cache hits and coalesced followers are
+// free and must not be charged).
+func (c *coalescer) TopK(q query.Query) (res hidden.Result, issued bool, err error) {
+	if c.disabled {
+		res, err = c.db.TopK(q)
+		return res, true, err
+	}
+	key := q.String()
+	if res, ok := c.cache.get(key); ok {
+		return res, false, nil
+	}
+	return c.flights.Do(key, func() (hidden.Result, error) {
+		res, err := c.db.TopK(q)
+		if err == nil {
+			// Populate the cache while the flight is still registered, so
+			// a caller arriving between flight completion and cache write
+			// cannot slip through both and re-issue the probe upstream.
+			c.cache.put(key, res)
+		}
+		return res, err
+	})
+}

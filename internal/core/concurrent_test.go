@@ -1,0 +1,407 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// concurrentWorkItem is one (query, ranker, variant, h) unit of the shared
+// concurrency workload.
+type concurrentWorkItem struct {
+	q query.Query
+	r ranking.Ranker
+	v Variant
+	h int
+}
+
+// concurrentWorkload builds a mixed 1D / MD / TA workload over the test
+// schema: the shapes a real multi-user service would see at once.
+func concurrentWorkload(rng *rand.Rand) []concurrentWorkItem {
+	var items []concurrentWorkItem
+	cats := []string{"x", "y", "z"}
+	for i := 0; i < 6; i++ {
+		q := query.New().WithCat("cat", cats[i%3])
+		dir := ranking.Asc
+		if i%2 == 1 {
+			dir = ranking.Desc
+		}
+		items = append(items, concurrentWorkItem{
+			q: q, r: ranking.NewSingle("s", i%2, dir), v: Rerank, h: 8,
+		})
+	}
+	for i := 0; i < 6; i++ {
+		q := query.New()
+		if i%2 == 0 {
+			q = q.WithCat("cat", cats[i%3])
+		}
+		w := []float64{1, 1 + float64(i)*0.5}
+		items = append(items, concurrentWorkItem{
+			q: q, r: ranking.MustLinear("l", []int{0, 1}, w),
+			v: []Variant{Rerank, Binary, Baseline}[i%3], h: 6,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		items = append(items, concurrentWorkItem{
+			q: query.New().WithCat("cat", cats[i%3]),
+			r: ranking.MustLinear("t", []int{0, 1}, []float64{1, 2}),
+			v: TAOverOneD, h: 5,
+		})
+	}
+	_ = rng
+	return items
+}
+
+// TestConcurrentSessionsExact drives many goroutines × cursors × rankers
+// against one shared engine with -race in mind: every concurrent answer must
+// equal the serial engine's answer, and the probe accounting must be exact —
+// the engine counter equals the upstream's own counter, and the per-session
+// ledgers partition it.
+func TestConcurrentSessionsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	db, all := newTestDB(t, rng, 2, 700, 5, true, systemRankers(2)[1])
+	items := concurrentWorkload(rng)
+
+	// Serial reference: one engine, items processed in order.
+	serial := NewEngine(db, Options{N: 700})
+	want := make([][]types.Tuple, len(items))
+	for i, it := range items {
+		cur, err := serial.NewCursor(it.q, it.r, it.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[i], err = TopH(cur, it.h); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Concurrent run: fresh engine, every item on its own goroutine and
+	// session, several rounds so later rounds hit warm shared knowledge.
+	db.ResetCounter()
+	e := NewEngine(db, Options{N: 700})
+	const rounds = 3
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		sessions []*Session
+	)
+	errs := make(chan error, rounds*len(items))
+	got := make([][][]types.Tuple, rounds)
+	for round := 0; round < rounds; round++ {
+		got[round] = make([][]types.Tuple, len(items))
+		for i, it := range items {
+			wg.Add(1)
+			go func(round, i int, it concurrentWorkItem) {
+				defer wg.Done()
+				sess := e.NewSession()
+				mu.Lock()
+				sessions = append(sessions, sess)
+				mu.Unlock()
+				cur, err := sess.NewCursor(it.q, it.r, it.v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := TopH(cur, it.h)
+				if err != nil {
+					errs <- fmt.Errorf("item %d round %d: %w", i, round, err)
+					return
+				}
+				got[round][i] = res
+			}(round, i, it)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < rounds; round++ {
+		for i, it := range items {
+			full := oracleTopH(all, it.q, it.r, 1<<30)
+			if it.v == TAOverOneD {
+				// TA's emission order within an exact-score tie group
+				// depends on sorted-access progress; compare as a
+				// ranking.
+				assertSameRanking(t, it.r, got[round][i], want[i], full)
+				continue
+			}
+			// 1D and MD emission order is fully deterministic: exact
+			// sequence equality with the serial run.
+			if len(got[round][i]) != len(want[i]) {
+				t.Fatalf("item %d round %d: got %d tuples, want %d",
+					i, round, len(got[round][i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if got[round][i][j].ID != want[i][j].ID {
+					t.Fatalf("item %d round %d rank %d: got ID %d, want %d",
+						i, round, j, got[round][i][j].ID, want[i][j].ID)
+				}
+			}
+		}
+	}
+
+	// Probe accounting must be exact: every upstream call counted once by
+	// the engine, and the session ledgers partition the engine total.
+	if e.Queries() != db.QueryCount() {
+		t.Errorf("engine counted %d queries, upstream answered %d", e.Queries(), db.QueryCount())
+	}
+	var sum int64
+	for _, s := range sessions {
+		sum += s.Queries()
+	}
+	if sum != e.Queries() {
+		t.Errorf("session ledgers sum to %d, engine counted %d", sum, e.Queries())
+	}
+	if e.Queries() == 0 {
+		t.Error("concurrent run issued no upstream queries at all")
+	}
+}
+
+// TestProbeCacheAmortizesRepeats verifies the coalescing cache's half of the
+// acceptance criterion deterministically: repeating an identical request on
+// a warm engine costs strictly less with the complete-answer LRU than
+// without it, and QueriesIssued semantics hold (deduped probes count once:
+// engine counter == upstream counter in both configurations).
+func TestProbeCacheAmortizesRepeats(t *testing.T) {
+	run := func(opts Options) int64 {
+		rng := rand.New(rand.NewSource(17))
+		db, _ := newTestDB(t, rng, 2, 500, 5, false, systemRankers(2)[1])
+		db.ResetCounter()
+		e := NewEngine(db, opts)
+		r := ranking.MustLinear("u", []int{0, 1}, []float64{1, 1})
+		for i := 0; i < 6; i++ {
+			cur, err := e.NewCursor(query.New().WithCat("cat", "x"), r, Rerank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := TopH(cur, 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if e.Queries() != db.QueryCount() {
+			t.Fatalf("engine counted %d, upstream answered %d", e.Queries(), db.QueryCount())
+		}
+		return db.QueryCount()
+	}
+	with := run(Options{N: 500})
+	without := run(Options{N: 500, DisableCoalescing: true})
+	t.Logf("6 identical requests: %d queries with coalescing, %d without", with, without)
+	if with >= without {
+		t.Errorf("coalescing cache saved nothing: %d with vs %d without", with, without)
+	}
+}
+
+// TestFlightGroupCoalesces exercises the in-flight dedup directly: a burst
+// of identical slow probes must collapse to far fewer upstream executions.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	var execs, leaders int64
+	var mu sync.Mutex
+	release := make(chan struct{})
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, leader, err := g.Do("k", func() (hidden.Result, error) {
+				mu.Lock()
+				execs++
+				mu.Unlock()
+				<-release
+				return hidden.Result{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if leader {
+				mu.Lock()
+				leaders++
+				mu.Unlock()
+			}
+		}()
+	}
+	// Let the burst pile onto the in-flight call, then release it. The
+	// sleep-free guarantee is one leader per execution; the burst timing
+	// makes full coalescing overwhelmingly likely.
+	for {
+		g.mu.Lock()
+		_, inflight := g.inflight["k"]
+		g.mu.Unlock()
+		if inflight {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+	if execs != leaders {
+		t.Fatalf("%d executions but %d leaders", execs, leaders)
+	}
+	if execs >= callers {
+		t.Fatalf("no coalescing at all: %d executions for %d callers", execs, callers)
+	}
+	t.Logf("%d callers collapsed to %d upstream executions", callers, execs)
+}
+
+// TestFlightGroupLeaderPanic pins the panic contract: a follower coalesced
+// onto a flight whose leader panics must observe an error — never a
+// fabricated empty success — and the group must stay usable afterwards.
+func TestFlightGroupLeaderPanic(t *testing.T) {
+	g := newFlightGroup()
+	joined := false
+	for try := 0; try < 100 && !joined; try++ {
+		proceed := make(chan struct{})
+		go func() {
+			defer func() { _ = recover() }()
+			_, _, _ = g.Do("k", func() (hidden.Result, error) {
+				<-proceed
+				panic("boom")
+			})
+		}()
+		for {
+			g.mu.Lock()
+			_, inflight := g.inflight["k"]
+			g.mu.Unlock()
+			if inflight {
+				break
+			}
+		}
+		type outcome struct {
+			leader bool
+			err    error
+		}
+		res := make(chan outcome, 1)
+		go func() {
+			_, leader, err := g.Do("k", func() (hidden.Result, error) {
+				return hidden.Result{}, nil
+			})
+			res <- outcome{leader, err}
+		}()
+		// Give the follower a beat to park on the flight before releasing
+		// the leader; the leader-outcome retry below backstops a miss.
+		time.Sleep(time.Millisecond)
+		close(proceed)
+		o := <-res
+		if o.leader {
+			continue // timing miss: follower arrived after the flight died; retry
+		}
+		joined = true
+		if o.err == nil {
+			t.Fatal("follower of a panicked flight got a successful result")
+		}
+	}
+	if !joined {
+		t.Fatal("follower never coalesced onto the panicking flight")
+	}
+	// The group must not be wedged: a fresh call leads and succeeds.
+	if _, leader, err := g.Do("k", func() (hidden.Result, error) {
+		return hidden.Result{}, nil
+	}); !leader || err != nil {
+		t.Fatalf("group wedged after panic: leader=%v err=%v", leader, err)
+	}
+}
+
+// TestProbeCacheLRU pins the cache's bounded-LRU behavior: complete answers
+// are served back, overflow pages are never stored, and the oldest entry is
+// evicted first.
+func TestProbeCacheLRU(t *testing.T) {
+	p := newProbeCache(2)
+	mk := func(id int) hidden.Result {
+		return hidden.Result{Tuples: []types.Tuple{{ID: id}}}
+	}
+	p.put("a", mk(1))
+	p.put("b", mk(2))
+	if _, ok := p.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	p.put("c", mk(3)) // evicts b (a was just touched)
+	if _, ok := p.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := p.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	p.put("d", hidden.Result{Overflow: true, Tuples: []types.Tuple{{ID: 4}}})
+	if _, ok := p.get("d"); ok {
+		t.Fatal("overflow pages must not be cached")
+	}
+	if res, ok := p.get("c"); !ok || res.Tuples[0].ID != 3 {
+		t.Fatalf("c = %v, %v", res, ok)
+	}
+}
+
+// TestLiveSnapshotUnderLoad saves a snapshot while sessions are mutating the
+// knowledge layer and restores it into a fresh engine: the restore must
+// never reject the snapshot (dense regions reference only serialized
+// tuples), and the warm engine must still answer exactly.
+func TestLiveSnapshotUnderLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db, all := newTestDB(t, rng, 2, 600, 5, true, systemRankers(2)[1])
+	e := NewEngine(db, Options{N: 600})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := ranking.NewSingle("s", g%2, ranking.Asc)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cur, err := e.NewCursor(query.New().WithCat("cat", []string{"x", "y", "z"}[(g+i)%3]), r, Rerank)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := TopH(cur, 6); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	var snaps []string
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		if err := e.SaveSnapshot(&buf); err != nil {
+			t.Fatalf("live snapshot %d: %v", i, err)
+		}
+		snaps = append(snaps, buf.String())
+	}
+	close(stop)
+	wg.Wait()
+
+	for i, snap := range snaps {
+		warm := NewEngine(db, Options{N: 600})
+		if err := warm.LoadSnapshot(strings.NewReader(snap)); err != nil {
+			t.Fatalf("snapshot %d does not restore: %v", i, err)
+		}
+		r := ranking.MustLinear("u", []int{0, 1}, []float64{1, 1})
+		cur, err := warm.NewCursor(query.New(), r, Rerank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TopH(cur, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := oracleTopH(all, query.New(), r, 10)
+		assertSameRanking(t, r, got, want, oracleTopH(all, query.New(), r, 1<<30))
+	}
+}

@@ -3,11 +3,28 @@
 // (§4.1), MD-BASELINE (§4.2), MD-BINARY (§4.3) and MD-RERANK (§4.4), all
 // exposed through an incremental Get-Next interface (§2.2).
 //
+// # Concurrency model: Knowledge and Sessions
+//
 // An Engine is the long-lived state of one reranking service instance bound
-// to one hidden database: the cross-query answer history (§3.1.1 "Leveraging
-// History") and the on-the-fly dense-region indexes (§3.2.2, §4.4) live here
-// and amortize across all user queries. Cursors are per-(query, ranking
-// function) iterators created from the engine.
+// to one hidden database. It is split into two layers:
+//
+//   - The Knowledge layer (see knowledge.go) holds everything that amortizes
+//     across user queries — the cross-query answer history (§3.1.1
+//     "Leveraging History"), the on-the-fly dense-region indexes (§3.2.2,
+//     §4.4) and the upstream-query counter. It is guarded internally and
+//     safe for concurrent use, including live snapshotting.
+//   - A Session (see session.go) holds the per-request state: the
+//     upstream-cost ledger for one unit of work. Cursors — per-(query,
+//     ranking function) Get-Next iterators — are created from sessions and
+//     carry all traversal state themselves.
+//
+// Arbitrarily many sessions from arbitrarily many goroutines may run
+// 1D-RERANK / MD-RERANK / TA concurrently against the same engine; each
+// individual cursor is a sequential object (drive it from one goroutine at
+// a time). A probe coalescing layer (see coalesce.go) deduplicates
+// identical in-flight upstream probes and replays recent complete answers,
+// so concurrent users with overlapping queries do not multiply upstream
+// cost.
 package core
 
 import (
@@ -16,7 +33,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/crawl"
 	"repro/internal/hidden"
 	"repro/internal/history"
 	"repro/internal/index"
@@ -84,32 +100,42 @@ type Options struct {
 	// DisableDominationProbe turns off §4.3.2 direct domination
 	// detection (ablation).
 	DisableDominationProbe bool
-	// MaxQueriesPerOp bounds database queries for a single Get-Next
-	// call (0 = unlimited); exceeding it returns ErrBudget.
+	// MaxQueriesPerOp bounds probes attempted by a single Get-Next
+	// call (0 = unlimited); exceeding it returns ErrBudget. The bound is
+	// charged per probe attempt, before coalescing, so it is stable
+	// regardless of cache state.
 	MaxQueriesPerOp int64
+	// DisableCoalescing turns off the probe coalescing layer (in-flight
+	// dedup and the complete-answer LRU). Use it when the upstream corpus
+	// can change during the engine's lifetime, or for paper-faithful
+	// per-probe cost accounting in experiments.
+	DisableCoalescing bool
+	// ProbeCacheSize bounds the complete-answer LRU: 0 means the default
+	// (1024 probe results), negative disables the cache while keeping
+	// in-flight dedup.
+	ProbeCacheSize int
 }
 
-// Engine is one reranking service instance bound to a hidden database.
-// It is not safe for concurrent use; the service layer serializes access.
+// Engine is one reranking service instance bound to a hidden database. The
+// engine itself is safe for concurrent use: shared state lives in the
+// internally-guarded Knowledge layer, and per-request state in Sessions.
 type Engine struct {
 	db   hidden.Database
 	opts Options
 
-	hist    *history.Store
-	dense1  *index.Dense1D
-	denseMD map[string]*index.DenseMD // keyed by ranked-attribute signature
-
-	queries int64 // queries issued through this engine
+	know   *Knowledge
+	probes *coalescer   // issue-path dedup + complete-answer cache
+	crawls *flightGroup // dense-region crawl dedup
 }
 
 // NewEngine builds an engine over db.
 func NewEngine(db hidden.Database, opts Options) *Engine {
 	return &Engine{
-		db:      db,
-		opts:    opts,
-		hist:    history.NewStore(db.Schema()),
-		dense1:  index.NewDense1D(),
-		denseMD: make(map[string]*index.DenseMD),
+		db:     db,
+		opts:   opts,
+		know:   newKnowledge(db.Schema()),
+		probes: newCoalescer(db, opts.ProbeCacheSize, opts.DisableCoalescing),
+		crawls: newFlightGroup(),
 	}
 }
 
@@ -117,28 +143,18 @@ func NewEngine(db hidden.Database, opts Options) *Engine {
 func (e *Engine) DB() hidden.Database { return e.db }
 
 // Queries returns the number of database queries issued through the engine
-// (including dense-index crawling).
-func (e *Engine) Queries() int64 { return e.queries }
+// (including dense-index crawling). Probes deduplicated by the coalescing
+// layer count once.
+func (e *Engine) Queries() int64 { return e.know.Queries() }
+
+// Knowledge returns the engine's shared, concurrency-safe knowledge layer.
+func (e *Engine) Knowledge() *Knowledge { return e.know }
 
 // History returns the engine's cross-query tuple cache.
-func (e *Engine) History() *history.Store { return e.hist }
+func (e *Engine) History() *history.Store { return e.know.hist }
 
 // DenseIndex1D exposes the 1D dense index for inspection by experiments.
-func (e *Engine) DenseIndex1D() *index.Dense1D { return e.dense1 }
-
-// issue sends one query to the database, recording every returned tuple in
-// the history store.
-func (e *Engine) issue(q query.Query) (hidden.Result, error) {
-	res, err := e.db.TopK(q)
-	if err != nil {
-		return res, err
-	}
-	e.queries++
-	if !e.opts.DisableHistory {
-		e.hist.Add(res.Tuples...)
-	}
-	return res, nil
-}
+func (e *Engine) DenseIndex1D() *index.Dense1D { return e.know.dense1 }
 
 // sParam returns the dense-region population parameter s (§3.2.2), defaulting
 // to k·log2(n).
@@ -184,18 +200,6 @@ func (e *Engine) denseVolumeMD(attrs []int) float64 {
 	return vol * (e.sParam() / float64(e.opts.N)) / e.cParam()
 }
 
-// mdIndexFor returns the MD dense index shared by all rankers over the same
-// attribute subset.
-func (e *Engine) mdIndexFor(attrs []int) *index.DenseMD {
-	key := attrsKey(attrs)
-	idx, ok := e.denseMD[key]
-	if !ok {
-		idx = index.NewDenseMD()
-		e.denseMD[key] = idx
-	}
-	return idx
-}
-
 func attrsKey(attrs []int) string {
 	s := append([]int(nil), attrs...)
 	sort.Ints(s)
@@ -204,22 +208,6 @@ func attrsKey(attrs []int) string {
 		parts[i] = fmt.Sprint(a)
 	}
 	return strings.Join(parts, ",")
-}
-
-// crawlRegion fully crawls the given generic query (already stripped of the
-// user query's selection condition) and returns every matching tuple. The
-// cost is charged to the engine and to the provided ledger.
-func (e *Engine) crawlRegion(q query.Query, ledger func(int64)) ([]types.Tuple, error) {
-	c := crawl.New(e.db, crawl.Options{MaxQueries: 0})
-	if !e.opts.DisableHistory {
-		c.Observe = func(t types.Tuple) { e.hist.Add(t) }
-	}
-	tuples, err := c.All(q)
-	e.queries += c.Queries()
-	if ledger != nil {
-		ledger(c.Queries())
-	}
-	return tuples, err
 }
 
 // Cursor is the incremental Get-Next interface of §2.2: each call returns
@@ -253,24 +241,9 @@ func TopH(c Cursor, h int) ([]types.Tuple, error) {
 var ErrBudget = fmt.Errorf("core: per-operation query budget exhausted")
 
 // NewCursor builds a cursor running the given algorithm variant for user
-// query q under ranker r. Single-attribute rankers use the 1D algorithms;
-// multi-attribute rankers use the MD family (or TA). It returns an error for
-// invalid combinations.
+// query q under ranker r, in a fresh single-cursor session. Callers that
+// need a per-request cost ledger spanning several cursors should create a
+// Session explicitly.
 func (e *Engine) NewCursor(q query.Query, r ranking.Ranker, v Variant) (Cursor, error) {
-	attrs := r.Attrs()
-	for _, a := range attrs {
-		if a < 0 || a >= e.db.Schema().Len() || e.db.Schema().Attr(a).Kind != types.Ordinal {
-			return nil, fmt.Errorf("core: ranker attribute %d is not an ordinal attribute", a)
-		}
-	}
-	if len(attrs) == 1 {
-		if v == TAOverOneD {
-			return nil, fmt.Errorf("core: TA requires a multi-attribute ranking function")
-		}
-		return e.NewOneDCursor(q, attrs[0], r.Dir(0), v), nil
-	}
-	if v == TAOverOneD {
-		return e.NewTACursor(q, r), nil
-	}
-	return e.NewMDCursor(q, r, v), nil
+	return e.NewSession().NewCursor(q, r, v)
 }

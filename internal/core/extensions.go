@@ -27,7 +27,7 @@ import (
 // wholesale; only the page's boundary value group needs care, because it
 // may continue onto the next page.
 type KnownRankCursor struct {
-	e    *Engine
+	s    *Session
 	db   hidden.Database // the ORDER BY view; queries counted by its parent
 	q    query.Query
 	attr int
@@ -38,12 +38,17 @@ type KnownRankCursor struct {
 	exhausted bool
 }
 
+// NewKnownRankCursor builds the pager in a fresh single-cursor session.
+func (e *Engine) NewKnownRankCursor(db hidden.Database, q query.Query, attr int, dir ranking.Direction) *KnownRankCursor {
+	return e.NewSession().NewKnownRankCursor(db, q, attr, dir)
+}
+
 // NewKnownRankCursor builds the pager. db must return answers ordered
 // ascending by dir·attr (best first); the engine is used for history
 // bookkeeping and tie crawling only.
-func (e *Engine) NewKnownRankCursor(db hidden.Database, q query.Query, attr int, dir ranking.Direction) *KnownRankCursor {
+func (s *Session) NewKnownRankCursor(db hidden.Database, q query.Query, attr int, dir ranking.Direction) *KnownRankCursor {
 	return &KnownRankCursor{
-		e: e, db: db, q: q.Clone(), attr: attr, dir: dir,
+		s: s, db: db, q: q.Clone(), attr: attr, dir: dir,
 		lastAxis: math.Inf(-1),
 	}
 }
@@ -68,13 +73,9 @@ func (c *KnownRankCursor) Next() (types.Tuple, bool, error) {
 	if c.dir == ranking.Desc {
 		real = types.Interval{Lo: math.Inf(-1), LoOpen: true, Hi: -c.lastAxis, HiOpen: true}
 	}
-	res, err := c.db.TopK(c.q.WithRange(c.attr, real))
+	res, err := c.s.issueOn(c.db, c.q.WithRange(c.attr, real))
 	if err != nil {
 		return types.Tuple{}, false, err
-	}
-	c.e.queries++
-	if !c.e.opts.DisableHistory {
-		c.e.hist.Add(res.Tuples...)
 	}
 	if len(res.Tuples) == 0 {
 		c.exhausted = true
@@ -120,22 +121,20 @@ func (c *KnownRankCursor) Next() (types.Tuple, bool, error) {
 func (c *KnownRankCursor) collectPlateau(boundary float64) ([]types.Tuple, error) {
 	v := float64(c.dir) * boundary
 	point := c.q.WithRange(c.attr, types.ClosedInterval(v, v))
-	res, err := c.db.TopK(point)
+	res, err := c.s.issueOn(c.db, point)
 	if err != nil {
 		return nil, err
 	}
-	c.e.queries++
 	var ties []types.Tuple
 	if !res.Overflow {
 		ties = res.Tuples
 	} else {
-		ties, err = c.e.crawlRegion(point, nil)
+		// crawlRegion's Observe hook already records every crawled tuple
+		// in history, as issueOn did for the non-overflow page.
+		ties, err = c.s.crawlRegion(point, nil)
 		if err != nil {
 			return nil, err
 		}
-	}
-	if !c.e.opts.DisableHistory {
-		c.e.hist.Add(ties...)
 	}
 	sort.Slice(ties, func(i, j int) bool { return ties[i].ID < ties[j].ID })
 	return ties, nil
@@ -147,9 +146,16 @@ func (c *KnownRankCursor) collectPlateau(boundary float64) ([]types.Tuple, error
 // (§5): pass KnownRankCursors and TA pays ~1/k queries per sorted access
 // instead of a 1D-RERANK search.
 func (e *Engine) NewTACursorWithAccess(q query.Query, r ranking.Ranker, access []Cursor) *TACursor {
-	ax := ranking.NewAxis(r, e.db.Schema())
+	return e.NewSession().NewTACursorWithAccess(q, r, access)
+}
+
+// NewTACursorWithAccess is the session-scoped form of the engine method of
+// the same name; pass cursors created from the same session so the ledger
+// captures their sorted-access cost too.
+func (s *Session) NewTACursorWithAccess(q query.Query, r ranking.Ranker, access []Cursor) *TACursor {
+	ax := ranking.NewAxis(r, s.e.db.Schema())
 	t := &TACursor{
-		e: e, q: q.Clone(), axis: ax,
+		s: s, q: q.Clone(), axis: ax,
 		seen:    make(map[int]types.Tuple),
 		emitted: make(map[int]bool),
 		access:  access,

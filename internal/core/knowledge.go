@@ -1,0 +1,67 @@
+// The Knowledge layer: the concurrency-safe shared state of an Engine.
+//
+// Everything the paper amortizes across user queries lives here — the
+// cross-query answer history (§3.1.1), the 1D and MD dense-region indexes
+// (§3.2.2, §4.4), and the lifetime upstream-query counter. All of it is
+// guarded internally (the history store and dense indexes carry their own
+// RWMutexes, the counter is atomic), so arbitrarily many Sessions on
+// arbitrarily many goroutines read and grow the same knowledge while it
+// stays snapshottable live.
+
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/history"
+	"repro/internal/index"
+	"repro/internal/types"
+)
+
+// Knowledge is the shared, concurrency-safe state of one Engine: the answer
+// history, the dense-region indexes, and the upstream-query counter. It is
+// what makes later queries cheaper than earlier ones, regardless of which
+// user (session) issued them.
+type Knowledge struct {
+	hist   *history.Store
+	dense1 *index.Dense1D
+
+	mdMu    sync.Mutex
+	denseMD map[string]*index.DenseMD // keyed by ranked-attribute signature
+
+	queries atomic.Int64 // upstream queries issued through the engine
+}
+
+// newKnowledge builds an empty knowledge layer over the given schema.
+func newKnowledge(schema *types.Schema) *Knowledge {
+	return &Knowledge{
+		hist:    history.NewStore(schema),
+		dense1:  index.NewDense1D(),
+		denseMD: make(map[string]*index.DenseMD),
+	}
+}
+
+// History returns the cross-query tuple cache. Safe for concurrent use.
+func (k *Knowledge) History() *history.Store { return k.hist }
+
+// DenseIndex1D returns the 1D dense-region index. Safe for concurrent use.
+func (k *Knowledge) DenseIndex1D() *index.Dense1D { return k.dense1 }
+
+// Queries returns the number of upstream queries issued so far (coalesced
+// probes count once).
+func (k *Knowledge) Queries() int64 { return k.queries.Load() }
+
+// mdIndexFor returns the MD dense index shared by all rankers over the same
+// attribute subset, creating it on first use.
+func (k *Knowledge) mdIndexFor(attrs []int) *index.DenseMD {
+	key := attrsKey(attrs)
+	k.mdMu.Lock()
+	defer k.mdMu.Unlock()
+	idx, ok := k.denseMD[key]
+	if !ok {
+		idx = index.NewDenseMD()
+		k.denseMD[key] = idx
+	}
+	return idx
+}

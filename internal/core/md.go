@@ -29,10 +29,12 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/hidden"
+	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/ranking"
 	"repro/internal/types"
@@ -41,7 +43,7 @@ import (
 // MDCursor incrementally returns tuples matching a user query in ascending
 // order of an arbitrary monotone multi-attribute ranking function.
 type MDCursor struct {
-	e       *Engine
+	s       *Session
 	q       query.Query
 	axis    *ranking.Axis
 	variant Variant
@@ -54,8 +56,9 @@ type MDCursor struct {
 	opQueries int64
 
 	denseVol float64
-	denseDim []float64 // per-dimension dense-region width thresholds
-	sorted   []int     // ranked attrs sorted ascending (dense-index canonical order)
+	denseDim []float64      // per-dimension dense-region width thresholds
+	sorted   []int          // ranked attrs sorted ascending (dense-index canonical order)
+	denseIdx *index.DenseMD // shared MD index for this attribute subset
 }
 
 type mdRegion struct {
@@ -65,12 +68,19 @@ type mdRegion struct {
 	resolved bool
 }
 
+// NewMDCursor builds an MD cursor for ranker r in a fresh single-cursor
+// session.
+func (e *Engine) NewMDCursor(q query.Query, r ranking.Ranker, v Variant) *MDCursor {
+	return e.NewSession().NewMDCursor(q, r, v)
+}
+
 // NewMDCursor builds an MD cursor for ranker r (which must rank ≥ 2
 // attributes; single-attribute rankers should use NewOneDCursor).
-func (e *Engine) NewMDCursor(q query.Query, r ranking.Ranker, v Variant) *MDCursor {
+func (s *Session) NewMDCursor(q query.Query, r ranking.Ranker, v Variant) *MDCursor {
+	e := s.e
 	ax := ranking.NewAxis(r, e.db.Schema())
 	c := &MDCursor{
-		e: e, q: q.Clone(), axis: ax, variant: v,
+		s: s, q: q.Clone(), axis: ax, variant: v,
 		emitted: make(map[int]bool),
 	}
 	if v == Rerank {
@@ -89,16 +99,20 @@ func (e *Engine) NewMDCursor(q query.Query, r ranking.Ranker, v Variant) *MDCurs
 	}
 	c.sorted = append([]int(nil), ax.Attrs()...)
 	sort.Ints(c.sorted)
+	// Resolve the shared index once: the map entry is created on first use
+	// and never replaced, so caching it keeps the per-box fast path off
+	// the engine-wide map mutex.
+	c.denseIdx = e.know.mdIndexFor(c.sorted)
 	return c
 }
 
 // issue sends one box-restricted query, charging the per-op budget.
 func (c *MDCursor) issue(b query.Box) (hidden.Result, error) {
-	if c.e.opts.MaxQueriesPerOp > 0 && c.opQueries >= c.e.opts.MaxQueriesPerOp {
+	if c.s.e.opts.MaxQueriesPerOp > 0 && c.opQueries >= c.s.e.opts.MaxQueriesPerOp {
 		return hidden.Result{}, ErrBudget
 	}
 	c.opQueries++
-	return c.e.issue(c.axis.BoxToQuery(c.q, b))
+	return c.s.issue(c.axis.BoxToQuery(c.q, b))
 }
 
 // Next implements Cursor.
@@ -184,7 +198,7 @@ func (c *MDCursor) regionLess(a, b mdRegion) bool {
 // collectTies fills the pending buffer with every tuple matching q that
 // shares t's values on all ranked attributes (§5).
 func (c *MDCursor) collectTies(t types.Tuple) error {
-	if c.e.opts.AssumeGeneralPositioning {
+	if c.s.e.opts.AssumeGeneralPositioning {
 		c.pending = []types.Tuple{t}
 		return nil
 	}
@@ -201,7 +215,7 @@ func (c *MDCursor) collectTies(t types.Tuple) error {
 	if !res.Overflow {
 		ties = res.Tuples
 	} else {
-		ties, err = c.e.crawlRegion(c.axis.BoxToQuery(c.q, point), nil)
+		ties, err = c.s.crawlRegion(c.axis.BoxToQuery(c.q, point), nil)
 		if err != nil {
 			return err
 		}
@@ -248,8 +262,8 @@ func (c *MDCursor) improve(cand *candidate, ts []types.Tuple, box query.Box) {
 func (c *MDCursor) top1(box query.Box) (types.Tuple, bool, error) {
 	var cand candidate
 	// Seed from history (§3.1.1 applied to MD).
-	if !c.e.opts.DisableHistory {
-		c.e.hist.ForEachMatching(c.q, func(t types.Tuple) bool {
+	if !c.s.e.opts.DisableHistory {
+		c.s.e.know.hist.ForEachMatching(c.q, func(t types.Tuple) bool {
 			c.improve(&cand, []types.Tuple{t}, box)
 			return true
 		})
@@ -271,7 +285,7 @@ func (c *MDCursor) top1(box query.Box) (types.Tuple, bool, error) {
 		// MD-RERANK fast path: a box already covered by a crawled
 		// dense region is answered locally with zero queries.
 		if c.variant == Rerank && c.denseVol > 0 && b.IsFinite() && c.isDense(b) {
-			if reg, ok := c.e.mdIndexFor(c.axis.Attrs()).Lookup(c.realBoxOf(b)); ok {
+			if reg, ok := c.denseIdx.Lookup(c.realBoxOf(b)); ok {
 				c.improve(&cand, reg.Tuples, b)
 				continue
 			}
@@ -343,12 +357,12 @@ func (c *MDCursor) partition(b query.Box, returned []types.Tuple, cand *candidat
 	// MD-BINARY applies the virtual-tuple machinery on every stuck
 	// overflow (Algorithm 5); MD-RERANK reserves it for boxes where the
 	// pivot split would prune almost nothing.
-	useVirtual := c.variant != Baseline && !c.e.opts.DisableVirtualTuples && cand.have &&
+	useVirtual := c.variant != Baseline && !c.s.e.opts.DisableVirtualTuples && cand.have &&
 		(c.variant == Binary || c.prunedFraction(b, c.axis.ToAxis(returned[pi])) < 0.02)
 	placed := false
 	if useVirtual {
 		if vp, ok := c.axis.VirtualTuple(b, cand.score); ok {
-			if !c.e.opts.DisableDominationProbe {
+			if !c.s.e.opts.DisableDominationProbe {
 				// Direct domination detection (§4.3.2): probe
 				// the box dominating v' for a better tuple.
 				domB := b.Clone()
@@ -470,19 +484,20 @@ func (c *MDCursor) isDense(b query.Box) bool {
 // every future user query (Algorithm 6).
 func (c *MDCursor) denseAnswer(b query.Box, cand *candidate) error {
 	realBox := c.realBoxOf(b)
-	idx := c.e.mdIndexFor(c.axis.Attrs())
+	idx := c.denseIdx
 	reg, ok := idx.Lookup(realBox)
 	if !ok {
-		generic := query.New()
-		for i, attr := range c.sorted {
-			generic = generic.WithRange(attr, realBox.Dims[i])
-		}
-		tuples, err := c.e.crawlRegion(generic, idx.AddCrawlCost)
-		if err != nil {
+		// Crawl-and-index, deduplicated: concurrent sessions hitting the
+		// same dense box crawl it once; followers read it from the index.
+		if err := c.s.crawlDenseMD(c.sorted, realBox); err != nil {
 			return err
 		}
-		idx.Insert(realBox, tuples)
-		reg, _ = idx.Lookup(realBox)
+		reg, ok = idx.Lookup(realBox)
+		if !ok {
+			// Coverage is monotone: a crawled box stays covered, so
+			// this indicates index corruption, never a benign miss.
+			return fmt.Errorf("core: dense region %v missing after crawl", realBox)
+		}
 	}
 	c.improve(cand, reg.Tuples, b)
 	return nil

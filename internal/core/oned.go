@@ -15,6 +15,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -30,7 +31,7 @@ import (
 // 1D-BASELINE (Algorithm 1), 1D-BINARY (Algorithm 2) or 1D-RERANK
 // (Algorithm 3 + the Algorithm 4 oracle) depending on the variant.
 type OneDCursor struct {
-	e       *Engine
+	s       *Session
 	q       query.Query
 	attr    int
 	dir     ranking.Direction
@@ -49,15 +50,21 @@ type OneDCursor struct {
 	plateauAxis float64
 }
 
+// NewOneDCursor builds a 1D cursor over ordinal attribute attr along dir, in
+// a fresh single-cursor session.
+func (e *Engine) NewOneDCursor(q query.Query, attr int, dir ranking.Direction, v Variant) *OneDCursor {
+	return e.NewSession().NewOneDCursor(q, attr, dir, v)
+}
+
 // NewOneDCursor builds a 1D cursor over ordinal attribute attr along dir.
 // Variant TAOverOneD is treated as Rerank (TA's sorted access is built from
 // 1D-RERANK cursors).
-func (e *Engine) NewOneDCursor(q query.Query, attr int, dir ranking.Direction, v Variant) *OneDCursor {
+func (s *Session) NewOneDCursor(q query.Query, attr int, dir ranking.Direction, v Variant) *OneDCursor {
 	if v == TAOverOneD {
 		v = Rerank
 	}
 	return &OneDCursor{
-		e: e, q: q.Clone(), attr: attr, dir: dir, variant: v,
+		s: s, q: q.Clone(), attr: attr, dir: dir, variant: v,
 		lastAxis: math.Inf(-1),
 	}
 }
@@ -70,7 +77,7 @@ func (c *OneDCursor) axisOf(t types.Tuple) float64 {
 // axisDomainLo returns the smallest axis coordinate inside the attribute's
 // domain.
 func (c *OneDCursor) axisDomainLo() float64 {
-	d := c.e.db.Schema().Domain(c.attr)
+	d := c.s.e.db.Schema().Domain(c.attr)
 	if c.dir == ranking.Asc {
 		return d.Min
 	}
@@ -88,11 +95,11 @@ func (c *OneDCursor) realRange(iv types.Interval) types.Interval {
 
 // issue sends one range-restricted query, charging the per-op budget.
 func (c *OneDCursor) issue(iv types.Interval) (hidden.Result, error) {
-	if c.e.opts.MaxQueriesPerOp > 0 && c.opQueries >= c.e.opts.MaxQueriesPerOp {
+	if c.s.e.opts.MaxQueriesPerOp > 0 && c.opQueries >= c.s.e.opts.MaxQueriesPerOp {
 		return hidden.Result{}, ErrBudget
 	}
 	c.opQueries++
-	return c.e.issue(c.q.WithRange(c.attr, c.realRange(iv)))
+	return c.s.issue(c.q.WithRange(c.attr, c.realRange(iv)))
 }
 
 // minAxis returns the returned tuple with the smallest axis value strictly
@@ -115,15 +122,15 @@ func (c *OneDCursor) minAxis(ts []types.Tuple) (types.Tuple, bool) {
 // histNext returns the best known (from history) tuple strictly after the
 // cursor position.
 func (c *OneDCursor) histNext() (types.Tuple, bool) {
-	if c.e.opts.DisableHistory {
+	if c.s.e.opts.DisableHistory {
 		return types.Tuple{}, false
 	}
 	iv := types.Interval{Lo: c.lastAxis, LoOpen: true, Hi: math.Inf(1), HiOpen: true}
 	real := c.realRange(iv)
 	if c.dir == ranking.Asc {
-		return c.e.hist.MinMatching(c.q, c.attr, real)
+		return c.s.e.know.hist.MinMatching(c.q, c.attr, real)
 	}
-	return c.e.hist.MaxMatching(c.q, c.attr, real)
+	return c.s.e.know.hist.MaxMatching(c.q, c.attr, real)
 }
 
 // Next implements Cursor.
@@ -196,7 +203,7 @@ func (c *OneDCursor) Next() (types.Tuple, bool, error) {
 // shares t's attribute value (§5 general-positioning removal). Under
 // Options.AssumeGeneralPositioning the point query is skipped.
 func (c *OneDCursor) collectTies(t types.Tuple) error {
-	if c.e.opts.AssumeGeneralPositioning {
+	if c.s.e.opts.AssumeGeneralPositioning {
 		c.pending = []types.Tuple{t}
 		return nil
 	}
@@ -221,7 +228,7 @@ func (c *OneDCursor) collectTies(t types.Tuple) error {
 		}
 		// No free ordinal attribute remains: crawl the fully-pinned
 		// region, splitting on categorical attributes.
-		ties, err = c.e.crawlRegion(c.q.WithRange(c.attr, point), nil)
+		ties, err = c.s.crawlRegion(c.q.WithRange(c.attr, point), nil)
 		if err != nil {
 			return err
 		}
@@ -247,14 +254,14 @@ func (c *OneDCursor) collectTies(t types.Tuple) error {
 // ordinal attribute is pinned.
 func (c *OneDCursor) plateauCursor(v float64) (*OneDCursor, bool) {
 	subQ := c.q.WithRange(c.attr, types.ClosedInterval(v, v))
-	for _, a := range c.e.db.Schema().OrdinalIndexes() {
+	for _, a := range c.s.e.db.Schema().OrdinalIndexes() {
 		if a == c.attr {
 			continue
 		}
 		if iv, ok := subQ.Ranges[a]; ok && iv.Lo == iv.Hi {
 			continue // already pinned by an outer plateau level
 		}
-		return c.e.NewOneDCursor(subQ, a, ranking.Asc, c.variant), true
+		return c.s.NewOneDCursor(subQ, a, ranking.Asc, c.variant), true
 	}
 	return nil, false
 }
@@ -325,7 +332,7 @@ func (c *OneDCursor) nextBinary(dense bool) (types.Tuple, bool, error) {
 	}
 	threshold := 0.0
 	if dense {
-		threshold = c.e.denseWidth1D(c.attr)
+		threshold = c.s.e.denseWidth1D(c.attr)
 	}
 	for {
 		width := c.axisOf(cand) - searchLo
@@ -395,15 +402,19 @@ func (c *OneDCursor) oracle(searchLo float64, searchLoOpen bool, cand types.Tupl
 	// which the lazy §5 tie machinery already handles.
 	axisIv := types.Interval{Lo: searchLo, LoOpen: searchLoOpen, Hi: c.axisOf(cand), HiOpen: true}
 	realIv := c.realRange(axisIv)
-	reg, ok := c.e.dense1.Lookup(c.attr, realIv)
+	reg, ok := c.s.e.know.dense1.Lookup(c.attr, realIv)
 	if !ok {
-		generic := query.New().WithRange(c.attr, realIv)
-		tuples, err := c.e.crawlRegion(generic, c.e.dense1.AddCrawlCost)
-		if err != nil {
+		// Crawl-and-index, deduplicated: concurrent sessions wanting the
+		// same region crawl it once; followers read it from the index.
+		if err := c.s.crawlDense1(c.attr, realIv); err != nil {
 			return types.Tuple{}, false, err
 		}
-		c.e.dense1.Insert(c.attr, realIv, tuples)
-		reg, _ = c.e.dense1.Lookup(c.attr, realIv)
+		reg, ok = c.s.e.know.dense1.Lookup(c.attr, realIv)
+		if !ok {
+			// Coverage is monotone: a crawled interval stays covered, so
+			// this indicates index corruption, never a benign miss.
+			return types.Tuple{}, false, fmt.Errorf("core: dense interval %s missing after crawl", realIv)
+		}
 	}
 	var t types.Tuple
 	var found bool

@@ -1,0 +1,169 @@
+// The Session layer: per-cursor execution state.
+//
+// A Session is the lightweight, single-request counterpart of the shared
+// Knowledge layer: it carries the upstream-cost ledger for one unit of work
+// (one service request, one experiment run, one TA cursor tree) while every
+// heavyweight structure — history, dense indexes, probe coalescing — is
+// shared through the Engine. Sessions are cheap to create; make one per
+// request. Many sessions may run concurrently against one engine; the
+// cursors created from a single session are themselves sequential objects
+// (drive each cursor from one goroutine at a time).
+
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/crawl"
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+// Session groups the cursors of one logical request against an Engine and
+// tracks the upstream queries charged to it. Coalesced and cached probes are
+// free: a session is only charged for probes that actually reached the
+// upstream on its behalf.
+type Session struct {
+	e       *Engine
+	queries atomic.Int64
+}
+
+// NewSession starts a session against the engine. Sessions are cheap;
+// create one per request (or per cursor) and read its Queries ledger for
+// the request's upstream cost.
+func (e *Engine) NewSession() *Session { return &Session{e: e} }
+
+// Engine returns the engine the session runs against.
+func (s *Session) Engine() *Engine { return s.e }
+
+// Queries returns the number of upstream queries charged to this session —
+// the per-request incarnation of the paper's cost measure. Probes answered
+// by the coalescing layer or another session's in-flight call cost nothing.
+func (s *Session) Queries() int64 { return s.queries.Load() }
+
+// issue sends one query to the primary database through the coalescing
+// layer, recording every returned tuple in the shared history.
+func (s *Session) issue(q query.Query) (hidden.Result, error) {
+	res, issued, err := s.e.probes.TopK(q)
+	if err != nil {
+		return res, err
+	}
+	if issued {
+		s.e.know.queries.Add(1)
+		s.queries.Add(1)
+		// Only the issuing leader records the page: cache hits and
+		// coalesced followers replay tuples the leader already added, and
+		// skipping the redundant Add keeps free probes off the history
+		// store's write lock.
+		if !s.e.opts.DisableHistory {
+			s.e.know.hist.Add(res.Tuples...)
+		}
+	}
+	return res, nil
+}
+
+// issueOn sends one query directly to an alternate database view (e.g. an
+// ORDER BY view, §5). Views rank differently from the primary interface, so
+// their answers must not share the primary probe cache.
+func (s *Session) issueOn(db hidden.Database, q query.Query) (hidden.Result, error) {
+	res, err := db.TopK(q)
+	if err != nil {
+		return res, err
+	}
+	s.e.know.queries.Add(1)
+	s.queries.Add(1)
+	if !s.e.opts.DisableHistory {
+		s.e.know.hist.Add(res.Tuples...)
+	}
+	return res, nil
+}
+
+// crawlRegion fully crawls the given generic query (already stripped of the
+// user query's selection condition) and returns every matching tuple. The
+// cost is charged to the engine, the session, and the provided ledger.
+func (s *Session) crawlRegion(q query.Query, ledger func(int64)) ([]types.Tuple, error) {
+	c := crawl.New(s.e.db, crawl.Options{MaxQueries: 0})
+	if !s.e.opts.DisableHistory {
+		c.Observe = func(t types.Tuple) { s.e.know.hist.Add(t) }
+	}
+	tuples, err := c.All(q)
+	s.e.know.queries.Add(c.Queries())
+	s.queries.Add(c.Queries())
+	if ledger != nil {
+		ledger(c.Queries())
+	}
+	return tuples, err
+}
+
+// crawlDense1 crawls the 1D dense region (attr, iv) and inserts it into the
+// shared index, deduplicating concurrent crawls of the same region: one
+// session leads, the rest wait and read the inserted region for free.
+func (s *Session) crawlDense1(attr int, iv types.Interval) error {
+	key := fmt.Sprintf("1d:%d:%s", attr, iv)
+	_, _, err := s.e.crawls.Do(key, func() (hidden.Result, error) {
+		// Re-check under the flight: a leader that finished between our
+		// caller's lookup miss and this Do would otherwise be re-crawled
+		// in full (coverage is monotone, so a hit here is authoritative).
+		if _, ok := s.e.know.dense1.Lookup(attr, iv); ok {
+			return hidden.Result{}, nil
+		}
+		generic := query.New().WithRange(attr, iv)
+		tuples, err := s.crawlRegion(generic, s.e.know.dense1.AddCrawlCost)
+		if err != nil {
+			return hidden.Result{}, err
+		}
+		s.e.know.dense1.Insert(attr, iv, tuples)
+		return hidden.Result{}, nil
+	})
+	return err
+}
+
+// crawlDenseMD crawls the MD dense region realBox (dimensions in canonical
+// sorted-attribute order) and inserts it into the shared index for the given
+// attribute subset, with the same one-leader dedup as crawlDense1.
+func (s *Session) crawlDenseMD(sorted []int, realBox query.Box) error {
+	idx := s.e.know.mdIndexFor(sorted)
+	key := fmt.Sprintf("md:%s:%s", attrsKey(sorted), realBox)
+	_, _, err := s.e.crawls.Do(key, func() (hidden.Result, error) {
+		if _, ok := idx.Lookup(realBox); ok {
+			return hidden.Result{}, nil // crawled by a leader that just finished
+		}
+		generic := query.New()
+		for i, attr := range sorted {
+			generic = generic.WithRange(attr, realBox.Dims[i])
+		}
+		tuples, err := s.crawlRegion(generic, idx.AddCrawlCost)
+		if err != nil {
+			return hidden.Result{}, err
+		}
+		idx.Insert(realBox, tuples)
+		return hidden.Result{}, nil
+	})
+	return err
+}
+
+// NewCursor builds a cursor running the given algorithm variant for user
+// query q under ranker r, charging upstream cost to this session.
+// Single-attribute rankers use the 1D algorithms; multi-attribute rankers
+// use the MD family (or TA). It returns an error for invalid combinations.
+func (s *Session) NewCursor(q query.Query, r ranking.Ranker, v Variant) (Cursor, error) {
+	attrs := r.Attrs()
+	for _, a := range attrs {
+		if a < 0 || a >= s.e.db.Schema().Len() || s.e.db.Schema().Attr(a).Kind != types.Ordinal {
+			return nil, fmt.Errorf("core: ranker attribute %d is not an ordinal attribute", a)
+		}
+	}
+	if len(attrs) == 1 {
+		if v == TAOverOneD {
+			return nil, fmt.Errorf("core: TA requires a multi-attribute ranking function")
+		}
+		return s.NewOneDCursor(q, attrs[0], r.Dir(0), v), nil
+	}
+	if v == TAOverOneD {
+		return s.NewTACursor(q, r), nil
+	}
+	return s.NewMDCursor(q, r, v), nil
+}

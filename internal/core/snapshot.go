@@ -7,6 +7,13 @@
 // engine's accumulated knowledge (history tuples + 1D dense regions) to
 // JSON so a service can restart warm.
 //
+// Snapshots may be taken while sessions are running: the knowledge layer is
+// internally guarded, and SaveSnapshot captures the dense regions before the
+// history dump, so every tuple a region references is guaranteed to be in
+// the (monotonically growing) tuple list. Tuples referenced by a region but
+// absent from history (possible under DisableHistory) are appended
+// explicitly.
+//
 // MD dense regions are rebuilt from history on demand rather than
 // serialized: their tuples are a subset of history, and region boxes are
 // cheap to re-crawl relative to their payload.
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/types"
 )
@@ -49,19 +57,30 @@ type snapInterval struct {
 	IDs    []int   `json:"ids"` // tuple IDs; payloads live in Tuples
 }
 
-// SaveSnapshot writes the engine's accumulated knowledge to w.
+// SaveSnapshot writes the engine's accumulated knowledge to w. It is safe
+// to call while sessions are running concurrently.
 func (e *Engine) SaveSnapshot(w io.Writer) error {
 	snap := Snapshot{
 		Version: snapshotVersion,
-		Queries: e.queries,
+		Queries: e.know.queries.Load(),
 		Schema:  e.db.Schema().Names(),
 	}
-	e.hist.ForEachMatching(query.New(), func(t types.Tuple) bool {
+	// Dense regions first: history only grows, so capturing regions before
+	// the tuple dump keeps region ID references resolvable even when other
+	// sessions insert concurrently.
+	var regions [][]index.Interval1D
+	attrs := e.db.Schema().OrdinalIndexes()
+	for _, attr := range attrs {
+		regions = append(regions, e.know.dense1.Export(attr))
+	}
+	seen := make(map[int]bool)
+	e.know.hist.ForEachMatching(query.New(), func(t types.Tuple) bool {
 		snap.Tuples = append(snap.Tuples, snapTuple{ID: t.ID, Ord: t.Ord, Cat: t.Cat})
+		seen[t.ID] = true
 		return true
 	})
-	for _, attr := range e.db.Schema().OrdinalIndexes() {
-		for _, reg := range e.dense1.Export(attr) {
+	for i, attr := range attrs {
+		for _, reg := range regions[i] {
 			si := snapInterval{
 				Attr: attr,
 				Lo:   reg.Range.Lo, Hi: reg.Range.Hi,
@@ -69,6 +88,10 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 			}
 			for _, t := range reg.Tuples {
 				si.IDs = append(si.IDs, t.ID)
+				if !seen[t.ID] {
+					seen[t.ID] = true
+					snap.Tuples = append(snap.Tuples, snapTuple{ID: t.ID, Ord: t.Ord, Cat: t.Cat})
+				}
 			}
 			snap.Dense1D = append(snap.Dense1D, si)
 		}
@@ -104,7 +127,7 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 		}
 		t := types.Tuple{ID: st.ID, Ord: st.Ord, Cat: st.Cat}
 		byID[st.ID] = t
-		e.hist.Add(t)
+		e.know.hist.Add(t)
 	}
 	for _, si := range snap.Dense1D {
 		if si.Attr < 0 || si.Attr >= len(names) {
@@ -118,7 +141,7 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 			}
 			tuples = append(tuples, t)
 		}
-		e.dense1.Insert(si.Attr, types.Interval{
+		e.know.dense1.Insert(si.Attr, types.Interval{
 			Lo: si.Lo, Hi: si.Hi, LoOpen: si.LoOpen, HiOpen: si.HiOpen,
 		}, tuples)
 	}

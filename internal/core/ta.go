@@ -18,7 +18,7 @@ import (
 // access provided by per-attribute 1D-RERANK cursors. Random access is not
 // needed: the search interface returns whole tuples (§4.1).
 type TACursor struct {
-	e    *Engine
+	s    *Session
 	q    query.Query
 	axis *ranking.Axis
 
@@ -33,16 +33,23 @@ type TACursor struct {
 	emitted map[int]bool
 }
 
-// NewTACursor builds a TA cursor for ranker r over user query q.
+// NewTACursor builds a TA cursor for ranker r over user query q, in a fresh
+// single-cursor session.
 func (e *Engine) NewTACursor(q query.Query, r ranking.Ranker) *TACursor {
-	ax := ranking.NewAxis(r, e.db.Schema())
+	return e.NewSession().NewTACursor(q, r)
+}
+
+// NewTACursor builds a TA cursor for ranker r over user query q. Its
+// per-attribute sorted-access sub-cursors share the session's cost ledger.
+func (s *Session) NewTACursor(q query.Query, r ranking.Ranker) *TACursor {
+	ax := ranking.NewAxis(r, s.e.db.Schema())
 	t := &TACursor{
-		e: e, q: q.Clone(), axis: ax,
+		s: s, q: q.Clone(), axis: ax,
 		seen:    make(map[int]types.Tuple),
 		emitted: make(map[int]bool),
 	}
 	for j, attr := range ax.Attrs() {
-		t.cursors = append(t.cursors, e.NewOneDCursor(q, attr, r.Dir(j), Rerank))
+		t.cursors = append(t.cursors, s.NewOneDCursor(q, attr, r.Dir(j), Rerank))
 		t.frontier = append(t.frontier, math.Inf(-1))
 		t.liveAttr = append(t.liveAttr, true)
 	}

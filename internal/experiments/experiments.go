@@ -126,10 +126,18 @@ func Paper() Config {
 	}
 }
 
+// paperOpts returns engine options for paper-faithful cost accounting: the
+// probe coalescing layer is disabled so every probe the algorithms issue is
+// charged, exactly as the paper counts queries. (The service keeps
+// coalescing on by default; the experiments measure the algorithms alone.)
+func paperOpts(n int) core.Options {
+	return core.Options{N: n, DisableCoalescing: true}
+}
+
 // avgCost runs fn against a fresh engine over db and returns queries/ops.
 func avgCost(db *hidden.DB, ops int, fn func(e *core.Engine) error) (float64, error) {
 	db.ResetCounter()
-	e := core.NewEngine(db, core.Options{N: db.Size()})
+	e := core.NewEngine(db, paperOpts(db.Size()))
 	if err := fn(e); err != nil {
 		return 0, err
 	}

@@ -92,7 +92,7 @@ func Fig8(cfg Config) (Figure, error) {
 		s := Series{Name: fmt.Sprintf("system-k=%d", k)}
 		// Measure cumulative cost per h with shared engine/workload.
 		db.ResetCounter()
-		e := core.NewEngine(db, core.Options{N: db.Size()})
+		e := core.NewEngine(db, paperOpts(db.Size()))
 		cursors := make([]*core.OneDCursor, len(items))
 		for i, it := range items {
 			cursors[i] = e.NewOneDCursor(it.Q, it.Attr, it.Dir, core.Rerank)
@@ -130,7 +130,9 @@ func Fig9(cfg Config) (Figure, error) {
 	measure := func(s, c float64) (float64, error) {
 		db := sample.DBWith(10, dataset.DOTSystemRanker1())
 		db.ResetCounter()
-		e := core.NewEngine(db, core.Options{N: size, S: s, C: c})
+		opts := paperOpts(size)
+		opts.S, opts.C = s, c
+		e := core.NewEngine(db, opts)
 		for _, it := range items {
 			cur := e.NewOneDCursor(it.Q, it.Attr, it.Dir, core.Rerank)
 			if _, err := core.TopH(cur, 1); err != nil {
@@ -196,7 +198,7 @@ func fig1DTopH(cfg Config, id, title string, ds *dataset.Dataset, spec workload.
 	for _, v := range []core.Variant{core.Baseline, core.Binary, core.Rerank} {
 		db := ds.DB()
 		db.ResetCounter()
-		e := core.NewEngine(db, core.Options{N: db.Size()})
+		e := core.NewEngine(db, paperOpts(db.Size()))
 		s := Series{Name: "1D-" + v.String()}
 		cursors := make([]*core.OneDCursor, len(items))
 		for i, it := range items {

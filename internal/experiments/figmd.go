@@ -95,7 +95,7 @@ func Fig15(cfg Config) (Figure, error) {
 	for _, k := range []int{1, 4, 7, 10} {
 		db := sample.DBWith(k, dataset.DOTSystemRanker1())
 		db.ResetCounter()
-		e := core.NewEngine(db, core.Options{N: db.Size()})
+		e := core.NewEngine(db, paperOpts(db.Size()))
 		s := Series{Name: fmt.Sprintf("system-k=%d", k)}
 		cursors := make([]core.Cursor, len(items))
 		for i, it := range items {
@@ -131,7 +131,7 @@ func figMDTopH(cfg Config, id, title string, ds *dataset.Dataset, spec workload.
 		}
 		db := ds.DB()
 		db.ResetCounter()
-		e := core.NewEngine(db, core.Options{N: db.Size()})
+		e := core.NewEngine(db, paperOpts(db.Size()))
 		s := Series{Name: name}
 		cursors := make([]core.Cursor, len(items))
 		for i, it := range items {

@@ -6,19 +6,25 @@ package history
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/query"
 	"repro/internal/types"
 )
 
 // Store caches observed tuples with a sorted index per ordinal attribute.
-// It is not safe for concurrent use; each reranking session owns one (or
-// shares one behind the service layer's lock).
+// It is safe for concurrent use: the engine's knowledge layer shares one
+// store across every session. Per-attribute sorted indexes are rebuilt
+// lazily after inserts; once built, an index slice is immutable, so readers
+// scan it without holding the lock.
 type Store struct {
 	schema *types.Schema
-	byID   map[int]types.Tuple
+
+	mu   sync.RWMutex
+	byID map[int]types.Tuple
 	// sorted[attr] holds the cached tuples ordered ascending by
-	// attribute attr. Rebuilt lazily after inserts.
+	// attribute attr. Rebuilt lazily after inserts; slices are
+	// replaced wholesale, never mutated in place.
 	sorted map[int][]types.Tuple
 	dirty  map[int]bool
 }
@@ -36,6 +42,8 @@ func NewStore(schema *types.Schema) *Store {
 // Add records tuples returned by a query; duplicates (by ID) are ignored.
 // It returns how many tuples were new.
 func (s *Store) Add(tuples ...types.Tuple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	added := 0
 	for _, t := range tuples {
 		if _, seen := s.byID[t.ID]; seen {
@@ -53,36 +61,57 @@ func (s *Store) Add(tuples ...types.Tuple) int {
 }
 
 // Size returns the number of distinct tuples observed.
-func (s *Store) Size() int { return len(s.byID) }
+func (s *Store) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
 
 // Has reports whether the tuple ID has been observed.
 func (s *Store) Has(id int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.byID[id]
 	return ok
 }
 
 // Get returns the cached tuple with the given ID.
 func (s *Store) Get(id int) (types.Tuple, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	t, ok := s.byID[id]
 	return t, ok
 }
 
+// index returns the sorted-by-attr view, rebuilding it if stale. The
+// returned slice is immutable: rebuilds allocate a fresh slice, so callers
+// may scan it after the lock is released.
 func (s *Store) index(attr int) []types.Tuple {
+	s.mu.RLock()
 	lst, ok := s.sorted[attr]
-	if !ok || s.dirty[attr] || len(lst) != len(s.byID) {
-		lst = make([]types.Tuple, 0, len(s.byID))
-		for _, t := range s.byID {
-			lst = append(lst, t)
-		}
-		sort.Slice(lst, func(i, j int) bool {
-			if lst[i].Ord[attr] != lst[j].Ord[attr] {
-				return lst[i].Ord[attr] < lst[j].Ord[attr]
-			}
-			return lst[i].ID < lst[j].ID
-		})
-		s.sorted[attr] = lst
-		s.dirty[attr] = false
+	fresh := ok && !s.dirty[attr] && len(lst) == len(s.byID)
+	s.mu.RUnlock()
+	if fresh {
+		return lst
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lst, ok = s.sorted[attr]
+	if ok && !s.dirty[attr] && len(lst) == len(s.byID) {
+		return lst // another goroutine rebuilt it while we upgraded
+	}
+	lst = make([]types.Tuple, 0, len(s.byID))
+	for _, t := range s.byID {
+		lst = append(lst, t)
+	}
+	sort.Slice(lst, func(i, j int) bool {
+		if lst[i].Ord[attr] != lst[j].Ord[attr] {
+			return lst[i].Ord[attr] < lst[j].Ord[attr]
+		}
+		return lst[i].ID < lst[j].ID
+	})
+	s.sorted[attr] = lst
+	s.dirty[attr] = false
 	return lst
 }
 
@@ -131,6 +160,8 @@ func (s *Store) MaxMatching(q query.Query, attr int, iv types.Interval) (types.T
 // Useful for seeding multi-dimensional search with the best tuple observed
 // so far.
 func (s *Store) BestMatching(q query.Query, score func(types.Tuple) float64) (types.Tuple, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var best types.Tuple
 	bestScore := 0.0
 	found := false
@@ -147,8 +178,11 @@ func (s *Store) BestMatching(q query.Query, score func(types.Tuple) float64) (ty
 }
 
 // ForEachMatching invokes fn for every cached tuple matching q. Iteration
-// order is unspecified; fn returning false stops early.
+// order is unspecified; fn returning false stops early. The store's lock is
+// held for the duration: fn must not call back into the store.
 func (s *Store) ForEachMatching(q query.Query, fn func(types.Tuple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, t := range s.byID {
 		if q.Matches(t) {
 			if !fn(t) {
@@ -160,6 +194,8 @@ func (s *Store) ForEachMatching(q query.Query, fn func(types.Tuple) bool) {
 
 // CountMatching returns how many cached tuples match q.
 func (s *Store) CountMatching(q query.Query) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := 0
 	for _, t := range s.byID {
 		if q.Matches(t) {

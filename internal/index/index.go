@@ -10,10 +10,18 @@
 // The crawl itself is generic — it deliberately ignores the user query's
 // selection condition (Algorithm 4's design note) so the work amortizes
 // across all future user queries.
+//
+// Both index types are safe for concurrent use: lookups take a read lock,
+// inserts a write lock, and crawl-cost ledgers are atomic. Region coverage
+// is monotone — once an interval or box is covered it stays covered — and
+// the tuple slices inside recorded regions are immutable once inserted, so
+// returned regions may be read without further synchronization.
 package index
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/query"
 	"repro/internal/types"
@@ -24,17 +32,18 @@ import (
 // lies inside it.
 type Interval1D struct {
 	Range  types.Interval
-	Tuples []types.Tuple // sorted ascending by the attribute
+	Tuples []types.Tuple // sorted ascending by the attribute; immutable
 }
 
 // Dense1D is the per-attribute dense index: a set of disjoint fully-crawled
 // intervals per ordinal attribute.
 type Dense1D struct {
+	mu sync.RWMutex
 	// regions[attr] is sorted by Range.Lo and pairwise disjoint.
 	regions map[int][]Interval1D
 	// crawlCost counts database queries spent building the index,
 	// reported separately by the experiments (Theorem 3 accounting).
-	crawlCost int64
+	crawlCost atomic.Int64
 }
 
 // NewDense1D returns an empty 1D dense index.
@@ -43,19 +52,26 @@ func NewDense1D() *Dense1D {
 }
 
 // AddCrawlCost accumulates queries spent crawling into the index's ledger.
-func (d *Dense1D) AddCrawlCost(n int64) { d.crawlCost += n }
+func (d *Dense1D) AddCrawlCost(n int64) { d.crawlCost.Add(n) }
 
 // CrawlCost returns the total queries charged to index construction.
-func (d *Dense1D) CrawlCost() int64 { return d.crawlCost }
+func (d *Dense1D) CrawlCost() int64 { return d.crawlCost.Load() }
 
 // Lookup returns the crawled interval covering [iv] on attr, if any. The
 // requested interval must be entirely inside a recorded region for the
 // answer to be authoritative.
 func (d *Dense1D) Lookup(attr int, iv types.Interval) (Interval1D, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	regs := d.regions[attr]
+	// Regions are sorted by Lo and interior-disjoint, but two of them may
+	// touch at a both-open boundary point, so more than one candidate can
+	// satisfy Hi >= iv.Lo at that point — scan until Lo passes iv.Lo.
 	i := sort.Search(len(regs), func(i int) bool { return regs[i].Range.Hi >= iv.Lo })
-	if i < len(regs) && covers1D(regs[i].Range, iv) {
-		return regs[i], true
+	for ; i < len(regs) && regs[i].Range.Lo <= iv.Lo; i++ {
+		if covers1D(regs[i].Range, iv) {
+			return regs[i], true
+		}
 	}
 	return Interval1D{}, false
 }
@@ -75,10 +91,19 @@ func covers1D(outer, inner types.Interval) bool {
 // every database tuple whose attr value falls inside rng). Overlapping or
 // adjacent existing regions are merged; tuples are deduplicated by ID.
 func (d *Dense1D) Insert(attr int, rng types.Interval, tuples []types.Tuple) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	merged := Interval1D{Range: rng, Tuples: append([]types.Tuple(nil), tuples...)}
 	var keep []Interval1D
 	for _, r := range d.regions[attr] {
-		if r.Range.Hi < rng.Lo || r.Range.Lo > rng.Hi {
+		// Merge only regions whose union is contiguous. Two intervals
+		// that touch at an endpoint excluded by BOTH sides — (a,b) and
+		// (b,c) — must stay separate: neither was crawled at b, so a
+		// merged (a,c) would authoritatively claim tuples at b that the
+		// index never saw.
+		if r.Range.Hi < rng.Lo || r.Range.Lo > rng.Hi ||
+			(r.Range.Hi == rng.Lo && r.Range.HiOpen && rng.LoOpen) ||
+			(r.Range.Lo == rng.Hi && r.Range.LoOpen && rng.HiOpen) {
 			keep = append(keep, r)
 			continue
 		}
@@ -98,15 +123,25 @@ func (d *Dense1D) Insert(attr int, rng types.Interval, tuples []types.Tuple) {
 }
 
 // Regions returns the number of recorded regions for attr.
-func (d *Dense1D) Regions(attr int) int { return len(d.regions[attr]) }
+func (d *Dense1D) Regions(attr int) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.regions[attr])
+}
 
-// Export returns the recorded regions for attr (for persistence and
-// inspection). The returned slice must not be modified.
-func (d *Dense1D) Export(attr int) []Interval1D { return d.regions[attr] }
+// Export returns a copy of the recorded regions for attr (for persistence
+// and inspection). Region tuple slices are shared and must not be modified.
+func (d *Dense1D) Export(attr int) []Interval1D {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]Interval1D(nil), d.regions[attr]...)
+}
 
 // TotalTuples returns the number of tuples stored across all regions of
 // attr.
 func (d *Dense1D) TotalTuples(attr int) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n := 0
 	for _, r := range d.regions[attr] {
 		n += len(r.Tuples)
@@ -122,7 +157,6 @@ func dedupeSort(ts []types.Tuple, attr int) []types.Tuple {
 		return ts[i].ID < ts[j].ID
 	})
 	out := ts[:0]
-	lastID := -1 << 62
 	seen := make(map[int]bool, len(ts))
 	for _, t := range ts {
 		if seen[t.ID] {
@@ -131,7 +165,6 @@ func dedupeSort(ts []types.Tuple, attr int) []types.Tuple {
 		seen[t.ID] = true
 		out = append(out, t)
 	}
-	_ = lastID
 	return out
 }
 
@@ -177,28 +210,31 @@ func (r Interval1D) MaxMatching(q query.Query, attr int, iv types.Interval) (typ
 // inside it, used by the MD dense index (Algorithm 6).
 type Region struct {
 	Box    query.Box
-	Tuples []types.Tuple
+	Tuples []types.Tuple // immutable once inserted
 }
 
 // DenseMD records fully-crawled boxes in the axis space of one ranker.
 // Lookups are linear in the number of regions, which Theorem 3's argument
 // keeps small (dense regions are rare by construction when c = n).
 type DenseMD struct {
+	mu        sync.RWMutex
 	regions   []Region
-	crawlCost int64
+	crawlCost atomic.Int64
 }
 
 // NewDenseMD returns an empty MD dense index.
 func NewDenseMD() *DenseMD { return &DenseMD{} }
 
 // AddCrawlCost accumulates queries spent crawling.
-func (d *DenseMD) AddCrawlCost(n int64) { d.crawlCost += n }
+func (d *DenseMD) AddCrawlCost(n int64) { d.crawlCost.Add(n) }
 
 // CrawlCost returns queries charged to MD index construction.
-func (d *DenseMD) CrawlCost() int64 { return d.crawlCost }
+func (d *DenseMD) CrawlCost() int64 { return d.crawlCost.Load() }
 
 // Lookup returns a recorded region fully covering box, if any.
 func (d *DenseMD) Lookup(box query.Box) (Region, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	for _, r := range d.regions {
 		if r.Box.ContainsBox(box) {
 			return r, true
@@ -210,7 +246,9 @@ func (d *DenseMD) Lookup(box query.Box) (Region, bool) {
 // Insert records a fully-crawled box. Regions contained in the new box are
 // absorbed.
 func (d *DenseMD) Insert(box query.Box, tuples []types.Tuple) {
-	kept := d.regions[:0]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kept := make([]Region, 0, len(d.regions)+1)
 	merged := append([]types.Tuple(nil), tuples...)
 	for _, r := range d.regions {
 		if box.ContainsBox(r.Box) {
@@ -222,4 +260,8 @@ func (d *DenseMD) Insert(box query.Box, tuples []types.Tuple) {
 }
 
 // Len returns the number of recorded regions.
-func (d *DenseMD) Len() int { return len(d.regions) }
+func (d *DenseMD) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.regions)
+}

@@ -60,6 +60,37 @@ func TestDense1DMerge(t *testing.T) {
 	}
 }
 
+// TestDense1DOpenAdjacentNotMerged pins the boundary-exactness rule: two
+// crawled intervals both open at a shared endpoint b never saw tuples AT b,
+// so merging them would authoritatively claim an uncrawled value. The 1D
+// oracle produces exactly this shape — (a,b) then (b,c) around a tie value.
+func TestDense1DOpenAdjacentNotMerged(t *testing.T) {
+	d := NewDense1D()
+	d.Insert(0, types.OpenInterval(0, 5), []types.Tuple{mk(1, 2)})
+	d.Insert(0, types.OpenInterval(5, 10), []types.Tuple{mk(2, 7)})
+	if d.Regions(0) != 2 {
+		t.Fatalf("open-adjacent intervals merged: %d regions, want 2", d.Regions(0))
+	}
+	// An interval spanning the uncrawled boundary value must miss.
+	if _, ok := d.Lookup(0, types.OpenInterval(4, 6)); ok {
+		t.Fatal("index claims coverage of the uncrawled boundary value 5")
+	}
+	// Half-open adjacency IS contiguous: [5,10) supplies the boundary.
+	d2 := NewDense1D()
+	d2.Insert(0, types.OpenInterval(0, 5), []types.Tuple{mk(1, 2)})
+	d2.Insert(0, types.Interval{Lo: 5, Hi: 10, HiOpen: true}, []types.Tuple{mk(3, 5), mk(2, 7)})
+	if d2.Regions(0) != 1 {
+		t.Fatalf("contiguous half-open adjacency not merged: %d regions", d2.Regions(0))
+	}
+	reg, ok := d2.Lookup(0, types.OpenInterval(4, 6))
+	if !ok {
+		t.Fatal("merged contiguous region does not cover the boundary span")
+	}
+	if got, ok := reg.MinMatching(query.New(), 0, types.OpenInterval(4, 6)); !ok || got.ID != 3 {
+		t.Fatalf("boundary tuple lost in merge: %v %v", got, ok)
+	}
+}
+
 func TestInterval1DMinMaxMatching(t *testing.T) {
 	reg := Interval1D{
 		Range:  types.ClosedInterval(0, 10),

@@ -3,17 +3,21 @@ package service
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
 // TestConcurrentRerankRequests hammers one service instance from many
-// goroutines (rerankd serves HTTP concurrently; the engine is guarded by
-// the server mutex). Run with -race. Every response must be exact and the
-// stats must account for every request.
+// goroutines. There is no server-wide lock anymore: requests run
+// concurrently, each in its own engine session, over the shared knowledge
+// layer. Run with -race. Every response must be exact, the stats must
+// account for every request, and the per-request QueriesIssued ledgers must
+// partition the engine's total (deduplicated probes count once).
 func TestConcurrentRerankRequests(t *testing.T) {
 	client, _ := pipeline(t, 1000, 0)
 	shapes := []string{"Round", "Princess", "Cushion", "Oval"}
 	var wg sync.WaitGroup
+	var issued atomic.Int64
 	errs := make(chan error, 64)
 	for g := 0; g < 8; g++ {
 		g := g
@@ -31,6 +35,7 @@ func TestConcurrentRerankRequests(t *testing.T) {
 					errs <- err
 					return
 				}
+				issued.Add(resp.QueriesIssued)
 				// Scores must be nondecreasing within each response.
 				for j := 1; j < len(resp.Tuples); j++ {
 					if resp.Tuples[j].Score < resp.Tuples[j-1].Score {
@@ -52,5 +57,12 @@ func TestConcurrentRerankRequests(t *testing.T) {
 	}
 	if st.Requests != 32 {
 		t.Fatalf("stats saw %d requests, want 32", st.Requests)
+	}
+	if st.EngineQueries != issued.Load() {
+		t.Fatalf("per-request ledgers sum to %d, engine counted %d",
+			issued.Load(), st.EngineQueries)
+	}
+	if issued.Load() == 0 {
+		t.Fatal("no upstream queries issued at all")
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hidden"
@@ -70,7 +71,10 @@ type RerankResponse struct {
 	Tuples    []TupleJSON `json:"tuples"`
 	Exhausted bool        `json:"exhausted"`
 	// QueriesIssued is the number of upstream search queries this request
-	// cost — the paper's performance measure, surfaced to clients.
+	// cost — the paper's performance measure, surfaced to clients. Probes
+	// deduplicated by the engine's coalescing layer (answered by another
+	// in-flight request or a recent complete answer) cost nothing and are
+	// charged once, to the request that actually issued them.
 	QueriesIssued int64 `json:"queriesIssued"`
 	// EngineQueries is the engine's lifetime upstream query count.
 	EngineQueries int64 `json:"engineQueries"`
@@ -85,37 +89,49 @@ type Stats struct {
 	UpstreamRanker string `json:"upstreamRanker,omitempty"`
 }
 
-// Server is the reranking service.
+// Server is the reranking service. Requests are handled concurrently: the
+// engine's shared knowledge (history, dense indexes, probe coalescing) is
+// internally synchronized, and each request runs in its own engine session.
+// The only server-level lock serializes snapshot save/load against each
+// other; snapshots are safe to take while requests are in flight.
 type Server struct {
-	mu       sync.Mutex
 	db       hidden.Database
 	engine   *core.Engine
-	requests int64
+	requests atomic.Int64
 	n        int
+
+	stateMu sync.Mutex // serializes SaveState/LoadState
 }
 
 // NewServer builds a service over the given upstream database. n is the
 // (estimated) upstream size used for dense-index thresholds.
 func NewServer(db hidden.Database, n int) *Server {
+	return NewServerWith(db, core.Options{N: n})
+}
+
+// NewServerWith builds a service with explicit engine options (opts.N is the
+// upstream size estimate; coalescing and cache sizing are also set here).
+func NewServerWith(db hidden.Database, opts core.Options) *Server {
 	return &Server{
 		db:     db,
-		engine: core.NewEngine(db, core.Options{N: n}),
-		n:      n,
+		engine: core.NewEngine(db, opts),
+		n:      opts.N,
 	}
 }
 
 // SaveState serializes the engine's accumulated knowledge (answer history
-// and dense indexes) so a restarted service stays warm.
+// and dense indexes) so a restarted service stays warm. Safe to call while
+// requests are being served.
 func (s *Server) SaveState(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	return s.engine.SaveSnapshot(w)
 }
 
 // LoadState restores knowledge saved by SaveState. Call before serving.
 func (s *Server) LoadState(r io.Reader) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	return s.engine.LoadSnapshot(r)
 }
 
@@ -132,17 +148,15 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
 	st := Stats{
 		EngineQueries: s.engine.Queries(),
 		HistoryTuples: s.engine.History().Size(),
-		Requests:      s.requests,
+		Requests:      s.requests.Load(),
 		UpstreamK:     s.db.K(),
 	}
 	if hdb, ok := s.db.(*hidden.DB); ok {
 		st.UpstreamRanker = hdb.RankerName()
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -183,11 +197,12 @@ func (s *Server) Rerank(req RerankRequest) (*RerankResponse, int, error) {
 		return nil, http.StatusBadRequest, err
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.requests++
-	before := s.engine.Queries()
-	cur, err := s.engine.NewCursor(q, rk, variant)
+	s.requests.Add(1)
+	// One session per request: its ledger is the request's upstream cost
+	// (exact under concurrency, unlike a before/after diff of the engine
+	// counter, which would absorb other requests' probes).
+	sess := s.engine.NewSession()
+	cur, err := sess.NewCursor(q, rk, variant)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
@@ -200,7 +215,7 @@ func (s *Server) Rerank(req RerankRequest) (*RerankResponse, int, error) {
 	}
 	resp := &RerankResponse{
 		Exhausted:     len(tuples) < req.H,
-		QueriesIssued: s.engine.Queries() - before,
+		QueriesIssued: sess.Queries(),
 		EngineQueries: s.engine.Queries(),
 	}
 	for _, t := range tuples {

@@ -15,6 +15,20 @@
 //	cur, err := rr.Query(qrank.NewQuery(), rank)
 //	top10, err := qrank.TopH(cur, 10)
 //
+// # Concurrency
+//
+// A Reranker is safe for concurrent use. Internally it is split into a
+// shared Knowledge layer — the cross-query answer history, the on-the-fly
+// dense-region indexes, and the upstream-query counter, all internally
+// synchronized — and per-request Sessions that hold traversal state and a
+// per-request cost ledger. Create cursors from any goroutine; each
+// individual Cursor must be driven by one goroutine at a time. A probe
+// coalescing layer deduplicates identical in-flight upstream queries and
+// replays recent complete answers, so concurrent users with overlapping
+// queries do not multiply upstream cost (deduplicated probes are counted
+// once). Options.DisableCoalescing opts out for upstreams whose corpus
+// changes mid-run.
+//
 // The heavy lifting lives in internal/core (the paper's 1D-RERANK and
 // MD-RERANK algorithms with on-the-fly dense-region indexing); this package
 // re-exports the stable surface.
@@ -60,6 +74,11 @@ type (
 	// Variant selects the algorithm family (Rerank is the paper's full
 	// algorithm and the default).
 	Variant = core.Variant
+	// Session scopes the cursors of one logical request and tracks the
+	// upstream queries charged to it. Create one per request via
+	// Reranker.NewSession when a per-request cost ledger is needed;
+	// sessions from many goroutines may run concurrently.
+	Session = core.Session
 )
 
 // Attribute kinds.
@@ -120,7 +139,9 @@ func NewRatio(name string, num, den int) Ranker { return ranking.NewRatio(name, 
 
 // Reranker is a long-lived reranking service instance bound to one upstream
 // database. Its answer history and on-the-fly dense indexes persist across
-// queries, so costs amortize the more it is used.
+// queries, so costs amortize the more it is used. It is safe for concurrent
+// use: cursors may be created and driven from many goroutines at once (one
+// goroutine per cursor).
 type Reranker struct {
 	engine *core.Engine
 }
@@ -144,8 +165,14 @@ func (r *Reranker) QueryVariant(q Query, rank Ranker, v Variant) (Cursor, error)
 	return r.engine.NewCursor(q, rank, v)
 }
 
+// NewSession starts a session: a per-request scope whose Queries ledger
+// reports exactly the upstream cost charged to the cursors created from it,
+// even while other sessions run concurrently.
+func (r *Reranker) NewSession() *Session { return r.engine.NewSession() }
+
 // QueriesIssued reports the total number of upstream search queries this
-// instance has spent — the paper's sole cost measure.
+// instance has spent — the paper's sole cost measure. Probes deduplicated
+// by the coalescing layer count once.
 func (r *Reranker) QueriesIssued() int64 { return r.engine.Queries() }
 
 // SaveSnapshot serializes the accumulated answer history and dense indexes

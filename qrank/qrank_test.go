@@ -3,6 +3,7 @@ package qrank_test
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/qrank"
@@ -94,5 +95,69 @@ func TestPublicVariants(t *testing.T) {
 	top, err := qrank.TopH(cur, 1)
 	if err != nil || len(top) != 1 {
 		t.Fatal("single-attr query failed")
+	}
+}
+
+// TestConcurrentSessions exercises the public concurrency contract: many
+// goroutines, each with its own session, against one shared Reranker. Every
+// answer must be exact and the session ledgers must partition the total.
+func TestConcurrentSessions(t *testing.T) {
+	db, tuples, _ := buildDB(t, 400, 5)
+	rr := qrank.New(db, qrank.Options{N: 400})
+	rank := qrank.MustLinear("p+m", []int{0, 1}, []float64{1, 1})
+
+	oracle := func(filter string, h int) []float64 {
+		var want []float64
+		for _, tp := range tuples {
+			if filter == "" || tp.Cat["b"] == filter {
+				want = append(want, tp.Ord[0]+tp.Ord[1])
+			}
+		}
+		sort.Float64s(want)
+		return want[:h]
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ledgers int64
+	errs := make(chan error, 16)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			filter := []string{"", "u", "v"}[g%3]
+			q := qrank.NewQuery()
+			if filter != "" {
+				q = q.WithCat("b", filter)
+			}
+			sess := rr.NewSession()
+			cur, err := sess.NewCursor(q, rank, qrank.Rerank)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := qrank.TopH(cur, 5)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := oracle(filter, 5)
+			for i, tp := range got {
+				if s := qrank.Score(rank, tp); s != want[i] {
+					t.Errorf("goroutine %d rank %d: score %g, want %g", g, i, s, want[i])
+				}
+			}
+			mu.Lock()
+			ledgers += sess.Queries()
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if ledgers != rr.QueriesIssued() {
+		t.Errorf("session ledgers sum to %d, reranker counted %d", ledgers, rr.QueriesIssued())
 	}
 }
