@@ -11,15 +11,22 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/history"
+	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/ranking"
+	"repro/internal/types"
 	"repro/internal/workload"
 )
 
@@ -193,6 +200,172 @@ func BenchmarkParallelRerank(b *testing.B) {
 	b.Run("uncoalesced", func(b *testing.B) {
 		benchParallelRerank(b, core.Options{DisableCoalescing: true})
 	})
+}
+
+// histStore is the surface BenchmarkHistoryWriteMix drives: the history
+// store's hot-path operations shared by the sharded implementation and the
+// pre-sharding rebuild-on-read baseline below.
+type histStore interface {
+	Add(...types.Tuple) int
+	MinMatching(query.Query, int, types.Interval) (types.Tuple, bool)
+	MaxMatching(query.Query, int, types.Interval) (types.Tuple, bool)
+}
+
+// rebuildStore replicates the pre-PR-2 history store design — one global
+// RWMutex, per-attribute sorted indexes thrown away on every insert and
+// rebuilt (full O(n log n) sort) by the next reader under the write lock —
+// kept here as the benchmark baseline the sharded store is measured against.
+type rebuildStore struct {
+	mu     sync.RWMutex
+	byID   map[int]types.Tuple
+	sorted map[int][]types.Tuple
+	dirty  map[int]bool
+}
+
+func newRebuildStore() *rebuildStore {
+	return &rebuildStore{
+		byID:   make(map[int]types.Tuple),
+		sorted: make(map[int][]types.Tuple),
+		dirty:  make(map[int]bool),
+	}
+}
+
+func (s *rebuildStore) Add(tuples ...types.Tuple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := 0
+	for _, t := range tuples {
+		if _, seen := s.byID[t.ID]; seen {
+			continue
+		}
+		s.byID[t.ID] = t.Clone()
+		added++
+	}
+	if added > 0 {
+		for a := range s.sorted {
+			s.dirty[a] = true
+		}
+	}
+	return added
+}
+
+func (s *rebuildStore) index(attr int) []types.Tuple {
+	s.mu.RLock()
+	lst, ok := s.sorted[attr]
+	fresh := ok && !s.dirty[attr] && len(lst) == len(s.byID)
+	s.mu.RUnlock()
+	if fresh {
+		return lst
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lst, ok = s.sorted[attr]
+	if ok && !s.dirty[attr] && len(lst) == len(s.byID) {
+		return lst
+	}
+	lst = make([]types.Tuple, 0, len(s.byID))
+	for _, t := range s.byID {
+		lst = append(lst, t)
+	}
+	sort.Slice(lst, func(i, j int) bool {
+		if lst[i].Ord[attr] != lst[j].Ord[attr] {
+			return lst[i].Ord[attr] < lst[j].Ord[attr]
+		}
+		return lst[i].ID < lst[j].ID
+	})
+	s.sorted[attr] = lst
+	s.dirty[attr] = false
+	return lst
+}
+
+func (s *rebuildStore) MinMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
+	return index.ScanMinMatching(s.index(attr), q, attr, iv)
+}
+
+func (s *rebuildStore) MaxMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
+	return index.ScanMaxMatching(s.index(attr), q, attr, iv)
+}
+
+// benchHistSchema is the two-ordinal-attribute schema the history write-mix
+// benchmark runs over.
+func benchHistSchema() *types.Schema {
+	return types.MustSchema([]types.Attribute{
+		{Name: "A0", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 100}},
+		{Name: "A1", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 100}},
+	})
+}
+
+// benchHistTuple fabricates a fresh observed tuple; IDs come from an atomic
+// counter so every Add inserts (dup Adds would let the rebuild baseline skip
+// its index invalidation and understate the contrast).
+func benchHistTuple(rng *rand.Rand, id int64) types.Tuple {
+	return types.Tuple{
+		ID:  int(id),
+		Ord: []float64{rng.Float64() * 100, rng.Float64() * 100},
+	}
+}
+
+// BenchmarkHistoryWriteMix drives the history store's hot path — Add vs
+// indexed MinMatching/MaxMatching — at three read/write ratios and several
+// GOMAXPROCS settings, once against the sharded incremental store and once
+// against the pre-sharding rebuild-on-read baseline. The interesting number
+// is the sharded/rebuild ns/op ratio at mix=mixed with procs ≥ 4: the write
+// mix keeps the baseline permanently dirty, so every read pays a full
+// O(n log n) rebuild under the write lock, while the sharded store merges
+// incrementally per attribute.
+func BenchmarkHistoryWriteMix(b *testing.B) {
+	mixes := []struct {
+		name    string
+		readPct int
+	}{
+		{"read-heavy", 95},
+		{"mixed", 50},
+		{"write-heavy", 5},
+	}
+	stores := []struct {
+		name string
+		make func() histStore
+	}{
+		{"sharded", func() histStore { return history.NewStore(benchHistSchema()) }},
+		{"rebuild", func() histStore { return newRebuildStore() }},
+	}
+	for _, mix := range mixes {
+		for _, procs := range []int{1, 4, 8} {
+			for _, st := range stores {
+				name := fmt.Sprintf("mix=%s/procs=%d/store=%s", mix.name, procs, st.name)
+				b.Run(name, func(b *testing.B) {
+					defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+					s := st.make()
+					var nextID, nextSeed atomic.Int64
+					// Pre-populate so reads have something to scan from
+					// the first iteration.
+					seedRNG := rand.New(rand.NewSource(1))
+					for i := 0; i < 5000; i++ {
+						s.Add(benchHistTuple(seedRNG, nextID.Add(1)))
+					}
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						rng := rand.New(rand.NewSource(nextSeed.Add(1)))
+						for pb.Next() {
+							if rng.Intn(100) < mix.readPct {
+								attr := rng.Intn(2)
+								lo := rng.Float64() * 90
+								iv := types.ClosedInterval(lo, lo+10)
+								q := query.New().WithRange(1-attr, types.ClosedInterval(0, 75))
+								if rng.Intn(2) == 0 {
+									s.MinMatching(q, attr, iv)
+								} else {
+									s.MaxMatching(q, attr, iv)
+								}
+							} else {
+								s.Add(benchHistTuple(rng, nextID.Add(1)))
+							}
+						}
+					})
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkGetNextLatency measures the computational overhead (not query

@@ -91,7 +91,9 @@ func main() {
 				log.Fatalf("rerankd: load state: %v", err)
 			}
 			f.Close()
-			log.Printf("rerankd: warm start from %s", *state)
+			st := srv.Stats()
+			log.Printf("rerankd: warm start from %s (%d history tuples, %d cached probe answers)",
+				*state, st.HistoryTuples, st.ProbeCacheEntries)
 		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -126,6 +126,34 @@ func (p *probeCache) get(key string) (hidden.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// export returns the cached entries ordered least-recently-used first, so
+// replaying them through put reproduces the eviction order. Results are
+// shared, not copied: callers must treat them as immutable (they already
+// are engine-wide).
+func (p *probeCache) export() []probeEntry {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]probeEntry, 0, p.order.Len())
+	for el := p.order.Back(); el != nil; el = el.Prev() {
+		ce := el.Value.(*cacheEntry)
+		out = append(out, probeEntry{Key: ce.key, Res: ce.res})
+	}
+	return out
+}
+
+// size returns the number of cached complete answers.
+func (p *probeCache) size() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.order.Len()
+}
+
 func (p *probeCache) put(key string, res hidden.Result) {
 	if p == nil || res.Overflow {
 		return // only complete answers are authoritative
@@ -143,6 +171,14 @@ func (p *probeCache) put(key string, res hidden.Result) {
 		p.order.Remove(oldest)
 		delete(p.byKey, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// probeEntry is one exported probe-LRU entry: a canonical query key and its
+// complete (valid/underflow) answer. Snapshots persist these so a restarted
+// service stays warm at the probe level, not just the tuple level.
+type probeEntry struct {
+	Key string
+	Res hidden.Result
 }
 
 // coalescer wraps the engine's primary database with singleflight dedup and
@@ -164,6 +200,33 @@ func newCoalescer(db hidden.Database, cacheSize int, disabled bool) *coalescer {
 		cache:    newProbeCache(cacheSize),
 		disabled: disabled,
 	}
+}
+
+// export dumps the complete-answer LRU, least recently used first. Empty
+// when coalescing is disabled or the cache is turned off.
+func (c *coalescer) export() []probeEntry {
+	if c.disabled {
+		return nil
+	}
+	return c.cache.export()
+}
+
+// restore seeds one complete answer into the LRU (snapshot warm-restart).
+// A no-op when coalescing is disabled, the cache is off, or the result is
+// not complete.
+func (c *coalescer) restore(key string, res hidden.Result) {
+	if c.disabled {
+		return
+	}
+	c.cache.put(key, res)
+}
+
+// cacheSize returns the number of complete answers currently cached.
+func (c *coalescer) cacheSize() int {
+	if c.disabled {
+		return 0
+	}
+	return c.cache.size()
 }
 
 // TopK answers q, deduplicating in-flight identical probes and serving

@@ -156,6 +156,12 @@ func (e *Engine) History() *history.Store { return e.know.hist }
 // DenseIndex1D exposes the 1D dense index for inspection by experiments.
 func (e *Engine) DenseIndex1D() *index.Dense1D { return e.know.dense1 }
 
+// ProbeCacheEntries returns the number of complete probe answers currently
+// held by the coalescing layer's LRU (0 when coalescing or the cache is
+// disabled). Snapshots persist these entries, so after a warm restart this
+// reports how many probes the engine can answer for zero upstream cost.
+func (e *Engine) ProbeCacheEntries() int { return e.probes.cacheSize() }
+
 // sParam returns the dense-region population parameter s (§3.2.2), defaulting
 // to k·log2(n).
 func (e *Engine) sParam() float64 {

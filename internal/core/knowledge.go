@@ -3,9 +3,10 @@
 // Everything the paper amortizes across user queries lives here — the
 // cross-query answer history (§3.1.1), the 1D and MD dense-region indexes
 // (§3.2.2, §4.4), and the lifetime upstream-query counter. All of it is
-// guarded internally (the history store and dense indexes carry their own
-// RWMutexes, the counter is atomic), so arbitrarily many Sessions on
-// arbitrarily many goroutines read and grow the same knowledge while it
+// guarded internally (the history store shards its sorted indexes per
+// attribute with incremental run+buffer maintenance, the dense indexes carry
+// their own RWMutexes, the counter is atomic), so arbitrarily many Sessions
+// on arbitrarily many goroutines read and grow the same knowledge while it
 // stays snapshottable live.
 
 package core

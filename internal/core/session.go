@@ -24,8 +24,9 @@ import (
 
 // Session groups the cursors of one logical request against an Engine and
 // tracks the upstream queries charged to it. Coalesced and cached probes are
-// free: a session is only charged for probes that actually reached the
-// upstream on its behalf.
+// free — including probes answered from a snapshot-restored cache after a
+// warm restart: a session is only charged for probes that actually reached
+// the upstream on its behalf.
 type Session struct {
 	e       *Engine
 	queries atomic.Int64

@@ -4,8 +4,9 @@
 // upstream answer lands in the history store and every crawled dense region
 // in the on-the-fly indexes. Real deployments restart; losing that state
 // means re-spending rate-limited upstream queries. Snapshot serializes the
-// engine's accumulated knowledge (history tuples + 1D dense regions) to
-// JSON so a service can restart warm.
+// engine's accumulated knowledge (history tuples, 1D dense regions, and the
+// probe-coalescing LRU's complete answers) to JSON so a service can restart
+// warm at both the tuple and the probe level.
 //
 // Snapshots may be taken while sessions are running: the knowledge layer is
 // internally guarded, and SaveSnapshot captures the dense regions before the
@@ -17,6 +18,16 @@
 // MD dense regions are rebuilt from history on demand rather than
 // serialized: their tuples are a subset of history, and region boxes are
 // cheap to re-crawl relative to their payload.
+//
+// # Format versions
+//
+// Version 1 (PR 1): queries counter, history tuples, 1D dense regions.
+// Version 2 adds "probes": the probe-coalescing LRU's complete
+// (valid/underflow) answers, keyed by canonical query string and referencing
+// tuples by ID in upstream rank order, so a restarted service answers a
+// repeated probe for zero upstream queries. Version-1 snapshots still load
+// (they simply restore no probe cache); version-2 snapshots are written
+// unconditionally.
 
 package core
 
@@ -25,13 +36,18 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/hidden"
 	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/types"
 )
 
-// snapshotVersion guards against loading incompatible files.
-const snapshotVersion = 1
+// snapshotVersion is the version written by SaveSnapshot; LoadSnapshot
+// accepts any version from snapshotVersionMin up to it.
+const (
+	snapshotVersionMin = 1
+	snapshotVersion    = 2
+)
 
 // Snapshot is the serialized engine state.
 type Snapshot struct {
@@ -39,13 +55,32 @@ type Snapshot struct {
 	Queries int64          `json:"queries"`
 	Tuples  []snapTuple    `json:"tuples"`
 	Dense1D []snapInterval `json:"dense1d"`
-	Schema  []string       `json:"schema"` // attribute names, for validation
+	// Probes holds the probe-coalescing LRU's complete answers, least
+	// recently used first (v2+; absent in v1 snapshots).
+	Probes []snapProbe `json:"probes,omitempty"`
+	// UpstreamK and UpstreamRanker fingerprint the upstream that produced
+	// the cached probe answers (v2+). Cached answers replay upstream
+	// responses verbatim, so LoadSnapshot drops the probe section — never
+	// the history — when the fingerprint visibly differs; history tuples
+	// are corpus facts either way, but probe answers also encode the
+	// upstream's ranking behavior.
+	UpstreamK      int      `json:"upstreamK,omitempty"`
+	UpstreamRanker string   `json:"upstreamRanker,omitempty"`
+	Schema         []string `json:"schema"` // attribute names, for validation
 }
 
 type snapTuple struct {
 	ID  int               `json:"id"`
 	Ord []float64         `json:"ord"`
 	Cat map[string]string `json:"cat,omitempty"`
+}
+
+// snapProbe is one cached complete probe answer: the canonical query key and
+// the answered tuple IDs in upstream rank order. Only complete answers are
+// ever cached, so no overflow flag is needed.
+type snapProbe struct {
+	Key string `json:"key"`
+	IDs []int  `json:"ids"` // payloads live in Tuples
 }
 
 type snapInterval struct {
@@ -61,24 +96,43 @@ type snapInterval struct {
 // to call while sessions are running concurrently.
 func (e *Engine) SaveSnapshot(w io.Writer) error {
 	snap := Snapshot{
-		Version: snapshotVersion,
-		Queries: e.know.queries.Load(),
-		Schema:  e.db.Schema().Names(),
+		Version:        snapshotVersion,
+		Queries:        e.know.queries.Load(),
+		Schema:         e.db.Schema().Names(),
+		UpstreamK:      e.db.K(),
+		UpstreamRanker: upstreamRankerName(e.db),
 	}
-	// Dense regions first: history only grows, so capturing regions before
-	// the tuple dump keeps region ID references resolvable even when other
-	// sessions insert concurrently.
+	// Dense regions and probe-cache entries first: history only grows, so
+	// capturing them before the tuple dump keeps most ID references
+	// resolvable even when other sessions insert concurrently; the few
+	// referenced tuples still missing from history (possible under
+	// DisableHistory, or for a probe cached just before its leader's
+	// history insert) are appended explicitly below.
 	var regions [][]index.Interval1D
 	attrs := e.db.Schema().OrdinalIndexes()
 	for _, attr := range attrs {
 		regions = append(regions, e.know.dense1.Export(attr))
 	}
+	probes := e.probes.export()
 	seen := make(map[int]bool)
+	addTuple := func(t types.Tuple) {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			snap.Tuples = append(snap.Tuples, snapTuple{ID: t.ID, Ord: t.Ord, Cat: t.Cat})
+		}
+	}
 	e.know.hist.ForEachMatching(query.New(), func(t types.Tuple) bool {
-		snap.Tuples = append(snap.Tuples, snapTuple{ID: t.ID, Ord: t.Ord, Cat: t.Cat})
-		seen[t.ID] = true
+		addTuple(t)
 		return true
 	})
+	for _, pe := range probes {
+		sp := snapProbe{Key: pe.Key, IDs: make([]int, 0, len(pe.Res.Tuples))}
+		for _, t := range pe.Res.Tuples {
+			sp.IDs = append(sp.IDs, t.ID)
+			addTuple(t)
+		}
+		snap.Probes = append(snap.Probes, sp)
+	}
 	for i, attr := range attrs {
 		for _, reg := range regions[i] {
 			si := snapInterval{
@@ -88,10 +142,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 			}
 			for _, t := range reg.Tuples {
 				si.IDs = append(si.IDs, t.ID)
-				if !seen[t.ID] {
-					seen[t.ID] = true
-					snap.Tuples = append(snap.Tuples, snapTuple{ID: t.ID, Ord: t.Ord, Cat: t.Cat})
-				}
+				addTuple(t)
 			}
 			snap.Dense1D = append(snap.Dense1D, si)
 		}
@@ -108,8 +159,8 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("core: decode snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("core: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	if snap.Version < snapshotVersionMin || snap.Version > snapshotVersion {
+		return fmt.Errorf("core: snapshot version %d, want %d..%d", snap.Version, snapshotVersionMin, snapshotVersion)
 	}
 	names := e.db.Schema().Names()
 	if len(names) != len(snap.Schema) {
@@ -121,14 +172,18 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 		}
 	}
 	byID := make(map[int]types.Tuple, len(snap.Tuples))
+	batch := make([]types.Tuple, 0, len(snap.Tuples))
 	for _, st := range snap.Tuples {
 		if len(st.Ord) != len(names) {
 			return fmt.Errorf("core: snapshot tuple %d has %d values, want %d", st.ID, len(st.Ord), len(names))
 		}
 		t := types.Tuple{ID: st.ID, Ord: st.Ord, Cat: st.Cat}
 		byID[st.ID] = t
-		e.know.hist.Add(t)
+		batch = append(batch, t)
 	}
+	// One variadic Add: the store batches its per-shard index inserts per
+	// call, so this restores in one pass instead of n lock round-trips.
+	e.know.hist.Add(batch...)
 	for _, si := range snap.Dense1D {
 		if si.Attr < 0 || si.Attr >= len(names) {
 			return fmt.Errorf("core: snapshot dense region on invalid attribute %d", si.Attr)
@@ -145,5 +200,38 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 			Lo: si.Lo, Hi: si.Hi, LoOpen: si.LoOpen, HiOpen: si.HiOpen,
 		}, tuples)
 	}
+	// Probe-cache warm restart (v2+). Entries are stored least recently
+	// used first, so replaying them in order reproduces the LRU state.
+	// Cached answers replay upstream responses verbatim, so they are only
+	// restored when the upstream fingerprint still matches; a changed k or
+	// system ranker leaves the probe cache cold rather than silently
+	// replaying another upstream's answers. (An unknown fingerprint side —
+	// zero k or empty ranker name — skips that comparison.)
+	if snap.UpstreamK != 0 && snap.UpstreamK != e.db.K() {
+		return nil
+	}
+	if name := upstreamRankerName(e.db); snap.UpstreamRanker != "" && name != "" && snap.UpstreamRanker != name {
+		return nil
+	}
+	for _, sp := range snap.Probes {
+		res := hidden.Result{Tuples: make([]types.Tuple, 0, len(sp.IDs))}
+		for _, id := range sp.IDs {
+			t, ok := byID[id]
+			if !ok {
+				return fmt.Errorf("core: cached probe %q references unknown tuple %d", sp.Key, id)
+			}
+			res.Tuples = append(res.Tuples, t)
+		}
+		e.probes.restore(sp.Key, res)
+	}
 	return nil
+}
+
+// upstreamRankerName identifies the upstream's system ranking when the
+// database exposes one (in-process hidden.DB); remote upstreams return "".
+func upstreamRankerName(db hidden.Database) string {
+	if hdb, ok := db.(*hidden.DB); ok {
+		return hdb.RankerName()
+	}
+	return ""
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/hidden"
@@ -70,6 +71,219 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotProbeWarmRestart: since snapshot v2, the probe-coalescing LRU
+// survives restarts. A probe answered completely before the snapshot must
+// cost a restarted engine zero upstream queries — warm at the probe level,
+// not just the tuple level.
+func TestSnapshotProbeWarmRestart(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	db, _ := newTestDB(t, rng, 2, 500, 10, false, nil)
+	e1 := NewEngine(db, Options{N: 500})
+	sess1 := e1.NewSession()
+
+	// Narrow probes with complete (valid or underflow) answers: only those
+	// are cacheable, and only complete answers are persisted.
+	probes := []query.Query{
+		query.New().WithRange(0, types.ClosedInterval(10, 12)).WithCat("cat", "x"),
+		query.New().WithRange(1, types.ClosedInterval(40, 41)),
+		query.New().WithRange(0, types.ClosedInterval(200, 300)), // underflow
+	}
+	want := make([]hidden.Result, len(probes))
+	for i, q := range probes {
+		res, err := sess1.issue(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Overflow {
+			t.Fatalf("precondition: probe %d (%s) overflowed; pick a narrower test query", i, q)
+		}
+		want[i] = res
+	}
+	if e1.ProbeCacheEntries() != len(probes) {
+		t.Fatalf("probe cache holds %d entries, want %d", e1.ProbeCacheEntries(), len(probes))
+	}
+	var buf bytes.Buffer
+	if err := e1.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh engine, load, repeat every probe.
+	e2 := NewEngine(db, Options{N: 500})
+	if err := e2.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if e2.ProbeCacheEntries() != len(probes) {
+		t.Fatalf("restored probe cache holds %d entries, want %d", e2.ProbeCacheEntries(), len(probes))
+	}
+	db.ResetCounter()
+	sess2 := e2.NewSession()
+	for i, q := range probes {
+		res, err := sess2.issue(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != len(want[i].Tuples) {
+			t.Fatalf("probe %d: warm answer has %d tuples, want %d", i, len(res.Tuples), len(want[i].Tuples))
+		}
+		for j := range res.Tuples {
+			if res.Tuples[j].ID != want[i].Tuples[j].ID {
+				t.Fatalf("probe %d rank %d: warm ID %d, want %d (rank order must survive)",
+					i, j, res.Tuples[j].ID, want[i].Tuples[j].ID)
+			}
+		}
+	}
+	if n := db.QueryCount(); n != 0 {
+		t.Errorf("repeated probes after restart cost %d upstream queries, want 0", n)
+	}
+	if n := sess2.Queries(); n != 0 {
+		t.Errorf("repeated probes after restart charged the session %d queries, want 0", n)
+	}
+}
+
+// TestSnapshotSaveUnderLoadStaysWarm covers the acceptance criterion
+// end-to-end: a snapshot taken while concurrent sessions are mid-flight must
+// reload with the probe cache warm enough that a previously answered probe
+// costs zero upstream queries.
+func TestSnapshotSaveUnderLoadStaysWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	db, _ := newTestDB(t, rng, 2, 600, 8, true, systemRankers(2)[2])
+	e := NewEngine(db, Options{N: 600})
+
+	// Pin one complete probe into the cache before the storm.
+	pinned := query.New().WithRange(0, types.ClosedInterval(20, 21)).WithCat("cat", "y")
+	res, err := e.NewSession().issue(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overflow {
+		t.Fatal("precondition: pinned probe overflowed; pick a narrower test query")
+	}
+
+	// Save while a concurrent workload hammers the engine.
+	items := concurrentWorkload(rng)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(items))
+	for _, it := range items {
+		wg.Add(1)
+		go func(it concurrentWorkItem) {
+			defer wg.Done()
+			cur, err := e.NewSession().NewCursor(it.q, it.r, it.v)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := TopH(cur, it.h); err != nil {
+				errs <- err
+			}
+		}(it)
+	}
+	var buf bytes.Buffer
+	if err := e.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	warm := NewEngine(db, Options{N: 600})
+	if err := warm.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetCounter()
+	sess := warm.NewSession()
+	if _, err := sess.issue(pinned); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.QueryCount(); n != 0 {
+		t.Errorf("pinned probe after under-load restart cost %d upstream queries, want 0", n)
+	}
+	if n := sess.Queries(); n != 0 {
+		t.Errorf("pinned probe after under-load restart charged %d, want 0", n)
+	}
+}
+
+// TestSnapshotProbeFingerprintMismatch: cached probe answers replay one
+// specific upstream's responses, so loading a snapshot against an upstream
+// with a different k or system ranking must drop the probe section (cold
+// cache) while still restoring the history.
+func TestSnapshotProbeFingerprintMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	db, tuples := newTestDB(t, rng, 2, 300, 10, false, nil)
+	e1 := NewEngine(db, Options{N: 300})
+	if _, err := e1.NewSession().issue(query.New().WithRange(0, types.ClosedInterval(10, 12))); err != nil {
+		t.Fatal(err)
+	}
+	if e1.ProbeCacheEntries() == 0 {
+		t.Fatal("precondition: no probe cached")
+	}
+	var buf bytes.Buffer
+	if err := e1.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same schema and corpus, different system-k: probes must not restore.
+	dbK := hidden.MustDB(db.Schema(), tuples, hidden.Options{K: 7})
+	eK := NewEngine(dbK, Options{N: 300})
+	if err := eK.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if eK.ProbeCacheEntries() != 0 {
+		t.Errorf("k-mismatched load restored %d probe entries, want 0", eK.ProbeCacheEntries())
+	}
+	if eK.History().Size() != e1.History().Size() {
+		t.Errorf("k-mismatched load lost history: %d, want %d", eK.History().Size(), e1.History().Size())
+	}
+
+	// Different system ranking, same k: probes must not restore either.
+	sys := hidden.RankerAdapter{R: ranking.NewSingle("other-sys", 1, ranking.Desc)}
+	dbR := hidden.MustDB(db.Schema(), tuples, hidden.Options{K: 10, Ranker: sys})
+	eR := NewEngine(dbR, Options{N: 300})
+	if err := eR.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if eR.ProbeCacheEntries() != 0 {
+		t.Errorf("ranker-mismatched load restored %d probe entries, want 0", eR.ProbeCacheEntries())
+	}
+
+	// Matching upstream: probes restore.
+	eOK := NewEngine(db, Options{N: 300})
+	if err := eOK.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if eOK.ProbeCacheEntries() != e1.ProbeCacheEntries() {
+		t.Errorf("matching load restored %d probe entries, want %d", eOK.ProbeCacheEntries(), e1.ProbeCacheEntries())
+	}
+}
+
+// TestSnapshotV1BackCompat: PR-1-format snapshots (version 1, no probes
+// field) must keep loading — they restore history and dense regions and
+// simply leave the probe cache cold.
+func TestSnapshotV1BackCompat(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	db, _ := newTestDB(t, rng, 2, 50, 5, false, nil)
+	e := NewEngine(db, Options{N: 50})
+	v1 := `{"version":1,"queries":7,"schema":["A0","A1","cat"],` +
+		`"tuples":[{"id":1,"ord":[5,6,0],"cat":{"cat":"x"}},{"id":2,"ord":[7,8,0],"cat":{"cat":"y"}}],` +
+		`"dense1d":[{"attr":0,"lo":4,"hi":8,"ids":[1,2]}]}`
+	if err := e.LoadSnapshot(strings.NewReader(v1)); err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	if e.History().Size() != 2 {
+		t.Fatalf("history size %d, want 2", e.History().Size())
+	}
+	if e.DenseIndex1D().Regions(0) != 1 {
+		t.Fatal("dense region lost")
+	}
+	if e.ProbeCacheEntries() != 0 {
+		t.Fatalf("v1 snapshot restored %d probe entries, want 0", e.ProbeCacheEntries())
+	}
+	if tp, ok := e.History().MinMatching(query.New(), 0, types.FullInterval()); !ok || tp.ID != 1 {
+		t.Fatal("restored history index broken")
+	}
+}
+
 func TestSnapshotValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(62))
 	db, _ := newTestDB(t, rng, 2, 50, 5, false, nil)
@@ -91,6 +305,12 @@ func TestSnapshotValidation(t *testing.T) {
 		`"dense1d":[{"attr":0,"lo":0,"hi":1,"ids":[42]}]}`
 	if err := e.LoadSnapshot(strings.NewReader(bad)); err == nil {
 		t.Error("dangling dense-region reference accepted")
+	}
+	// Cached probe referencing an unknown tuple.
+	badProbe := `{"version":2,"schema":["A0","A1","cat"],"tuples":[],` +
+		`"probes":[{"key":"TRUE","ids":[42]}]}`
+	if err := e.LoadSnapshot(strings.NewReader(badProbe)); err == nil {
+		t.Error("dangling probe-cache reference accepted")
 	}
 	// Malformed JSON.
 	if err := e.LoadSnapshot(strings.NewReader(`{`)); err == nil {

@@ -2,62 +2,209 @@
 // tuple ever returned by the hidden database is cached, deduplicated by ID,
 // and indexed per ordinal attribute, so the processing of one user query can
 // prune the search space using answers observed while processing others.
+//
+// # Sharded incremental indexes
+//
+// The store is write-heavy by nature — sustained discovery traffic keeps
+// appending freshly observed tuples — so index maintenance is incremental and
+// sharded per attribute. Each ordinal attribute owns an independent shard
+// guarded by its own lock, holding
+//
+//   - an immutable sorted run (ascending by value, ties by ID), replaced
+//     wholesale and never mutated in place, and
+//   - a small sorted "recent" buffer that absorbs inserts.
+//
+// When the buffer fills it is merged into the run — a linear merge of two
+// sorted runs, never a full re-sort — so no reader ever pays an O(n log n)
+// rebuild, and readers of attribute A never contend with a writer flushing
+// attribute B. MinMatching/MaxMatching scan run and buffer cooperatively and
+// combine the two candidates.
+//
+// Whole-store scans (BestMatching, ForEachMatching, CountMatching) iterate an
+// append-only insertion-order snapshot slice captured under a brief read
+// lock; the iteration itself runs lock-free, so callbacks may re-enter the
+// store freely.
 package history
 
 import (
 	"sort"
 	"sync"
 
+	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/types"
 )
 
-// Store caches observed tuples with a sorted index per ordinal attribute.
-// It is safe for concurrent use: the engine's knowledge layer shares one
-// store across every session. Per-attribute sorted indexes are rebuilt
-// lazily after inserts; once built, an index slice is immutable, so readers
-// scan it without holding the lock.
+// maxBufferLen is the per-shard recent-buffer flush threshold. A larger
+// buffer amortizes merges over more inserts at the price of a longer buffer
+// scan on every read; 256 keeps both sides trivially cheap. It is a variable
+// so tests can shrink it to exercise flushes aggressively.
+var maxBufferLen = 256
+
+// shard is the incrementally maintained sorted index of one ordinal
+// attribute. run and buf are both ordered ascending by (Ord[attr], ID) and
+// never share a tuple; run is immutable once published.
+type shard struct {
+	attr int
+	mu   sync.RWMutex
+	run  []types.Tuple
+	buf  []types.Tuple
+}
+
+// less orders tuples by (Ord[attr], ID) — the canonical run order.
+func (sh *shard) less(a, b types.Tuple) bool {
+	if a.Ord[sh.attr] != b.Ord[sh.attr] {
+		return a.Ord[sh.attr] < b.Ord[sh.attr]
+	}
+	return a.ID < b.ID
+}
+
+// insert adds tuples (already deduplicated by the store) to the recent
+// buffer, flushing into the run when it fills. A batch that would overfill
+// the buffer skips per-tuple insertion entirely: it is sorted once and
+// folded into the run with linear merges, so bulk loads (snapshot restore,
+// large crawl pages) stay O(n log n) instead of quadratic.
+func (sh *shard) insert(news []types.Tuple) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.buf)+len(news) >= maxBufferLen {
+		batch := append([]types.Tuple(nil), news...)
+		sort.Slice(batch, func(i, j int) bool { return sh.less(batch[i], batch[j]) })
+		sh.run = mergeRuns(sh.run, mergeRuns(sh.buf, batch, sh.less), sh.less)
+		sh.buf = nil
+		return
+	}
+	for _, t := range news {
+		i := sort.Search(len(sh.buf), func(i int) bool { return sh.less(t, sh.buf[i]) })
+		sh.buf = append(sh.buf, types.Tuple{})
+		copy(sh.buf[i+1:], sh.buf[i:])
+		sh.buf[i] = t
+	}
+}
+
+// mergeRuns combines two sorted runs into a fresh sorted slice. Linear in
+// the total size: both inputs are already sorted by less.
+func mergeRuns(a, b []types.Tuple, less func(x, y types.Tuple) bool) []types.Tuple {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]types.Tuple, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// minMatching scans run and buffer cooperatively for the smallest qualifying
+// value (ties by smallest ID).
+func (sh *shard) minMatching(q query.Query, iv types.Interval) (types.Tuple, bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	a, aok := index.ScanMinMatching(sh.run, q, sh.attr, iv)
+	b, bok := index.ScanMinMatching(sh.buf, q, sh.attr, iv)
+	switch {
+	case aok && bok:
+		if sh.less(b, a) {
+			return b, true
+		}
+		return a, true
+	case aok:
+		return a, true
+	default:
+		return b, bok
+	}
+}
+
+// maxMatching mirrors minMatching: the largest qualifying value, ties by
+// largest ID.
+func (sh *shard) maxMatching(q query.Query, iv types.Interval) (types.Tuple, bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	a, aok := index.ScanMaxMatching(sh.run, q, sh.attr, iv)
+	b, bok := index.ScanMaxMatching(sh.buf, q, sh.attr, iv)
+	switch {
+	case aok && bok:
+		if sh.less(a, b) {
+			return b, true
+		}
+		return a, true
+	case aok:
+		return a, true
+	default:
+		return b, bok
+	}
+}
+
+// Store caches observed tuples with a sharded, incrementally maintained
+// sorted index per ordinal attribute. It is safe for concurrent use: the
+// engine's knowledge layer shares one store across every session.
 type Store struct {
 	schema *types.Schema
 
 	mu   sync.RWMutex
 	byID map[int]types.Tuple
-	// sorted[attr] holds the cached tuples ordered ascending by
-	// attribute attr. Rebuilt lazily after inserts; slices are
-	// replaced wholesale, never mutated in place.
-	sorted map[int][]types.Tuple
-	dirty  map[int]bool
+	// all holds the cached tuples in insertion order. It is append-only:
+	// a slice header captured under the read lock is an immutable snapshot,
+	// so whole-store scans run without holding any lock.
+	all []types.Tuple
+
+	// shards maps ordinal attribute index -> its index shard. The map
+	// itself is immutable after NewStore.
+	shards map[int]*shard
 }
 
-// NewStore builds an empty history over the given schema.
+// NewStore builds an empty history over the given schema, with one index
+// shard per ordinal attribute.
 func NewStore(schema *types.Schema) *Store {
-	return &Store{
+	s := &Store{
 		schema: schema,
 		byID:   make(map[int]types.Tuple),
-		sorted: make(map[int][]types.Tuple),
-		dirty:  make(map[int]bool),
+		shards: make(map[int]*shard, schema.NumOrdinal()),
 	}
+	for _, attr := range schema.OrdinalIndexes() {
+		s.shards[attr] = &shard{attr: attr}
+	}
+	return s
 }
 
 // Add records tuples returned by a query; duplicates (by ID) are ignored.
-// It returns how many tuples were new.
+// It returns how many tuples were new. Tuples this call inserted are visible
+// to every index shard by the time it returns; a concurrent duplicate Add
+// may return before the first inserter has finished indexing, in which case
+// lookups can briefly miss the tuple — always safe, since a history miss
+// only costs an upstream probe the cache could have pruned.
 func (s *Store) Add(tuples ...types.Tuple) int {
+	var news []types.Tuple
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	added := 0
 	for _, t := range tuples {
 		if _, seen := s.byID[t.ID]; seen {
 			continue
 		}
-		s.byID[t.ID] = t.Clone()
-		added++
+		c := t.Clone()
+		s.byID[t.ID] = c
+		s.all = append(s.all, c)
+		news = append(news, c)
 	}
-	if added > 0 {
-		for a := range s.sorted {
-			s.dirty[a] = true
-		}
+	s.mu.Unlock()
+	if len(news) == 0 {
+		return 0
 	}
-	return added
+	for _, sh := range s.shards {
+		sh.insert(news)
+	}
+	return len(news)
 }
 
 // Size returns the number of distinct tuples observed.
@@ -83,89 +230,44 @@ func (s *Store) Get(id int) (types.Tuple, bool) {
 	return t, ok
 }
 
-// index returns the sorted-by-attr view, rebuilding it if stale. The
-// returned slice is immutable: rebuilds allocate a fresh slice, so callers
-// may scan it after the lock is released.
-func (s *Store) index(attr int) []types.Tuple {
+// snapshot captures the insertion-order tuple list. The returned slice is an
+// immutable point-in-time view: Add only ever appends past its length.
+func (s *Store) snapshot() []types.Tuple {
 	s.mu.RLock()
-	lst, ok := s.sorted[attr]
-	fresh := ok && !s.dirty[attr] && len(lst) == len(s.byID)
-	s.mu.RUnlock()
-	if fresh {
-		return lst
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	lst, ok = s.sorted[attr]
-	if ok && !s.dirty[attr] && len(lst) == len(s.byID) {
-		return lst // another goroutine rebuilt it while we upgraded
-	}
-	lst = make([]types.Tuple, 0, len(s.byID))
-	for _, t := range s.byID {
-		lst = append(lst, t)
-	}
-	sort.Slice(lst, func(i, j int) bool {
-		if lst[i].Ord[attr] != lst[j].Ord[attr] {
-			return lst[i].Ord[attr] < lst[j].Ord[attr]
-		}
-		return lst[i].ID < lst[j].ID
-	})
-	s.sorted[attr] = lst
-	s.dirty[attr] = false
-	return lst
+	defer s.mu.RUnlock()
+	return s.all
 }
 
 // MinMatching returns the cached tuple matching q with the smallest value of
-// attr inside iv, scanning the per-attribute index in ascending order.
-// ok is false when no cached tuple qualifies.
+// attr inside iv (ties broken by smallest ID), scanning the attribute
+// shard's sorted run and recent buffer cooperatively. ok is false when no
+// cached tuple qualifies.
 func (s *Store) MinMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
-	lst := s.index(attr)
-	// Binary search to the first tuple with value ≥ iv.Lo.
-	i := sort.Search(len(lst), func(i int) bool { return lst[i].Ord[attr] >= iv.Lo })
-	for ; i < len(lst); i++ {
-		v := lst[i].Ord[attr]
-		if v > iv.Hi || (v == iv.Hi && iv.HiOpen) {
-			break
-		}
-		if v == iv.Lo && iv.LoOpen {
-			continue
-		}
-		if q.Matches(lst[i]) {
-			return lst[i], true
-		}
+	sh, ok := s.shards[attr]
+	if !ok {
+		return types.Tuple{}, false
 	}
-	return types.Tuple{}, false
+	return sh.minMatching(q, iv)
 }
 
-// MaxMatching is MinMatching's mirror: the largest value of attr inside iv.
+// MaxMatching is MinMatching's mirror: the largest value of attr inside iv,
+// ties broken by largest ID.
 func (s *Store) MaxMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
-	lst := s.index(attr)
-	i := sort.Search(len(lst), func(i int) bool { return lst[i].Ord[attr] > iv.Hi })
-	for i--; i >= 0; i-- {
-		v := lst[i].Ord[attr]
-		if v < iv.Lo || (v == iv.Lo && iv.LoOpen) {
-			break
-		}
-		if v == iv.Hi && iv.HiOpen {
-			continue
-		}
-		if q.Matches(lst[i]) {
-			return lst[i], true
-		}
+	sh, ok := s.shards[attr]
+	if !ok {
+		return types.Tuple{}, false
 	}
-	return types.Tuple{}, false
+	return sh.maxMatching(q, iv)
 }
 
-// BestMatching returns the cached tuple matching q minimizing score(t).
-// Useful for seeding multi-dimensional search with the best tuple observed
-// so far.
+// BestMatching returns the cached tuple matching q minimizing score(t), ties
+// broken by smallest ID. Useful for seeding multi-dimensional search with
+// the best tuple observed so far.
 func (s *Store) BestMatching(q query.Query, score func(types.Tuple) float64) (types.Tuple, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var best types.Tuple
 	bestScore := 0.0
 	found := false
-	for _, t := range s.byID {
+	for _, t := range s.snapshot() {
 		if !q.Matches(t) {
 			continue
 		}
@@ -177,13 +279,12 @@ func (s *Store) BestMatching(q query.Query, score func(types.Tuple) float64) (ty
 	return best, found
 }
 
-// ForEachMatching invokes fn for every cached tuple matching q. Iteration
-// order is unspecified; fn returning false stops early. The store's lock is
-// held for the duration: fn must not call back into the store.
+// ForEachMatching invokes fn for every cached tuple matching q, in insertion
+// order; fn returning false stops early. Iteration runs over an immutable
+// snapshot taken when the call starts: fn may safely call back into the
+// store (including Add — tuples added during iteration are not visited).
 func (s *Store) ForEachMatching(q query.Query, fn func(types.Tuple) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, t := range s.byID {
+	for _, t := range s.snapshot() {
 		if q.Matches(t) {
 			if !fn(t) {
 				return
@@ -194,10 +295,8 @@ func (s *Store) ForEachMatching(q query.Query, fn func(types.Tuple) bool) {
 
 // CountMatching returns how many cached tuples match q.
 func (s *Store) CountMatching(q query.Query) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, t := range s.byID {
+	for _, t := range s.snapshot() {
 		if q.Matches(t) {
 			n++
 		}

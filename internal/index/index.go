@@ -172,35 +172,49 @@ func dedupeSort(ts []types.Tuple, attr int) []types.Tuple {
 // matches q, searching the recorded region reg. ok is false when no stored
 // tuple qualifies (authoritative: the region was fully crawled).
 func (r Interval1D) MinMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
-	i := sort.Search(len(r.Tuples), func(i int) bool { return r.Tuples[i].Ord[attr] >= iv.Lo })
-	for ; i < len(r.Tuples); i++ {
-		v := r.Tuples[i].Ord[attr]
+	return ScanMinMatching(r.Tuples, q, attr, iv)
+}
+
+// MaxMatching mirrors MinMatching for descending scans.
+func (r Interval1D) MaxMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
+	return ScanMaxMatching(r.Tuples, q, attr, iv)
+}
+
+// ScanMinMatching returns the first tuple of lst — which must be sorted
+// ascending by (Ord[attr], ID) — that lies inside iv and matches q. It is the
+// shared ascending-scan primitive of every sorted tuple run in the system:
+// dense-region payloads here and the history store's per-attribute runs.
+func ScanMinMatching(lst []types.Tuple, q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].Ord[attr] >= iv.Lo })
+	for ; i < len(lst); i++ {
+		v := lst[i].Ord[attr]
 		if !iv.Contains(v) {
 			if v > iv.Hi {
 				break
 			}
 			continue
 		}
-		if q.Matches(r.Tuples[i]) {
-			return r.Tuples[i], true
+		if q.Matches(lst[i]) {
+			return lst[i], true
 		}
 	}
 	return types.Tuple{}, false
 }
 
-// MaxMatching mirrors MinMatching for descending scans.
-func (r Interval1D) MaxMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
-	i := sort.Search(len(r.Tuples), func(i int) bool { return r.Tuples[i].Ord[attr] > iv.Hi })
+// ScanMaxMatching mirrors ScanMinMatching for descending scans: the last
+// tuple of the sorted run inside iv matching q.
+func ScanMaxMatching(lst []types.Tuple, q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].Ord[attr] > iv.Hi })
 	for i--; i >= 0; i-- {
-		v := r.Tuples[i].Ord[attr]
+		v := lst[i].Ord[attr]
 		if !iv.Contains(v) {
 			if v < iv.Lo {
 				break
 			}
 			continue
 		}
-		if q.Matches(r.Tuples[i]) {
-			return r.Tuples[i], true
+		if q.Matches(lst[i]) {
+			return lst[i], true
 		}
 	}
 	return types.Tuple{}, false

@@ -82,11 +82,15 @@ type RerankResponse struct {
 
 // Stats is the /v1/stats response body.
 type Stats struct {
-	EngineQueries  int64  `json:"engineQueries"`
-	HistoryTuples  int    `json:"historyTuples"`
-	Requests       int64  `json:"requests"`
-	UpstreamK      int    `json:"upstreamK"`
-	UpstreamRanker string `json:"upstreamRanker,omitempty"`
+	EngineQueries int64 `json:"engineQueries"`
+	HistoryTuples int   `json:"historyTuples"`
+	// ProbeCacheEntries is the number of complete probe answers the
+	// coalescing LRU currently holds — the probes the service can answer
+	// for zero upstream cost (persisted across restarts by snapshots).
+	ProbeCacheEntries int    `json:"probeCacheEntries"`
+	Requests          int64  `json:"requests"`
+	UpstreamK         int    `json:"upstreamK"`
+	UpstreamRanker    string `json:"upstreamRanker,omitempty"`
 }
 
 // Server is the reranking service. Requests are handled concurrently: the
@@ -147,17 +151,23 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+// Stats reports the service's current counters (also served at /v1/stats).
+func (s *Server) Stats() Stats {
 	st := Stats{
-		EngineQueries: s.engine.Queries(),
-		HistoryTuples: s.engine.History().Size(),
-		Requests:      s.requests.Load(),
-		UpstreamK:     s.db.K(),
+		EngineQueries:     s.engine.Queries(),
+		HistoryTuples:     s.engine.History().Size(),
+		ProbeCacheEntries: s.engine.ProbeCacheEntries(),
+		Requests:          s.requests.Load(),
+		UpstreamK:         s.db.K(),
 	}
 	if hdb, ok := s.db.(*hidden.DB); ok {
 		st.UpstreamRanker = hdb.RankerName()
 	}
-	writeJSON(w, http.StatusOK, st)
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
