@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/hidden"
 	"repro/internal/history"
 	"repro/internal/index"
 	"repro/internal/query"
@@ -199,6 +200,64 @@ func BenchmarkParallelRerank(b *testing.B) {
 	})
 	b.Run("uncoalesced", func(b *testing.B) {
 		benchParallelRerank(b, core.Options{DisableCoalescing: true})
+	})
+}
+
+// benchCrawlCoalesced hammers one shared engine with concurrent complete
+// crawls of overlapping windows — the dense-region crawl traffic a
+// multi-user service generates — and reports throughput plus the paper's
+// measure, upstream queries per crawl. With coalescing, identical in-flight
+// sub-queries are issued once and complete sub-answers replay from the probe
+// LRU; without it, every crawl pays full price.
+func benchCrawlCoalesced(b *testing.B, opts core.Options) {
+	schema := types.MustSchema([]types.Attribute{
+		{Name: "A0", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 100}},
+		{Name: "A1", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 100}},
+	})
+	rng := rand.New(rand.NewSource(11))
+	tuples := make([]types.Tuple, 2000)
+	for i := range tuples {
+		tuples[i] = types.Tuple{
+			ID:  i,
+			Ord: []float64{rng.Float64() * 100, rng.Float64() * 100},
+		}
+	}
+	db := hidden.MustDB(schema, tuples, hidden.Options{K: 10})
+	opts.N = 2000
+	e := core.NewEngine(db, opts)
+	var next, crawls atomic.Int64
+	db.ResetCounter()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			lo := float64((i % 8) * 4) // 8 windows, each overlapping its neighbors
+			q := query.New().WithRange(0, types.ClosedInterval(lo, lo+6))
+			sess := e.NewSession()
+			if _, err := sess.CrawlAll(q); err != nil {
+				b.Error(err)
+				return
+			}
+			crawls.Add(1)
+		}
+	})
+	b.StopTimer()
+	if n := crawls.Load(); n > 0 {
+		b.ReportMetric(float64(db.QueryCount())/float64(n), "upstreamQ/crawl")
+	}
+}
+
+// BenchmarkCrawlCoalesced measures concurrent crawl throughput and upstream
+// cost with and without the probe coalescing layer. The coalesced
+// upstreamQ/crawl collapsing toward zero is the PR-3 win the CI bench gate
+// pins: crawl probes dedup at probe granularity, not just whole-crawl
+// leadership.
+func BenchmarkCrawlCoalesced(b *testing.B) {
+	b.Run("coalesced", func(b *testing.B) {
+		benchCrawlCoalesced(b, core.Options{})
+	})
+	b.Run("uncoalesced", func(b *testing.B) {
+		benchCrawlCoalesced(b, core.Options{DisableCoalescing: true})
 	})
 }
 

@@ -1,0 +1,261 @@
+// Command benchdiff compares Go benchmark results against a committed
+// baseline and fails on aggregate regression — the CI gate that stops future
+// changes from silently giving back benchmarked wins.
+//
+// It reads benchmark results in any of three formats (auto-detected):
+//
+//   - a distilled baseline file written by -write ({"benchmarks": {...}})
+//   - the `go test -json` event stream (one JSON object per line)
+//   - raw `go test -bench` text output
+//
+// Benchmark names are compared with the trailing -N GOMAXPROCS suffix
+// stripped, so a baseline recorded on an 8-core machine matches a CI runner
+// with a different core count. When a name appears several times (-count >
+// 1), its ns/op values are averaged.
+//
+// Usage:
+//
+//	benchdiff -current BENCH.json -write bench/baseline/foo.json   # refresh
+//	benchdiff -baseline bench/baseline/foo.json -current BENCH.json [-threshold 1.25]
+//
+// Compare mode exits non-zero when any of these trips:
+//
+//   - the geometric mean of the per-benchmark ns/op ratios
+//     (current/baseline) exceeds -threshold — a broad regression;
+//   - any single benchmark's ratio exceeds -each — a targeted regression
+//     that the geomean would dilute (e.g. one slowed benchmark among many
+//     static reference entries). -each is looser than -threshold because
+//     individual short benchmarks are noisier than the aggregate;
+//   - a baseline benchmark is missing from the current run — deleting a
+//     slow benchmark must be an explicit baseline refresh, never a silent
+//     pass.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// distilled is the committed-baseline file format.
+type distilled struct {
+	Metric     string             `json:"metric"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// testEvent is the subset of the `go test -json` event schema benchdiff
+// needs: benchmark result lines arrive as "output" events carrying the full
+// benchmark name in Test (the Output text itself may hold only the timing
+// columns — test2json often splits the name and the result into separate
+// events).
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline file (distilled JSON)")
+	current := flag.String("current", "", "current results (go test -json stream, raw bench text, or distilled JSON)")
+	threshold := flag.Float64("threshold", 1.25, "fail when the geomean ns/op ratio current/baseline exceeds this")
+	each := flag.Float64("each", 2.5, "fail when any single benchmark's ratio exceeds this (0 disables)")
+	write := flag.String("write", "", "distill -current into this baseline file and exit")
+	flag.Parse()
+
+	if *current == "" {
+		fatalf("benchdiff: -current is required")
+	}
+	cur, err := parseFile(*current)
+	if err != nil {
+		fatalf("benchdiff: %v", err)
+	}
+	if len(cur) == 0 {
+		fatalf("benchdiff: no benchmark results found in %s", *current)
+	}
+
+	if *write != "" {
+		if err := writeBaseline(*write, cur); err != nil {
+			fatalf("benchdiff: %v", err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(cur), *write)
+		return
+	}
+
+	if *baseline == "" {
+		fatalf("benchdiff: need -baseline (compare) or -write (refresh)")
+	}
+	base, err := parseFile(*baseline)
+	if err != nil {
+		fatalf("benchdiff: %v", err)
+	}
+	if len(base) == 0 {
+		fatalf("benchdiff: no benchmark results found in %s", *baseline)
+	}
+
+	var missing []string
+	type row struct {
+		name      string
+		base, cur float64
+		ratio     float64
+	}
+	var rows []row
+	logSum := 0.0
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		r := c / b
+		rows = append(rows, row{name, b, c, r})
+		logSum += math.Log(r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio > rows[j].ratio })
+	var worst []string
+	for _, r := range rows {
+		marker := " "
+		if r.ratio > *threshold {
+			marker = "!"
+		}
+		if *each > 0 && r.ratio > *each {
+			marker = "!"
+			worst = append(worst, fmt.Sprintf("%s (%.2fx)", r.name, r.ratio))
+		}
+		fmt.Printf("%s %-70s %12.1f -> %12.1f ns/op  (%.2fx)\n", marker, r.name, r.base, r.cur, r.ratio)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, name := range missing {
+			fmt.Printf("! %-70s missing from current run\n", name)
+		}
+		fatalf("benchdiff: %d baseline benchmark(s) missing from the current run; refresh the baseline if this is intentional", len(missing))
+	}
+	if len(rows) == 0 {
+		fatalf("benchdiff: no overlapping benchmarks between baseline and current")
+	}
+	geomean := math.Exp(logSum / float64(len(rows)))
+	fmt.Printf("geomean ratio over %d benchmarks: %.3fx (threshold %.2fx)\n", len(rows), geomean, *threshold)
+	if geomean > *threshold {
+		fatalf("benchdiff: FAIL — geomean regression %.3fx exceeds %.2fx", geomean, *threshold)
+	}
+	if len(worst) > 0 {
+		fatalf("benchdiff: FAIL — %d benchmark(s) individually regressed past %.2fx: %s",
+			len(worst), *each, strings.Join(worst, ", "))
+	}
+	fmt.Println("benchdiff: OK")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseFile reads benchmark ns/op values from any supported format, keyed by
+// benchmark name with the -N core-count suffix stripped. Repeated names are
+// averaged.
+func parseFile(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Distilled baseline: one JSON object holding the benchmark map.
+	var d distilled
+	if err := json.Unmarshal(data, &d); err == nil && d.Benchmarks != nil {
+		return d.Benchmarks, nil
+	}
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// `go test -json` stream: unwrap output events to their payload.
+		if strings.HasPrefix(strings.TrimSpace(line), "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Output == "" {
+				continue
+			}
+			out := strings.TrimSuffix(ev.Output, "\n")
+			if ev.Test != "" {
+				// The event names the benchmark; the output line holds
+				// the timing columns (possibly prefixed by the name).
+				if ns, ok := parseNsPerOp(strings.Fields(out)); ok {
+					name := stripCPUSuffix(ev.Test)
+					sums[name] += ns
+					counts[name]++
+				}
+				continue
+			}
+			line = out
+		}
+		if name, ns, ok := parseBenchLine(line); ok {
+			sums[name] += ns
+			counts[name]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	return out, nil
+}
+
+// parseBenchLine extracts (name, ns/op) from one benchmark result line:
+//
+//	BenchmarkFoo/sub-8   123   4567 ns/op   0.5 extraMetric
+func parseBenchLine(line string) (string, float64, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", 0, false
+	}
+	if ns, ok := parseNsPerOp(f[1:]); ok {
+		return stripCPUSuffix(f[0]), ns, true
+	}
+	return "", 0, false
+}
+
+// parseNsPerOp finds the value preceding a "ns/op" unit among the fields of
+// a benchmark timing line.
+func parseNsPerOp(f []string) (float64, bool) {
+	for i := 1; i < len(f); i++ {
+		if f[i] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[i-1], 64)
+		if err != nil {
+			return 0, false
+		}
+		return ns, true
+	}
+	return 0, false
+}
+
+// stripCPUSuffix removes the trailing -N GOMAXPROCS suffix go test appends,
+// so results compare across machines with different core counts.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func writeBaseline(path string, benchmarks map[string]float64) error {
+	out, err := json.MarshalIndent(distilled{Metric: "ns/op", Benchmarks: benchmarks}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -92,8 +92,8 @@ func main() {
 			}
 			f.Close()
 			st := srv.Stats()
-			log.Printf("rerankd: warm start from %s (%d history tuples, %d cached probe answers)",
-				*state, st.HistoryTuples, st.ProbeCacheEntries)
+			log.Printf("rerankd: warm start from %s (%d history tuples, %d cached probe answers, %d MD dense regions)",
+				*state, st.HistoryTuples, st.ProbeCacheEntries, st.MDDenseRegions)
 		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/types"
+)
+
+// slowDB delays every TopK so concurrent identical probes genuinely overlap
+// in flight, and counts the calls that reach it.
+type slowDB struct {
+	inner hidden.Database
+	delay time.Duration
+	calls atomic.Int64
+}
+
+func (s *slowDB) TopK(q query.Query) (hidden.Result, error) {
+	s.calls.Add(1)
+	time.Sleep(s.delay)
+	return s.inner.TopK(q)
+}
+
+func (s *slowDB) K() int                { return s.inner.K() }
+func (s *slowDB) Schema() *types.Schema { return s.inner.Schema() }
+
+// TestCrawlWarmRepeat: crawl probes route through the engine's coalescer, so
+// a repeat crawl of the same region replays every cached complete sub-answer
+// for free and re-issues only the overflowing (internal-node) probes.
+func TestCrawlWarmRepeat(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	db, all := newTestDB(t, rng, 2, 600, 5, false, nil)
+	e := NewEngine(db, Options{N: 600})
+	q := query.New().WithRange(0, types.ClosedInterval(10, 45))
+
+	sess1 := e.NewSession()
+	got1, err := sess1.CrawlAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tu := range all {
+		if q.Matches(tu) {
+			want++
+		}
+	}
+	if len(got1) != want {
+		t.Fatalf("cold crawl retrieved %d tuples, want %d", len(got1), want)
+	}
+	cost1 := sess1.Queries()
+	if cost1 == 0 {
+		t.Fatal("cold crawl cost 0 queries")
+	}
+
+	sess2 := e.NewSession()
+	got2, err := sess2.CrawlAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != len(got1) {
+		t.Fatalf("warm crawl retrieved %d tuples, want %d", len(got2), len(got1))
+	}
+	for i := range got2 {
+		if got2[i].ID != got1[i].ID {
+			t.Fatalf("warm crawl tuple %d has ID %d, want %d", i, got2[i].ID, got1[i].ID)
+		}
+	}
+	cost2 := sess2.Queries()
+	if cost2 >= cost1 {
+		t.Errorf("warm repeat crawl cost %d, want below the cold cost %d (complete sub-answers must come from the probe LRU)", cost2, cost1)
+	}
+	if e.Queries() != db.QueryCount() {
+		t.Errorf("engine counted %d queries, upstream answered %d", e.Queries(), db.QueryCount())
+	}
+	if sess1.Queries()+sess2.Queries() != e.Queries() {
+		t.Errorf("session ledgers sum to %d, engine counted %d", sess1.Queries()+sess2.Queries(), e.Queries())
+	}
+}
+
+// TestConcurrentOverlappingCrawlsDedup (-race): concurrent crawls of the
+// same and overlapping regions dedup at probe granularity, not just at
+// whole-crawl leadership — identical in-flight sub-queries are issued once
+// and cached complete answers are shared. Accounting must stay exact: the
+// engine counter equals the upstream's own count, and the deduplicated
+// probes are charged once, to the sessions that actually issued them.
+func TestConcurrentOverlappingCrawlsDedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	inner, all := newTestDB(t, rng, 2, 600, 5, false, nil)
+	db := &slowDB{inner: inner, delay: 2 * time.Millisecond}
+
+	// Reference cost: one crawl of the shared query, alone, cold.
+	ref := NewEngine(db, Options{N: 600})
+	q := query.New().WithRange(0, types.ClosedInterval(20, 55))
+	if _, err := ref.NewSession().CrawlAll(q); err != nil {
+		t.Fatal(err)
+	}
+	cost1 := db.calls.Load()
+	if cost1 == 0 {
+		t.Fatal("reference crawl cost 0 probes")
+	}
+
+	want := 0
+	for _, tu := range all {
+		if q.Matches(tu) {
+			want++
+		}
+	}
+
+	db.calls.Store(0)
+	e := NewEngine(db, Options{N: 600})
+	const g = 8
+	sessions := make([]*Session, g)
+	var wg sync.WaitGroup
+	errs := make(chan error, g)
+	for i := 0; i < g; i++ {
+		sessions[i] = e.NewSession()
+		wg.Add(1)
+		go func(sess *Session) {
+			defer wg.Done()
+			got, err := sess.CrawlAll(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got) != want {
+				t.Errorf("concurrent crawl retrieved %d tuples, want %d", len(got), want)
+			}
+		}(sessions[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	total := db.calls.Load()
+	if total >= int64(g)*cost1 {
+		t.Errorf("%d concurrent identical crawls cost %d upstream probes, want below %d (no probe-level dedup happened)",
+			g, total, int64(g)*cost1)
+	}
+	if e.Queries() != total {
+		t.Errorf("engine counted %d queries, upstream answered %d", e.Queries(), total)
+	}
+	var sum int64
+	for _, s := range sessions {
+		sum += s.Queries()
+	}
+	if sum != total {
+		t.Errorf("session ledgers sum to %d, upstream answered %d (deduped probes must be charged exactly once)", sum, total)
+	}
+}
+
+// TestConcurrentDistinctCrawls (-race): crawls of disjoint regions running
+// concurrently must not corrupt each other's results or accounting.
+func TestConcurrentDistinctCrawls(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	inner, all := newTestDB(t, rng, 2, 600, 5, true, systemRankers(2)[1])
+	db := &slowDB{inner: inner, delay: time.Millisecond}
+	e := NewEngine(db, Options{N: 600})
+
+	queries := []query.Query{
+		query.New().WithRange(0, types.ClosedInterval(0, 30)),
+		query.New().WithRange(0, types.ClosedInterval(30, 60)),
+		query.New().WithRange(1, types.ClosedInterval(10, 40)).WithCat("cat", "x"),
+		query.New().WithRange(1, types.ClosedInterval(35, 70)),
+	}
+	var wg sync.WaitGroup
+	sessions := make([]*Session, len(queries))
+	errs := make(chan error, len(queries))
+	for i, qq := range queries {
+		sessions[i] = e.NewSession()
+		wg.Add(1)
+		go func(sess *Session, qq query.Query) {
+			defer wg.Done()
+			got, err := sess.CrawlAll(qq)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := 0
+			for _, tu := range all {
+				if qq.Matches(tu) {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Errorf("crawl of %v retrieved %d tuples, want %d", qq, len(got), want)
+			}
+		}(sessions[i], qq)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if e.Queries() != db.calls.Load() {
+		t.Errorf("engine counted %d queries, upstream answered %d", e.Queries(), db.calls.Load())
+	}
+	var sum int64
+	for _, s := range sessions {
+		sum += s.Queries()
+	}
+	if sum != e.Queries() {
+		t.Errorf("session ledgers sum to %d, engine counted %d", sum, e.Queries())
+	}
+}

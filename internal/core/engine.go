@@ -162,6 +162,12 @@ func (e *Engine) DenseIndex1D() *index.Dense1D { return e.know.dense1 }
 // reports how many probes the engine can answer for zero upstream cost.
 func (e *Engine) ProbeCacheEntries() int { return e.probes.cacheSize() }
 
+// MDDenseRegions returns the total number of crawled MD dense regions across
+// all ranked-attribute subsets. Snapshots (v3+) persist these regions, so
+// after a warm restart this reports how many boxes MD-RERANK can answer
+// locally for zero upstream cost.
+func (e *Engine) MDDenseRegions() int { return e.know.MDRegions() }
+
 // sParam returns the dense-region population parameter s (§3.2.2), defaulting
 // to k·log2(n).
 func (e *Engine) sParam() float64 {

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -29,9 +30,17 @@ type Knowledge struct {
 	dense1 *index.Dense1D
 
 	mdMu    sync.Mutex
-	denseMD map[string]*index.DenseMD // keyed by ranked-attribute signature
+	denseMD map[string]*mdEntry // keyed by ranked-attribute signature
 
 	queries atomic.Int64 // upstream queries issued through the engine
+}
+
+// mdEntry is one MD dense index together with the canonical (sorted
+// ascending) attribute subset it covers — kept alongside so snapshots can
+// serialize the subset without re-parsing the map key.
+type mdEntry struct {
+	attrs []int
+	idx   *index.DenseMD
 }
 
 // newKnowledge builds an empty knowledge layer over the given schema.
@@ -39,7 +48,7 @@ func newKnowledge(schema *types.Schema) *Knowledge {
 	return &Knowledge{
 		hist:    history.NewStore(schema),
 		dense1:  index.NewDense1D(),
-		denseMD: make(map[string]*index.DenseMD),
+		denseMD: make(map[string]*mdEntry),
 	}
 }
 
@@ -56,13 +65,60 @@ func (k *Knowledge) Queries() int64 { return k.queries.Load() }
 // mdIndexFor returns the MD dense index shared by all rankers over the same
 // attribute subset, creating it on first use.
 func (k *Knowledge) mdIndexFor(attrs []int) *index.DenseMD {
-	key := attrsKey(attrs)
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	key := attrsKey(sorted)
 	k.mdMu.Lock()
 	defer k.mdMu.Unlock()
-	idx, ok := k.denseMD[key]
+	e, ok := k.denseMD[key]
 	if !ok {
-		idx = index.NewDenseMD()
-		k.denseMD[key] = idx
+		e = &mdEntry{attrs: sorted, idx: index.NewDenseMD()}
+		k.denseMD[key] = e
 	}
-	return idx
+	return e.idx
+}
+
+// mdExport is one attribute subset's crawled regions, as captured for a
+// snapshot.
+type mdExport struct {
+	attrs   []int
+	regions []index.Region
+}
+
+// exportMD captures every MD dense index's crawled regions. Region tuple
+// slices are shared and immutable, and each index's region list is copied
+// under its lock, so the export is a consistent per-index snapshot even
+// while crawls run. (Region *coverage* is monotone, but the region count is
+// not: Insert absorbs regions contained in a newly crawled box.)
+func (k *Knowledge) exportMD() []mdExport {
+	k.mdMu.Lock()
+	entries := make([]*mdEntry, 0, len(k.denseMD))
+	for _, e := range k.denseMD {
+		entries = append(entries, e)
+	}
+	k.mdMu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return attrsKey(entries[i].attrs) < attrsKey(entries[j].attrs) })
+	out := make([]mdExport, 0, len(entries))
+	for _, e := range entries {
+		if regs := e.idx.Export(); len(regs) > 0 {
+			out = append(out, mdExport{attrs: e.attrs, regions: regs})
+		}
+	}
+	return out
+}
+
+// MDRegions returns the total number of crawled MD dense regions across all
+// attribute subsets — the regions a restarted engine can answer locally.
+func (k *Knowledge) MDRegions() int {
+	k.mdMu.Lock()
+	entries := make([]*mdEntry, 0, len(k.denseMD))
+	for _, e := range k.denseMD {
+		entries = append(entries, e)
+	}
+	k.mdMu.Unlock()
+	n := 0
+	for _, e := range entries {
+		n += e.idx.Len()
+	}
+	return n
 }

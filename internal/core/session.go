@@ -45,23 +45,34 @@ func (s *Session) Engine() *Engine { return s.e }
 // by the coalescing layer or another session's in-flight call cost nothing.
 func (s *Session) Queries() int64 { return s.queries.Load() }
 
+// coalescedProbe sends one query to the primary database through the
+// coalescing layer. The issuing leader records the returned page in the
+// shared history: cache hits and coalesced followers replay tuples the
+// leader already added, and skipping the redundant Add keeps free probes off
+// the history store's write lock. Charging (engine counter, session ledger)
+// is the caller's responsibility — Session.issue charges per probe, while
+// crawls charge their crawler's Issued total once at the end.
+func (s *Session) coalescedProbe(q query.Query) (res hidden.Result, issued bool, err error) {
+	res, issued, err = s.e.probes.TopK(q)
+	if err != nil {
+		return res, issued, err
+	}
+	if issued && !s.e.opts.DisableHistory {
+		s.e.know.hist.Add(res.Tuples...)
+	}
+	return res, issued, nil
+}
+
 // issue sends one query to the primary database through the coalescing
 // layer, recording every returned tuple in the shared history.
 func (s *Session) issue(q query.Query) (hidden.Result, error) {
-	res, issued, err := s.e.probes.TopK(q)
+	res, issued, err := s.coalescedProbe(q)
 	if err != nil {
 		return res, err
 	}
 	if issued {
 		s.e.know.queries.Add(1)
 		s.queries.Add(1)
-		// Only the issuing leader records the page: cache hits and
-		// coalesced followers replay tuples the leader already added, and
-		// skipping the redundant Add keeps free probes off the history
-		// store's write lock.
-		if !s.e.opts.DisableHistory {
-			s.e.know.hist.Add(res.Tuples...)
-		}
 	}
 	return res, nil
 }
@@ -83,20 +94,32 @@ func (s *Session) issueOn(db hidden.Database, q query.Query) (hidden.Result, err
 }
 
 // crawlRegion fully crawls the given generic query (already stripped of the
-// user query's selection condition) and returns every matching tuple. The
-// cost is charged to the engine, the session, and the provided ledger.
+// user query's selection condition) and returns every matching tuple. Every
+// sub-query probe routes through the engine's coalescing layer, so
+// concurrent crawls of overlapping regions dedup at probe granularity and
+// repeat crawls replay cached complete answers for free. Only probes that
+// actually reached the upstream are charged — once, to the leader — against
+// the engine, this session, and the provided ledger; the issuing probe
+// records its page in the shared history.
 func (s *Session) crawlRegion(q query.Query, ledger func(int64)) ([]types.Tuple, error) {
-	c := crawl.New(s.e.db, crawl.Options{MaxQueries: 0})
-	if !s.e.opts.DisableHistory {
-		c.Observe = func(t types.Tuple) { s.e.know.hist.Add(t) }
-	}
+	c := crawl.New(s.e.db, crawl.Options{Probe: s.coalescedProbe})
 	tuples, err := c.All(q)
-	s.e.know.queries.Add(c.Queries())
-	s.queries.Add(c.Queries())
+	issued := c.Issued()
+	s.e.know.queries.Add(issued)
+	s.queries.Add(issued)
 	if ledger != nil {
-		ledger(c.Queries())
+		ledger(issued)
 	}
 	return tuples, err
+}
+
+// CrawlAll retrieves every tuple matching q (deduplicated and sorted by ID)
+// by completely crawling it through the engine's coalescing layer — the
+// engine-integrated counterpart of crawl.Crawler.All. Upstream cost is
+// charged to this session's ledger; probes answered by the probe cache or an
+// identical in-flight call are free.
+func (s *Session) CrawlAll(q query.Query) ([]types.Tuple, error) {
+	return s.crawlRegion(q, nil)
 }
 
 // crawlDense1 crawls the 1D dense region (attr, iv) and inserts it into the

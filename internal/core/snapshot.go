@@ -4,30 +4,45 @@
 // upstream answer lands in the history store and every crawled dense region
 // in the on-the-fly indexes. Real deployments restart; losing that state
 // means re-spending rate-limited upstream queries. Snapshot serializes the
-// engine's accumulated knowledge (history tuples, 1D dense regions, and the
-// probe-coalescing LRU's complete answers) to JSON so a service can restart
-// warm at both the tuple and the probe level.
+// engine's accumulated knowledge — history tuples, 1D dense regions, MD
+// dense regions, and the probe-coalescing LRU's complete answers — to JSON
+// so a service restarts warm at the tuple, region, and probe level: an
+// MD-RERANK session over a previously-crawled dense region costs a restarted
+// service zero upstream queries.
 //
 // Snapshots may be taken while sessions are running: the knowledge layer is
-// internally guarded, and SaveSnapshot captures the dense regions before the
-// history dump, so every tuple a region references is guaranteed to be in
-// the (monotonically growing) tuple list. Tuples referenced by a region but
-// absent from history (possible under DisableHistory) are appended
-// explicitly.
-//
-// MD dense regions are rebuilt from history on demand rather than
-// serialized: their tuples are a subset of history, and region boxes are
-// cheap to re-crawl relative to their payload.
+// internally guarded, and SaveSnapshot captures the dense regions and probe
+// entries before the history dump, so every tuple a region references is
+// guaranteed to be in the (monotonically growing) tuple list. Tuples
+// referenced by a region but absent from history (possible under
+// DisableHistory) are appended explicitly.
 //
 // # Format versions
 //
 // Version 1 (PR 1): queries counter, history tuples, 1D dense regions.
-// Version 2 adds "probes": the probe-coalescing LRU's complete
+//
+// Version 2 (PR 2) adds "probes": the probe-coalescing LRU's complete
 // (valid/underflow) answers, keyed by canonical query string and referencing
 // tuples by ID in upstream rank order, so a restarted service answers a
-// repeated probe for zero upstream queries. Version-1 snapshots still load
-// (they simply restore no probe cache); version-2 snapshots are written
-// unconditionally.
+// repeated probe for zero upstream queries. It also adds the upstream
+// fingerprint (system-k and system-ranker name) guarding their restore.
+//
+// Version 3 (PR 3) adds "denseMD": the crawled MD dense regions, one entry
+// per (attribute subset, box) with the region bounds, the crawled tuples'
+// IDs, and a completion marker. Previously MD regions were discarded on
+// restart and re-crawled from upstream on demand — exactly the amortized
+// knowledge the system exists to accumulate. Version 3 also brings the 1D
+// dense regions under the fingerprint gate that v2 introduced for probes:
+// dense regions (1D and MD) and probes restore only when the upstream
+// fingerprint matches, because a region's authority ("these are ALL the
+// corpus tuples in this range") assumes the same corpus, and a visibly
+// different upstream (different k or system ranker) is evidence the
+// deployment changed. History tuples are restored either way — an observed
+// tuple is a corpus fact under the Database contract.
+//
+// Older versions always load: a vN engine reading a v(N-1) snapshot restores
+// every section the older format carries and leaves the rest cold. Snapshots
+// are written at the current version unconditionally.
 
 package core
 
@@ -46,7 +61,7 @@ import (
 // accepts any version from snapshotVersionMin up to it.
 const (
 	snapshotVersionMin = 1
-	snapshotVersion    = 2
+	snapshotVersion    = 3
 )
 
 // Snapshot is the serialized engine state.
@@ -55,6 +70,9 @@ type Snapshot struct {
 	Queries int64          `json:"queries"`
 	Tuples  []snapTuple    `json:"tuples"`
 	Dense1D []snapInterval `json:"dense1d"`
+	// DenseMD holds the crawled MD dense regions (v3+; absent before).
+	// Restored only under a matching upstream fingerprint, like Probes.
+	DenseMD []snapMDRegion `json:"denseMD,omitempty"`
 	// Probes holds the probe-coalescing LRU's complete answers, least
 	// recently used first (v2+; absent in v1 snapshots).
 	Probes []snapProbe `json:"probes,omitempty"`
@@ -92,6 +110,27 @@ type snapInterval struct {
 	IDs    []int   `json:"ids"` // tuple IDs; payloads live in Tuples
 }
 
+// snapDim is one side of an MD region's box in real-value space.
+type snapDim struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	LoOpen bool    `json:"loOpen,omitempty"`
+	HiOpen bool    `json:"hiOpen,omitempty"`
+}
+
+// snapMDRegion is one fully-crawled MD dense region (v3+): the canonical
+// sorted attribute subset it indexes under, the region's box (one dimension
+// per attribute, same order), and the crawled tuples' IDs. Complete marks
+// the crawl as finished — only complete regions are authoritative, and
+// LoadSnapshot skips any region not marked so (a forward-compatibility hook
+// for partially-persisted crawls).
+type snapMDRegion struct {
+	Attrs    []int     `json:"attrs"`
+	Dims     []snapDim `json:"dims"`
+	IDs      []int     `json:"ids"` // payloads live in Tuples
+	Complete bool      `json:"complete"`
+}
+
 // SaveSnapshot writes the engine's accumulated knowledge to w. It is safe
 // to call while sessions are running concurrently.
 func (e *Engine) SaveSnapshot(w io.Writer) error {
@@ -113,6 +152,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	for _, attr := range attrs {
 		regions = append(regions, e.know.dense1.Export(attr))
 	}
+	mdExports := e.know.exportMD()
 	probes := e.probes.export()
 	seen := make(map[int]bool)
 	addTuple := func(t types.Tuple) {
@@ -145,6 +185,23 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 				addTuple(t)
 			}
 			snap.Dense1D = append(snap.Dense1D, si)
+		}
+	}
+	for _, ex := range mdExports {
+		for _, reg := range ex.regions {
+			sr := snapMDRegion{
+				Attrs:    ex.attrs,
+				Dims:     make([]snapDim, len(reg.Box.Dims)),
+				Complete: true, // only fully-crawled regions enter the index
+			}
+			for j, iv := range reg.Box.Dims {
+				sr.Dims[j] = snapDim{Lo: iv.Lo, Hi: iv.Hi, LoOpen: iv.LoOpen, HiOpen: iv.HiOpen}
+			}
+			for _, t := range reg.Tuples {
+				sr.IDs = append(sr.IDs, t.ID)
+				addTuple(t)
+			}
+			snap.DenseMD = append(snap.DenseMD, sr)
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -184,6 +241,22 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 	// One variadic Add: the store batches its per-shard index inserts per
 	// call, so this restores in one pass instead of n lock round-trips.
 	e.know.hist.Add(batch...)
+	// Everything below — dense regions (1D and MD) and the probe cache —
+	// restores only under a matching upstream fingerprint: cached probe
+	// answers replay one specific upstream's responses verbatim, and a
+	// crawled region's authority ("these are ALL the corpus tuples in this
+	// range") assumes the same corpus — a changed k or system ranker is
+	// evidence the deployment changed, so they stay cold rather than
+	// serving another upstream's state. (An unknown fingerprint side —
+	// zero k or empty ranker name, as in v1 snapshots — skips that
+	// comparison.) History tuples above restore either way: an observed
+	// tuple is a corpus fact.
+	if snap.UpstreamK != 0 && snap.UpstreamK != e.db.K() {
+		return nil
+	}
+	if name := upstreamRankerName(e.db); snap.UpstreamRanker != "" && name != "" && snap.UpstreamRanker != name {
+		return nil
+	}
 	for _, si := range snap.Dense1D {
 		if si.Attr < 0 || si.Attr >= len(names) {
 			return fmt.Errorf("core: snapshot dense region on invalid attribute %d", si.Attr)
@@ -200,19 +273,40 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 			Lo: si.Lo, Hi: si.Hi, LoOpen: si.LoOpen, HiOpen: si.HiOpen,
 		}, tuples)
 	}
+	// MD dense-region warm restart (v3+). Incomplete regions (a
+	// forward-compatibility hook; never written today) are skipped, not
+	// rejected: they are merely not authoritative.
+	for _, sr := range snap.DenseMD {
+		if !sr.Complete {
+			continue
+		}
+		if len(sr.Attrs) == 0 || len(sr.Dims) != len(sr.Attrs) {
+			return fmt.Errorf("core: snapshot MD region has %d dims for %d attributes", len(sr.Dims), len(sr.Attrs))
+		}
+		for i, a := range sr.Attrs {
+			if a < 0 || a >= len(names) {
+				return fmt.Errorf("core: snapshot MD region on invalid attribute %d", a)
+			}
+			if i > 0 && sr.Attrs[i-1] >= a {
+				return fmt.Errorf("core: snapshot MD region attributes %v not strictly ascending", sr.Attrs)
+			}
+		}
+		box := query.Box{Dims: make([]types.Interval, len(sr.Dims))}
+		for j, d := range sr.Dims {
+			box.Dims[j] = types.Interval{Lo: d.Lo, Hi: d.Hi, LoOpen: d.LoOpen, HiOpen: d.HiOpen}
+		}
+		tuples := make([]types.Tuple, 0, len(sr.IDs))
+		for _, id := range sr.IDs {
+			t, ok := byID[id]
+			if !ok {
+				return fmt.Errorf("core: MD dense region references unknown tuple %d", id)
+			}
+			tuples = append(tuples, t)
+		}
+		e.know.mdIndexFor(sr.Attrs).Insert(box, tuples)
+	}
 	// Probe-cache warm restart (v2+). Entries are stored least recently
 	// used first, so replaying them in order reproduces the LRU state.
-	// Cached answers replay upstream responses verbatim, so they are only
-	// restored when the upstream fingerprint still matches; a changed k or
-	// system ranker leaves the probe cache cold rather than silently
-	// replaying another upstream's answers. (An unknown fingerprint side —
-	// zero k or empty ranker name — skips that comparison.)
-	if snap.UpstreamK != 0 && snap.UpstreamK != e.db.K() {
-		return nil
-	}
-	if name := upstreamRankerName(e.db); snap.UpstreamRanker != "" && name != "" && snap.UpstreamRanker != name {
-		return nil
-	}
 	for _, sp := range snap.Probes {
 		res := hidden.Result{Tuples: make([]types.Tuple, 0, len(sp.IDs))}
 		for _, id := range sp.IDs {

@@ -312,6 +312,34 @@ func TestSnapshotValidation(t *testing.T) {
 	if err := e.LoadSnapshot(strings.NewReader(badProbe)); err == nil {
 		t.Error("dangling probe-cache reference accepted")
 	}
+	// MD region referencing an unknown tuple.
+	badMD := `{"version":3,"schema":["A0","A1","cat"],"tuples":[],` +
+		`"denseMD":[{"attrs":[0,1],"dims":[{"lo":0,"hi":1},{"lo":0,"hi":1}],"ids":[42],"complete":true}]}`
+	if err := e.LoadSnapshot(strings.NewReader(badMD)); err == nil {
+		t.Error("dangling MD-region reference accepted")
+	}
+	// MD region with mismatched dims/attrs arity.
+	badMDDims := `{"version":3,"schema":["A0","A1","cat"],"tuples":[],` +
+		`"denseMD":[{"attrs":[0,1],"dims":[{"lo":0,"hi":1}],"ids":[],"complete":true}]}`
+	if err := e.LoadSnapshot(strings.NewReader(badMDDims)); err == nil {
+		t.Error("MD region with 1 dim for 2 attributes accepted")
+	}
+	// MD region on an out-of-range attribute.
+	badMDAttr := `{"version":3,"schema":["A0","A1","cat"],"tuples":[],` +
+		`"denseMD":[{"attrs":[0,9],"dims":[{"lo":0,"hi":1},{"lo":0,"hi":1}],"ids":[],"complete":true}]}`
+	if err := e.LoadSnapshot(strings.NewReader(badMDAttr)); err == nil {
+		t.Error("MD region on invalid attribute accepted")
+	}
+	// An incomplete MD region is skipped (not authoritative), never an
+	// error — forward-compatibility for partially-persisted crawls.
+	incomplete := `{"version":3,"schema":["A0","A1","cat"],"tuples":[],` +
+		`"denseMD":[{"attrs":[0,1],"dims":[{"lo":0,"hi":1},{"lo":0,"hi":1}],"ids":[],"complete":false}]}`
+	if err := e.LoadSnapshot(strings.NewReader(incomplete)); err != nil {
+		t.Errorf("incomplete MD region rejected: %v", err)
+	}
+	if e.MDDenseRegions() != 0 {
+		t.Errorf("incomplete MD region restored (%d regions), want skipped", e.MDDenseRegions())
+	}
 	// Malformed JSON.
 	if err := e.LoadSnapshot(strings.NewReader(`{`)); err == nil {
 		t.Error("malformed JSON accepted")
@@ -320,5 +348,197 @@ func TestSnapshotValidation(t *testing.T) {
 	bad2 := `{"version":1,"schema":["A0","A1","cat"],"tuples":[{"id":1,"ord":[1]}]}`
 	if err := e.LoadSnapshot(strings.NewReader(bad2)); err == nil {
 		t.Error("short tuple accepted")
+	}
+}
+
+// newMDDenseTestDB builds a 2-ordinal-attribute corpus with a tight cluster
+// of clustered tuples inside [50, 50.3]² — a certified dense region for the
+// default thresholds at n=1200, k=10 — and the rest spread uniformly.
+// Values are unique (general positioning not assumed; tie probes are point
+// queries with singleton answers).
+func newMDDenseTestDB(t *testing.T) (*hidden.DB, []types.Tuple) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(90))
+	schema := testSchema(2)
+	n := 1200
+	tuples := make([]types.Tuple, n)
+	for i := range tuples {
+		ord := make([]float64, schema.Len())
+		if i < 60 {
+			ord[0] = 50 + float64(i)*0.005
+			ord[1] = 50 + float64((i*37)%60)*0.005
+		} else {
+			ord[0] = rng.Float64() * 100
+			ord[1] = rng.Float64() * 100
+		}
+		tuples[i] = types.Tuple{ID: i, Ord: ord, Cat: map[string]string{"cat": "x"}}
+	}
+	sys := hidden.RankerAdapter{R: ranking.NewSingle("sys", 0, ranking.Desc)}
+	return hidden.MustDB(schema, tuples, hidden.Options{K: 10, Ranker: sys}), tuples
+}
+
+// TestSnapshotV3MDWarmRestart is the acceptance criterion of snapshot v3: a
+// restarted engine loading a snapshot answers an MD-RERANK session over a
+// previously-crawled dense region with ZERO upstream TopK calls — the dense
+// region comes from the persisted MD index and the tie probes from the
+// persisted probe LRU.
+func TestSnapshotV3MDWarmRestart(t *testing.T) {
+	db, all := newMDDenseTestDB(t)
+	rk := ranking.MustLinear("sum", []int{0, 1}, []float64{1, 1})
+	q := query.New().
+		WithRange(0, types.ClosedInterval(50, 50.3)).
+		WithRange(1, types.ClosedInterval(50, 50.3))
+
+	// Cold run: the query box overflows, qualifies as dense, and is
+	// crawled into the MD index.
+	e1 := NewEngine(db, Options{N: 1200})
+	sess1 := e1.NewSession()
+	cur1, err := sess1.NewCursor(q, rk, Rerank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TopH(cur1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess1.Queries() == 0 {
+		t.Fatal("precondition: cold MD-RERANK run cost 0 queries")
+	}
+	if e1.MDDenseRegions() == 0 {
+		t.Fatal("precondition: cold run crawled no MD dense region")
+	}
+	var buf bytes.Buffer
+	if err := e1.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh engine, load the v3 snapshot, repeat the session.
+	db.ResetCounter()
+	e2 := NewEngine(db, Options{N: 1200})
+	if err := e2.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if e2.MDDenseRegions() != e1.MDDenseRegions() {
+		t.Fatalf("restored %d MD dense regions, want %d", e2.MDDenseRegions(), e1.MDDenseRegions())
+	}
+	sess2 := e2.NewSession()
+	cur2, err := sess2.NewCursor(q, rk, Rerank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TopH(cur2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRanking(t, rk, got, want)
+	full := oracleTopH(all, q, rk, 1<<30)
+	oracle := full
+	if len(oracle) > 5 {
+		oracle = oracle[:5]
+	}
+	assertSameRanking(t, rk, got, oracle, full)
+	if n := db.QueryCount(); n != 0 {
+		t.Errorf("MD-RERANK session over a previously-crawled dense region cost %d upstream queries after restart, want 0", n)
+	}
+	if n := sess2.Queries(); n != 0 {
+		t.Errorf("warm session charged %d queries, want 0", n)
+	}
+}
+
+// TestSnapshotMDFingerprintMismatch: a crawled MD region's authority assumes
+// the same corpus, so loading against an upstream with a different
+// fingerprint must leave the MD index (and the probe cache) cold while still
+// restoring the history.
+func TestSnapshotMDFingerprintMismatch(t *testing.T) {
+	db, tuples := newMDDenseTestDB(t)
+	rk := ranking.MustLinear("sum", []int{0, 1}, []float64{1, 1})
+	q := query.New().
+		WithRange(0, types.ClosedInterval(50, 50.3)).
+		WithRange(1, types.ClosedInterval(50, 50.3))
+	e1 := NewEngine(db, Options{N: 1200})
+	cur, err := e1.NewCursor(q, rk, Rerank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TopH(cur, 5); err != nil {
+		t.Fatal(err)
+	}
+	if e1.MDDenseRegions() == 0 {
+		t.Fatal("precondition: no MD dense region crawled")
+	}
+	// A crawled 1D region too: the fingerprint gate covers both families.
+	var clustered []types.Tuple
+	for _, tu := range tuples {
+		if tu.Ord[0] >= 50 && tu.Ord[0] <= 50.3 {
+			clustered = append(clustered, tu)
+		}
+	}
+	e1.know.dense1.Insert(0, types.ClosedInterval(50, 50.3), clustered)
+	var buf bytes.Buffer
+	if err := e1.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different system-k: dense regions (1D and MD) and probes stay cold,
+	// history loads.
+	dbK := hidden.MustDB(db.Schema(), tuples, hidden.Options{K: 7})
+	eK := NewEngine(dbK, Options{N: 1200})
+	if err := eK.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if eK.MDDenseRegions() != 0 {
+		t.Errorf("k-mismatched load restored %d MD regions, want 0", eK.MDDenseRegions())
+	}
+	if eK.DenseIndex1D().Regions(0) != 0 {
+		t.Errorf("k-mismatched load restored %d 1D regions, want 0", eK.DenseIndex1D().Regions(0))
+	}
+	if eK.ProbeCacheEntries() != 0 {
+		t.Errorf("k-mismatched load restored %d probe entries, want 0", eK.ProbeCacheEntries())
+	}
+	// History must survive in full. The snapshot holds e1's history plus
+	// the region-referenced tuples appended explicitly by SaveSnapshot, so
+	// the restored store can only be larger than e1's.
+	if eK.History().Size() < e1.History().Size() {
+		t.Errorf("k-mismatched load lost history: %d, want at least %d", eK.History().Size(), e1.History().Size())
+	}
+
+	// Matching upstream: everything restores.
+	eOK := NewEngine(db, Options{N: 1200})
+	if err := eOK.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if eOK.MDDenseRegions() != e1.MDDenseRegions() {
+		t.Errorf("matching load restored %d MD regions, want %d", eOK.MDDenseRegions(), e1.MDDenseRegions())
+	}
+	if eOK.DenseIndex1D().Regions(0) != 1 {
+		t.Errorf("matching load restored %d 1D regions, want 1", eOK.DenseIndex1D().Regions(0))
+	}
+}
+
+// TestSnapshotV2BackCompat: PR-2-format snapshots (version 2, no denseMD
+// field) must keep loading — history, 1D regions, and probes restore; the
+// MD index simply starts cold.
+func TestSnapshotV2BackCompat(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	db, _ := newTestDB(t, rng, 2, 50, 5, false, nil)
+	v2 := `{"version":2,"queries":9,"schema":["A0","A1","cat"],` +
+		`"tuples":[{"id":1,"ord":[5,6,0],"cat":{"cat":"x"}},{"id":2,"ord":[7,8,0],"cat":{"cat":"y"}}],` +
+		`"dense1d":[{"attr":0,"lo":4,"hi":8,"ids":[1,2]}],` +
+		`"probes":[{"key":"TRUE","ids":[1,2]}]}`
+	e := NewEngine(db, Options{N: 50})
+	if err := e.LoadSnapshot(strings.NewReader(v2)); err != nil {
+		t.Fatalf("version-2 snapshot rejected: %v", err)
+	}
+	if e.History().Size() != 2 {
+		t.Fatalf("history size %d, want 2", e.History().Size())
+	}
+	if e.DenseIndex1D().Regions(0) != 1 {
+		t.Fatal("dense 1D region lost")
+	}
+	if e.ProbeCacheEntries() != 1 {
+		t.Fatalf("v2 snapshot restored %d probe entries, want 1", e.ProbeCacheEntries())
+	}
+	if e.MDDenseRegions() != 0 {
+		t.Fatalf("v2 snapshot restored %d MD regions, want 0", e.MDDenseRegions())
 	}
 }

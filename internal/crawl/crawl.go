@@ -7,12 +7,25 @@
 // behind the on-the-fly dense indexes (Algorithms 4 and 6): dense regions
 // are small, so crawling them costs O(s/k) queries and the result is stored
 // for all future user queries.
+//
+// # Probe routing and cost accounting
+//
+// By default every probe goes straight to the Database. Callers that sit
+// behind a probe-coalescing layer (the engine's sessions) instead supply
+// Options.Probe, which answers each sub-query and reports whether it
+// actually reached the upstream: probes served by an in-flight duplicate or
+// a cached complete answer are free. The crawler therefore keeps two
+// counters — Queries (probes attempted, the budget measure, stable
+// regardless of cache state) and Issued (probes that reached the upstream,
+// the paper's cost measure). Both are atomic: crawlers are reachable from
+// concurrent sessions, and progress may be read while a crawl runs.
 package crawl
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/hidden"
 	"repro/internal/query"
@@ -27,13 +40,27 @@ var ErrBudget = errors.New("crawl: query budget exhausted")
 // attribute, which no conjunctive-query interface can separate.
 var ErrUnsplittable = errors.New("crawl: overflowing region is unsplittable (more than k identical tuples)")
 
+// Probe answers one sub-query on behalf of the crawler. issued reports
+// whether the probe actually reached the upstream: answers replayed from a
+// coalescing layer (an identical in-flight call or a cached complete
+// answer) are free and must not be charged as upstream cost.
+type Probe func(q query.Query) (res hidden.Result, issued bool, err error)
+
 // Options configure a crawl.
 type Options struct {
 	// SplitAttrs are the ordinal attribute indexes the crawler may split
 	// on. Defaults to every ordinal attribute of the database schema.
 	SplitAttrs []int
-	// MaxQueries bounds the number of database queries (0 = unlimited).
+	// MaxQueries bounds the number of probe attempts (0 = unlimited). The
+	// budget is charged per attempt, before any coalescing, so it is
+	// stable regardless of cache state.
 	MaxQueries int64
+	// Probe, when non-nil, replaces direct Database.TopK calls — the hook
+	// through which the engine routes crawl probes into its coalescing
+	// layer so concurrent crawls of overlapping regions dedup at probe
+	// granularity. When nil, probes go straight to the database and every
+	// attempt counts as issued.
+	Probe Probe
 }
 
 // Crawler retrieves complete query answers through a top-k interface.
@@ -44,7 +71,8 @@ type Crawler struct {
 	// (including duplicates); used to feed history stores.
 	Observe func(types.Tuple)
 
-	queries int64
+	queries atomic.Int64 // probe attempts (budget measure)
+	issued  atomic.Int64 // probes that reached the upstream (cost measure)
 }
 
 // New builds a crawler over db.
@@ -55,8 +83,16 @@ func New(db hidden.Database, opts Options) *Crawler {
 	return &Crawler{db: db, opts: opts}
 }
 
-// Queries returns the number of database queries issued so far.
-func (c *Crawler) Queries() int64 { return c.queries }
+// Queries returns the number of probes attempted so far — the number that
+// would have reached the database without a coalescing layer. Safe to read
+// while a crawl is running.
+func (c *Crawler) Queries() int64 { return c.queries.Load() }
+
+// Issued returns the number of probes that actually reached the upstream:
+// Queries minus the probes answered for free by Options.Probe's coalescing.
+// Without Options.Probe, Issued equals Queries. Safe to read while a crawl
+// is running.
+func (c *Crawler) Issued() int64 { return c.issued.Load() }
 
 // All retrieves every tuple matching q. The result is deduplicated by ID and
 // sorted by ID for determinism.
@@ -81,11 +117,22 @@ func (c *Crawler) crawl(root query.Query, seen map[int]types.Tuple, _ int) error
 		if q.Empty() {
 			continue
 		}
-		if c.opts.MaxQueries > 0 && c.queries >= c.opts.MaxQueries {
+		if c.opts.MaxQueries > 0 && c.queries.Load() >= c.opts.MaxQueries {
 			return ErrBudget
 		}
-		c.queries++
-		res, err := c.db.TopK(q)
+		c.queries.Add(1)
+		var res hidden.Result
+		var err error
+		if c.opts.Probe != nil {
+			var issued bool
+			res, issued, err = c.opts.Probe(q)
+			if issued {
+				c.issued.Add(1)
+			}
+		} else {
+			res, err = c.db.TopK(q)
+			c.issued.Add(1)
+		}
 		if err != nil {
 			return err
 		}

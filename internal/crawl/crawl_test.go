@@ -175,3 +175,64 @@ func TestCrawlCostScalesWithK(t *testing.T) {
 		t.Fatalf("k=20 crawl (%d) not cheaper than k=2 (%d)", c20, c2)
 	}
 }
+
+// TestProbeHookAccounting: Options.Probe replaces direct database calls and
+// splits the counters — every attempt charges Queries, but only probes the
+// hook reports as issued charge Issued. This is the contract the engine's
+// coalescing layer relies on to charge deduplicated crawl probes once.
+func TestProbeHookAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db, all := mkDB(t, rng, 300, 5, false)
+	var attempts, issued int64
+	c := New(db, Options{Probe: func(q query.Query) (hidden.Result, bool, error) {
+		attempts++
+		res, err := db.TopK(q)
+		// A toy coalescing layer: every other probe is "free" (as if
+		// answered by a cache or an in-flight duplicate).
+		free := attempts%2 == 0
+		if !free {
+			issued++
+		}
+		return res, !free, err
+	}})
+	got, err := c.All(query.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("crawl through probe hook retrieved %d tuples, want %d", len(got), len(all))
+	}
+	if attempts == 0 {
+		t.Fatal("probe hook never called")
+	}
+	if c.Queries() != attempts {
+		t.Errorf("Queries() = %d, want %d attempts", c.Queries(), attempts)
+	}
+	if c.Issued() != issued {
+		t.Errorf("Issued() = %d, want %d", c.Issued(), issued)
+	}
+	if c.Issued() >= c.Queries() {
+		t.Errorf("Issued() = %d not below Queries() = %d despite free probes", c.Issued(), c.Queries())
+	}
+}
+
+// TestProbeHookBudget: MaxQueries bounds probe *attempts*, before any
+// coalescing — a crawl does not get a bigger budget just because its probes
+// were answered for free.
+func TestProbeHookBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	db, _ := mkDB(t, rng, 500, 2, false)
+	c := New(db, Options{MaxQueries: 5, Probe: func(q query.Query) (hidden.Result, bool, error) {
+		res, err := db.TopK(q)
+		return res, false, err // everything free
+	}})
+	if _, err := c.All(query.New()); !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if c.Queries() > 5 {
+		t.Fatalf("budget exceeded: %d attempts", c.Queries())
+	}
+	if c.Issued() != 0 {
+		t.Fatalf("free probes charged as issued: %d", c.Issued())
+	}
+}

@@ -279,3 +279,11 @@ func (d *DenseMD) Len() int {
 	defer d.mu.RUnlock()
 	return len(d.regions)
 }
+
+// Export returns a copy of the recorded regions (for persistence and
+// inspection). Region tuple slices are shared and must not be modified.
+func (d *DenseMD) Export() []Region {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]Region(nil), d.regions...)
+}

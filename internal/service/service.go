@@ -87,10 +87,14 @@ type Stats struct {
 	// ProbeCacheEntries is the number of complete probe answers the
 	// coalescing LRU currently holds — the probes the service can answer
 	// for zero upstream cost (persisted across restarts by snapshots).
-	ProbeCacheEntries int    `json:"probeCacheEntries"`
-	Requests          int64  `json:"requests"`
-	UpstreamK         int    `json:"upstreamK"`
-	UpstreamRanker    string `json:"upstreamRanker,omitempty"`
+	ProbeCacheEntries int `json:"probeCacheEntries"`
+	// MDDenseRegions is the number of crawled MD dense regions across all
+	// ranked-attribute subsets — the boxes MD-RERANK answers locally for
+	// zero upstream cost (persisted across restarts since snapshot v3).
+	MDDenseRegions int    `json:"mdDenseRegions"`
+	Requests       int64  `json:"requests"`
+	UpstreamK      int    `json:"upstreamK"`
+	UpstreamRanker string `json:"upstreamRanker,omitempty"`
 }
 
 // Server is the reranking service. Requests are handled concurrently: the
@@ -157,6 +161,7 @@ func (s *Server) Stats() Stats {
 		EngineQueries:     s.engine.Queries(),
 		HistoryTuples:     s.engine.History().Size(),
 		ProbeCacheEntries: s.engine.ProbeCacheEntries(),
+		MDDenseRegions:    s.engine.MDDenseRegions(),
 		Requests:          s.requests.Load(),
 		UpstreamK:         s.db.K(),
 	}
