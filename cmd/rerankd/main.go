@@ -45,6 +45,7 @@ func main() {
 		state    = flag.String("state", "", "snapshot file: loaded at startup, saved on SIGINT/SIGTERM")
 		cache    = flag.Int("probe-cache", 0, "probe-result LRU entries (0 = default 1024, negative disables the cache)")
 		noCoal   = flag.Bool("no-coalesce", false, "disable probe coalescing (for upstreams whose corpus changes mid-run)")
+		width    = flag.Int("search-parallelism", 1, "speculative probe width W of the MD search: up to W frontier probes in flight per request (1 = sequential; raise against high-latency upstreams)")
 	)
 	flag.Parse()
 
@@ -84,7 +85,9 @@ func main() {
 		N:                 hint,
 		ProbeCacheSize:    *cache,
 		DisableCoalescing: *noCoal,
+		SearchParallelism: *width,
 	})
+	log.Printf("rerankd: search parallelism %d (speculative probe width per request)", *width)
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
 			if err := srv.LoadState(f); err != nil {
@@ -107,7 +110,9 @@ func main() {
 			if err != nil {
 				log.Printf("rerankd: save state: %v", err)
 			} else {
-				log.Printf("rerankd: state saved to %s", *state)
+				st := srv.Stats()
+				log.Printf("rerankd: state saved to %s (%d MD dense regions in %d grid buckets; %d speculative probes, %d wasted)",
+					*state, st.MDDenseRegions, st.DenseMDBuckets, st.SpecProbesIssued, st.SpecProbesWasted)
 			}
 			os.Exit(0)
 		}()

@@ -20,6 +20,12 @@
 // lifetime of the engine (the upstream corpus does not change mid-run) —
 // the same assumption the history store and dense indexes already make.
 // Options.DisableCoalescing opts out for volatile upstreams.
+//
+// The parallel speculative MD search (md.go) leans on this layer twice
+// over: its concurrent probe rounds dedup against other sessions' in-flight
+// probes exactly like sequential ones, and the complete answers of wasted
+// speculative probes land in the LRU, so a mis-speculation's upstream cost
+// is never paid a second time.
 
 package core
 

@@ -32,6 +32,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/hidden"
 	"repro/internal/history"
@@ -114,6 +115,16 @@ type Options struct {
 	// (1024 probe results), negative disables the cache while keeping
 	// in-flight dedup.
 	ProbeCacheSize int
+	// SearchParallelism is the speculative probe width W of the MD search:
+	// each best-first round issues up to W frontier probes concurrently
+	// through the coalescing layer, bounded by a per-session worker pool.
+	// 0 or 1 means sequential. The emitted tuple sequence is identical for
+	// every W; speculation can spend extra upstream probes (reported by
+	// SpeculationStats), which hide upstream round-trip latency. Ignored
+	// (sequential search) when MaxQueriesPerOp is set: under a binding
+	// budget, racing speculative charges would make budget exhaustion
+	// nondeterministic.
+	SearchParallelism int
 }
 
 // Engine is one reranking service instance bound to a hidden database. The
@@ -126,6 +137,12 @@ type Engine struct {
 	know   *Knowledge
 	probes *coalescer   // issue-path dedup + complete-answer cache
 	crawls *flightGroup // dense-region crawl dedup
+
+	// Speculative-search accounting: probes issued beyond the first slot
+	// of an MD search round, and the subset invalidated by a threshold
+	// improvement before their result could be used.
+	specIssued atomic.Int64
+	specWasted atomic.Int64
 }
 
 // NewEngine builds an engine over db.
@@ -167,6 +184,38 @@ func (e *Engine) ProbeCacheEntries() int { return e.probes.cacheSize() }
 // after a warm restart this reports how many boxes MD-RERANK can answer
 // locally for zero upstream cost.
 func (e *Engine) MDDenseRegions() int { return e.know.MDRegions() }
+
+// MDBucketStats aggregates the MD dense indexes' centroid-grid shape across
+// all ranked-attribute subsets.
+func (e *Engine) MDBucketStats() index.GridStats { return e.know.MDBucketStats() }
+
+// searchWidth returns the MD search's speculative probe width (≥ 1). A
+// configured per-op budget forces sequential search: under a binding
+// budget, concurrent speculative charges would race the mandatory probes
+// for the remaining attempts, making WHICH probe exhausts the budget — and
+// hence whether an op fails — depend on goroutine interleaving. Sequential
+// search keeps MaxQueriesPerOp semantics exactly deterministic.
+func (e *Engine) searchWidth() int {
+	if e.opts.SearchParallelism > 1 && e.opts.MaxQueriesPerOp <= 0 {
+		return e.opts.SearchParallelism
+	}
+	return 1
+}
+
+// SearchParallelism returns the EFFECTIVE speculative probe width (≥ 1):
+// the configured Options.SearchParallelism, forced to 1 when a per-op
+// budget makes speculation nondeterministic (see searchWidth).
+func (e *Engine) SearchParallelism() int { return e.searchWidth() }
+
+// SpeculationStats returns the engine-lifetime count of speculative MD
+// probes issued (round slots beyond the first) and the subset wasted (their
+// overflow result was invalidated by a threshold improvement from an earlier
+// slot of the same round, so the box had to be re-probed tightened). Wasted
+// probes' pages still land in the shared history and probe LRU, so their
+// upstream cost is never paid twice.
+func (e *Engine) SpeculationStats() (issued, wasted int64) {
+	return e.specIssued.Load(), e.specWasted.Load()
+}
 
 // sParam returns the dense-region population parameter s (§3.2.2), defaulting
 // to k·log2(n).

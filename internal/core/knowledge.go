@@ -107,6 +107,30 @@ func (k *Knowledge) exportMD() []mdExport {
 	return out
 }
 
+// MDBucketStats aggregates every MD dense index's centroid-grid statistics:
+// total regions, total occupied buckets, the worst single bucket, and loose
+// (ungridded) regions — the observability handle for the sub-linear lookup
+// claim (§4.4 oracle cost stays flat as knowledge grows).
+func (k *Knowledge) MDBucketStats() index.GridStats {
+	k.mdMu.Lock()
+	entries := make([]*mdEntry, 0, len(k.denseMD))
+	for _, e := range k.denseMD {
+		entries = append(entries, e)
+	}
+	k.mdMu.Unlock()
+	var st index.GridStats
+	for _, e := range entries {
+		s := e.idx.Stats()
+		st.Regions += s.Regions
+		st.Buckets += s.Buckets
+		st.Loose += s.Loose
+		if s.MaxBucket > st.MaxBucket {
+			st.MaxBucket = s.MaxBucket
+		}
+	}
+	return st
+}
+
 // MDRegions returns the total number of crawled MD dense regions across all
 // attribute subsets — the regions a restarted engine can answer locally.
 func (k *Knowledge) MDRegions() int {

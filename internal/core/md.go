@@ -12,7 +12,7 @@
 //     least the threshold).
 //   - MD-BINARY replaces the discovered-tuple pivot with a virtual tuple v'
 //     on the threshold contour (§4.3.2), maximizing pruned volume, and
-//     probes v''s dominance box first (direct domination detection).
+//     probes the box dominating v' first (direct domination detection).
 //   - MD-RERANK answers boxes smaller than the dense-region volume
 //     threshold from the on-the-fly crawled-box index (§4.4, Algorithm 6).
 //
@@ -25,13 +25,62 @@
 // Top-k proceeds by subspace splitting (§4.2.2): emitting a tuple splits its
 // box on the first ranked attribute at the tuple's value, and the next
 // answer is the best of the per-box top-1s.
-
+//
+// # Parallel speculative search
+//
+// The paper describes the search as sequential: one probe, then the next —
+// which, against a remote upstream, serializes round-trip latency. This
+// cursor instead exposes parallelism at two levels, both speculative and
+// both bounded by the session's worker pool (Options.SearchParallelism = W):
+//
+//   - Top-level partition regions live in a score-ordered heap. Unresolved
+//     regions are keyed by an admissible lower bound (the score of the
+//     region's best corner); resolved regions by their exact top-1 score.
+//     Regions resolve lazily, best-first: once the heap minimum is a
+//     resolved region, every unresolved lower bound is strictly worse and
+//     the minimum is the exact next answer. Each resolution round takes up
+//     to W unresolved regions off the top of the heap and resolves them
+//     concurrently — slots beyond the first are speculative (the first
+//     resolution alone might already beat every remaining lower bound), but
+//     their results are exact and persist in the heap, so speculative
+//     resolutions are work done early, not work done wrong.
+//   - Within one region's top-1 search, unexplored boxes live in a
+//     best-first frontier heap. Each round pops the best W frontier boxes,
+//     tightens them against the current threshold, and issues the probes
+//     concurrently through the engine's singleflight+LRU coalescer. Probes
+//     beyond the first assume the earlier probes of the round will not
+//     improve the threshold; when one does, a later overflow result is
+//     invalidated — sequential execution would have probed a smaller,
+//     re-tightened box — and counted as waste (complete answers are never
+//     waste: a complete page over a superset box resolves the box exactly).
+//
+// Determinism. Every decision point runs in a fixed order on the cursor
+// goroutine: region rounds are composed and their results applied in heap
+// order, frontier rounds are composed and processed in pop order, and
+// history is read for seeding only between rounds. Concurrent resolutions
+// touch disjoint boxes, so their probes cannot serve one another through the
+// coalescing layer. The emitted tuple sequence is therefore identical for
+// every W (each top-1 is an exact minimum regardless of exploration order),
+// and the session ledger is exactly reproducible for a fixed W — speculation
+// changes how much is charged, never making the charge nondeterministic.
+// (The one caveat: ledger reproducibility assumes the engine-wide probe LRU
+// is not evicting mid-run and no unrelated session is mutating it, the same
+// caveat PR 1 established for cross-session cost attribution.)
+//
+// Cost accounting is charge-at-issue: the per-op budget (MaxQueriesPerOp) is
+// charged in round order before a round is dispatched, the session ledger is
+// charged for exactly the probes that reach the upstream, and wasted probes'
+// pages still land in the shared history and probe LRU so their cost is
+// never paid twice.
 package core
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/hidden"
 	"repro/internal/index"
@@ -45,27 +94,137 @@ import (
 type MDCursor struct {
 	s       *Session
 	q       query.Query
-	axis    *ranking.Axis
 	variant Variant
 
 	started   bool
-	regions   []mdRegion
+	regions   regionHeap // unresolved (lower bound) + resolved (exact) regions
+	regionSeq int64
 	emitted   map[int]bool
 	pending   []types.Tuple
 	exhausted bool
-	opQueries int64
+	opQueries atomic.Int64 // shared by concurrent resolvers (charge-at-issue)
 
 	denseVol float64
 	denseDim []float64      // per-dimension dense-region width thresholds
 	sorted   []int          // ranked attrs sorted ascending (dense-index canonical order)
+	axisPos  []int          // per position in sorted: the axis dimension of that attr
 	denseIdx *index.DenseMD // shared MD index for this attribute subset
+
+	width     int           // speculative width W (regions per round, probes per frontier round)
+	resolvers []*mdResolver // [0] drives sequential ops; [1..] speculative round slots
+
+	// excludeID/excludeOK name the tuple being emitted while the prefetch
+	// round runs: it is certain to be marked emitted the moment tie
+	// collection returns, so prefetched resolutions must not pick it (they
+	// would be invalidated immediately). Written on the cursor goroutine
+	// before the round launches, cleared after it joins.
+	excludeID int
+	excludeOK bool
 }
 
+// mdResolver is the per-resolution mutable state of one top-1 search: its
+// own Axis (whose geometric primitives carry scratch buffers), frontier
+// heap, probe round scratch and axis-point buffers. Up to W resolvers run
+// concurrently during a region round; everything they share through the
+// cursor (query, emitted set, dense thresholds) is read-only while a round
+// is in flight.
+type mdResolver struct {
+	c    *MDCursor
+	axis *ranking.Axis
+
+	frontier boxHeap
+	boxSeq   int64
+	charged  int64       // upstream probes this resolution charged the ledger
+	spec     bool        // a speculative region-round slot: all its probes count as speculative
+	chain    int         // consecutive single-box improvement rounds (ladder trigger)
+	covered  []query.Box // boxes answered completely during this top-1 search
+	batch    []batchItem
+	results  []probeResult
+	probeQs  []query.Query
+	zbuf     []float64 // ToAxisInto scratch for improve
+	rlkBuf   query.Box // realBoxInto scratch for dense-index lookups
+}
+
+// mdRegion is one top-level partition region in the region heap.
 type mdRegion struct {
 	box      query.Box
 	best     types.Tuple
 	have     bool
 	resolved bool
+	key      float64 // lower-bound score (unresolved) or exact score (resolved)
+	seq      int64
+}
+
+// regionHeap orders regions by (key, unresolved-first, best.ID/seq). When the
+// minimum is a resolved region, every unresolved region's lower bound is
+// strictly larger (equal bounds sort unresolved first), so its contents score
+// strictly worse and the minimum is exactly the tuple the eager search would
+// emit.
+type regionHeap []*mdRegion
+
+func (h regionHeap) Len() int { return len(h) }
+func (h regionHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.resolved != b.resolved {
+		return !a.resolved
+	}
+	if a.resolved {
+		return a.best.ID < b.best.ID
+	}
+	return a.seq < b.seq
+}
+func (h regionHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *regionHeap) Push(x any)   { *h = append(*h, x.(*mdRegion)) }
+func (h *regionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return r
+}
+
+// frontierBox is one unexplored box in a top-1 search's best-first frontier.
+type frontierBox struct {
+	box query.Box
+	lb  float64 // admissible lower bound: score of the box's best corner
+	seq int64
+}
+
+// boxHeap is a min-heap of frontier boxes by (lb, seq); seq makes pop order
+// deterministic under equal bounds.
+type boxHeap []frontierBox
+
+func (h boxHeap) Len() int { return len(h) }
+func (h boxHeap) Less(i, j int) bool {
+	if h[i].lb != h[j].lb {
+		return h[i].lb < h[j].lb
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *boxHeap) Push(x any)   { *h = append(*h, x.(frontierBox)) }
+func (h *boxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	b := old[n-1]
+	old[n-1] = frontierBox{}
+	*h = old[:n-1]
+	return b
+}
+
+// batchItem is one box of a speculative probe round, with the threshold it
+// was tightened against at issue time. ladder marks a speculative tightening
+// rung: a copy of the round's best box tightened against an optimistically
+// improved threshold, processed improve-only (see padLadder).
+type batchItem struct {
+	box      query.Box
+	thrScore float64
+	thrHave  bool
+	ladder   bool
 }
 
 // NewMDCursor builds an MD cursor for ranker r in a fresh single-cursor
@@ -80,8 +239,9 @@ func (s *Session) NewMDCursor(q query.Query, r ranking.Ranker, v Variant) *MDCur
 	e := s.e
 	ax := ranking.NewAxis(r, e.db.Schema())
 	c := &MDCursor{
-		s: s, q: q.Clone(), axis: ax, variant: v,
+		s: s, q: q.Clone(), variant: v,
 		emitted: make(map[int]bool),
+		width:   e.searchWidth(),
 	}
 	if v == Rerank {
 		c.denseVol = e.denseVolumeMD(ax.Attrs())
@@ -99,20 +259,79 @@ func (s *Session) NewMDCursor(q query.Query, r ranking.Ranker, v Variant) *MDCur
 	}
 	c.sorted = append([]int(nil), ax.Attrs()...)
 	sort.Ints(c.sorted)
+	pos := make(map[int]int, len(c.sorted))
+	for j, a := range ax.Attrs() {
+		pos[a] = j
+	}
+	for _, a := range c.sorted {
+		c.axisPos = append(c.axisPos, pos[a])
+	}
 	// Resolve the shared index once: the map entry is created on first use
 	// and never replaced, so caching it keeps the per-box fast path off
 	// the engine-wide map mutex.
 	c.denseIdx = e.know.mdIndexFor(c.sorted)
+	// Resolver 0 reuses the axis built above; the speculative slots get
+	// their own axes (axis scratch buffers are single-goroutine).
+	c.resolvers = make([]*mdResolver, c.width)
+	for i := range c.resolvers {
+		if i > 0 {
+			ax = ranking.NewAxis(r, e.db.Schema())
+		}
+		c.resolvers[i] = &mdResolver{
+			c:       c,
+			axis:    ax,
+			spec:    i > 0,
+			batch:   make([]batchItem, 0, c.width),
+			results: make([]probeResult, c.width),
+			probeQs: make([]query.Query, c.width),
+			zbuf:    make([]float64, ax.M()),
+			rlkBuf:  query.Box{Dims: make([]types.Interval, len(c.sorted))},
+		}
+	}
 	return c
 }
 
-// issue sends one box-restricted query, charging the per-op budget.
-func (c *MDCursor) issue(b query.Box) (hidden.Result, error) {
-	if c.s.e.opts.MaxQueriesPerOp > 0 && c.opQueries >= c.s.e.opts.MaxQueriesPerOp {
+// axis returns the cursor's sequential-path axis (resolver 0's). Only valid
+// on the cursor goroutine while no region round is in flight.
+func (c *MDCursor) axis() *ranking.Axis { return c.resolvers[0].axis }
+
+// chargeOp charges one probe attempt against the per-op budget, reporting
+// whether the budget allows it. Attempts are charged before coalescing so
+// the bound is stable regardless of cache state; the check-and-add is a
+// single atomic Add so concurrent resolvers cannot over-admit.
+func (c *MDCursor) chargeOp() bool {
+	if max := c.s.e.opts.MaxQueriesPerOp; max > 0 {
+		return c.opQueries.Add(1) <= max
+	}
+	c.opQueries.Add(1)
+	return true
+}
+
+// issue sends one box-restricted query, charging the per-op budget — the
+// sequential probe path used by tie collection and domination probes.
+func (r *mdResolver) issue(b query.Box) (hidden.Result, error) {
+	if !r.c.chargeOp() {
 		return hidden.Result{}, ErrBudget
 	}
-	c.opQueries++
-	return c.s.issue(c.axis.BoxToQuery(c.q, b))
+	r.axis.BoxToQueryInto(r.c.q, b, &r.probeQs[0])
+	res, issued, err := r.c.s.issueCounted(r.probeQs[0])
+	if issued {
+		r.charged++
+	}
+	return res, err
+}
+
+// pushRegion adds an unresolved region for box to the region heap and
+// returns it (so Next can roll a split back on error).
+func (c *MDCursor) pushRegion(box query.Box) *mdRegion {
+	c.regionSeq++
+	reg := &mdRegion{
+		box: box,
+		key: c.axis().LowerBound(box),
+		seq: c.regionSeq,
+	}
+	heap.Push(&c.regions, reg)
+	return reg
 }
 
 // Next implements Cursor.
@@ -125,74 +344,240 @@ func (c *MDCursor) Next() (types.Tuple, bool, error) {
 	if c.exhausted {
 		return types.Tuple{}, false, nil
 	}
-	c.opQueries = 0
+	c.opQueries.Store(0)
 	if !c.started {
 		c.started = true
-		root := c.axis.QueryToBox(c.q)
-		c.regions = []mdRegion{{box: root}}
+		c.pushRegion(c.axis().QueryToBox(c.q))
 	}
-	// Resolve the top-1 of every unresolved region.
-	live := c.regions[:0]
-	for _, r := range c.regions {
-		if !r.resolved {
-			best, have, err := c.top1(r.box)
-			if err != nil {
-				return types.Tuple{}, false, err
-			}
-			r.best, r.have, r.resolved = best, have, true
-		}
-		if r.have {
-			live = append(live, r)
+	// Lazily resolve regions best-first until the heap minimum is resolved:
+	// at that point every unresolved region's lower bound is strictly worse
+	// than the resolved top-1, so no other region can supply the answer.
+	// Each round resolves up to W of the best unresolved regions
+	// concurrently; slots beyond the first are speculative (their results
+	// persist in the heap, so early work is never thrown away).
+	for c.regions.Len() > 0 && !c.regions[0].resolved {
+		regs := c.popRound(c.width, true)
+		seeds := c.seedRound(regs, 0)
+		if err := c.runRound(regs, seeds, 0); err != nil {
+			return types.Tuple{}, false, err
 		}
 	}
-	c.regions = live
-	if len(c.regions) == 0 {
+	if c.regions.Len() == 0 {
 		c.exhausted = true
 		return types.Tuple{}, false, nil
 	}
-	// Emit the best region's top-1 and split that region.
-	bi := 0
-	for i := 1; i < len(c.regions); i++ {
-		if c.regionLess(c.regions[i], c.regions[bi]) {
-			bi = i
-		}
-	}
-	reg := c.regions[bi]
+	// The winner is now certain. Split its region first (the split needs
+	// only the winning tuple), so the winner's tie point probe and a
+	// prefetch round resolving the freshly split children — the regions
+	// the NEXT call will almost surely block on — can overlap in one
+	// concurrent section instead of costing two serial round-trips.
+	reg := heap.Pop(&c.regions).(*mdRegion)
 	t := reg.best
-	if err := c.collectTies(t); err != nil {
+	// Split the region on the first ranked attribute at t's value. The
+	// right part keeps the boundary (closed) so tuples sharing the split
+	// coordinate remain reachable; the emitted set excludes the tie
+	// group itself.
+	z0 := c.axis().ToAxis(t)[0]
+	b1 := reg.box.Clone()
+	b1.Dims[0] = b1.Dims[0].Intersect(types.Interval{Lo: math.Inf(-1), Hi: z0, HiOpen: true})
+	b2 := reg.box.Clone()
+	b2.Dims[0] = b2.Dims[0].Intersect(types.Interval{Lo: z0, Hi: math.Inf(1), HiOpen: true})
+	var children []*mdRegion
+	if !b1.Empty() {
+		children = append(children, c.pushRegion(b1))
+	}
+	if !b2.Empty() {
+		children = append(children, c.pushRegion(b2))
+	}
+	c.excludeID, c.excludeOK = t.ID, true
+	err := c.collectTiesPipelined(t)
+	c.excludeOK = false
+	if err != nil {
+		// Roll the split back so a retry sees the region exactly once.
+		c.unsplit(reg, children)
 		return types.Tuple{}, false, err
 	}
 	for _, tt := range c.pending {
 		c.emitted[tt.ID] = true
 	}
-	// Split the region on the first ranked attribute at t's value. The
-	// right part keeps the boundary (closed) so tuples sharing the split
-	// coordinate remain reachable; the emitted set excludes the tie
-	// group itself.
-	z0 := c.axis.ToAxis(t)[0]
-	b1 := reg.box.Clone()
-	b1.Dims[0] = b1.Dims[0].Intersect(types.Interval{Lo: math.Inf(-1), Hi: z0, HiOpen: true})
-	b2 := reg.box.Clone()
-	b2.Dims[0] = b2.Dims[0].Intersect(types.Interval{Lo: z0, Hi: math.Inf(1), HiOpen: true})
-	c.regions = append(c.regions[:bi], c.regions[bi+1:]...)
-	if !b1.Empty() {
-		c.regions = append(c.regions, mdRegion{box: b1})
-	}
-	if !b2.Empty() {
-		c.regions = append(c.regions, mdRegion{box: b2})
-	}
+	// A prefetched region resolved concurrently with the tie probe may
+	// have picked a tuple that just became emitted (a tie of t living in
+	// the right split child): its resolution is stale — demote it back to
+	// unresolved so it is re-searched with the updated emitted set.
+	c.invalidateEmitted()
 	out := c.pending[0]
 	c.pending = c.pending[1:]
 	return out, true, nil
 }
 
-// regionLess orders resolved regions by (score, tuple ID).
-func (c *MDCursor) regionLess(a, b mdRegion) bool {
-	sa, sb := c.axis.ScoreTuple(a.best), c.axis.ScoreTuple(b.best)
-	if sa != sb {
-		return sa < sb
+// unsplit removes the exact child regions pushed for reg's split and
+// re-pushes reg — the error-path rollback of the early split in Next. The
+// identity filter compacts the heap array out of order, so the heap
+// invariant is re-established before pushing.
+func (c *MDCursor) unsplit(reg *mdRegion, children []*mdRegion) {
+	kept := c.regions[:0]
+	for _, r := range c.regions {
+		drop := false
+		for _, ch := range children {
+			if r == ch {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			kept = append(kept, r)
+		}
 	}
-	return a.best.ID < b.best.ID
+	c.regions = kept
+	heap.Init(&c.regions)
+	heap.Push(&c.regions, reg)
+}
+
+// collectTiesPipelined runs the §5 tie collection for t while a prefetch
+// round resolves the best unresolved regions in the background: the tie
+// point probe and the prefetch probes share one concurrent section, so the
+// per-emit tie round-trip stops serializing the search. The prefetch uses
+// resolver slots 1.., leaving slot 0 (whose axis scratch the tie path uses)
+// to collectTies; its seeding happens before the tie goroutine launches so
+// every probe stream stays deterministic. Prefetch errors are swallowed —
+// the affected regions are re-pushed unresolved and the next call retries
+// them against a fresh per-op budget.
+func (c *MDCursor) collectTiesPipelined(t types.Tuple) error {
+	if c.s.e.opts.AssumeGeneralPositioning || c.width <= 1 {
+		return c.collectTies(t)
+	}
+	prefetch := c.popRound(c.width-1, false)
+	if len(prefetch) == 0 {
+		return c.collectTies(t)
+	}
+	seeds := c.seedRound(prefetch, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var tieErr error
+	go func() {
+		defer wg.Done()
+		tieErr = c.collectTies(t)
+	}()
+	_ = c.runRound(prefetch, seeds, 1)
+	wg.Wait()
+	return tieErr
+}
+
+// invalidateEmitted demotes resolved regions whose best tuple has been
+// emitted back to unresolved (lower-bound key), rebuilding the heap when
+// any demotion happened.
+func (c *MDCursor) invalidateEmitted() {
+	changed := false
+	for _, reg := range c.regions {
+		if reg.resolved && c.emitted[reg.best.ID] {
+			reg.resolved, reg.have = false, false
+			reg.best = types.Tuple{}
+			reg.key = c.axis().LowerBound(reg.box)
+			changed = true
+		}
+	}
+	if changed {
+		heap.Init(&c.regions)
+	}
+}
+
+// popRound pops up to limit of the best unresolved regions off the heap, in
+// deterministic heap order. Speculative slots are bounded by the best
+// already-resolved score: an unresolved region whose lower bound exceeds it
+// can never block the next emit, so resolving it would be eagerness the lazy
+// discipline exists to avoid. When mandatory is set the first slot ignores
+// the bound (the blocking loop must make progress).
+func (c *MDCursor) popRound(limit int, mandatory bool) []*mdRegion {
+	bound, haveBound := 0.0, false
+	for _, r := range c.regions {
+		if r.resolved && (!haveBound || r.key < bound) {
+			bound, haveBound = r.key, true
+		}
+	}
+	out := make([]*mdRegion, 0, limit)
+	for len(out) < limit && c.regions.Len() > 0 && !c.regions[0].resolved {
+		if haveBound && c.regions[0].key > bound && (len(out) > 0 || !mandatory) {
+			break
+		}
+		out = append(out, heap.Pop(&c.regions).(*mdRegion))
+	}
+	return out
+}
+
+// seedRound seeds one candidate per region from the shared history, on the
+// cursor goroutine, before any of the round's probes can grow the history —
+// the ordering that keeps each resolution's probe stream deterministic.
+// Region i uses resolver i+off.
+func (c *MDCursor) seedRound(regs []*mdRegion, off int) []candidate {
+	cands := make([]candidate, len(regs))
+	if c.s.e.opts.DisableHistory {
+		return cands
+	}
+	// One pass over the matching history seeds every slot: all callbacks
+	// run on the cursor goroutine, so sharing the scan preserves the
+	// deterministic seeding order while keeping the cost independent of W.
+	c.s.e.know.hist.ForEachMatching(c.q, func(t types.Tuple) bool {
+		for i, reg := range regs {
+			c.resolvers[i+off].improveOne(&cands[i], t, reg.box)
+		}
+		return true
+	})
+	return cands
+}
+
+// runRound resolves the round's regions concurrently (region i on resolver
+// i+off) and applies the results in slot order. Slots beyond the heap
+// minimum are speculative: the minimum's result alone might have unblocked
+// the emit, so the extra resolutions are work done early, counted into the
+// engine's speculation ledger.
+func (c *MDCursor) runRound(regs []*mdRegion, cands []candidate, off int) error {
+	type outcome struct {
+		best types.Tuple
+		have bool
+		err  error
+	}
+	outs := make([]outcome, len(regs))
+	if len(regs) == 1 && off == 0 {
+		outs[0].best, outs[0].have, outs[0].err = c.resolvers[0].top1(regs[0].box, &cands[0])
+	} else {
+		var wg sync.WaitGroup
+		for i := range regs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r := c.resolvers[i+off]
+				outs[i].best, outs[i].have, outs[i].err = r.top1(regs[i].box, &cands[i])
+				if i > 0 || off > 0 {
+					c.s.e.specIssued.Add(r.charged)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	// Apply results in slot order; on error, surface the first and re-push
+	// the regions so the cursor stays consistent for a retry. Scoring uses
+	// each slot's own axis: resolver 0's scratch may be serving the
+	// pipelined tie path concurrently.
+	var firstErr error
+	for i, reg := range regs {
+		if outs[i].err != nil {
+			if firstErr == nil {
+				firstErr = outs[i].err
+			}
+			heap.Push(&c.regions, reg)
+			continue
+		}
+		if firstErr != nil {
+			heap.Push(&c.regions, reg)
+			continue
+		}
+		if outs[i].have {
+			reg.best, reg.have, reg.resolved = outs[i].best, true, true
+			reg.key = c.resolvers[i+off].axis.ScoreTuple(outs[i].best)
+			heap.Push(&c.regions, reg)
+		}
+	}
+	return firstErr
 }
 
 // collectTies fills the pending buffer with every tuple matching q that
@@ -202,12 +587,12 @@ func (c *MDCursor) collectTies(t types.Tuple) error {
 		c.pending = []types.Tuple{t}
 		return nil
 	}
-	z := c.axis.ToAxis(t)
+	z := c.axis().ToAxis(t)
 	point := query.Box{Dims: make([]types.Interval, len(z))}
 	for j, v := range z {
 		point.Dims[j] = types.ClosedInterval(v, v)
 	}
-	res, err := c.issue(point)
+	res, err := c.resolvers[0].issue(point)
 	if err != nil {
 		return err
 	}
@@ -215,7 +600,7 @@ func (c *MDCursor) collectTies(t types.Tuple) error {
 	if !res.Overflow {
 		ties = res.Tuples
 	} else {
-		ties, err = c.s.crawlRegion(c.axis.BoxToQuery(c.q, point), nil)
+		ties, err = c.s.crawlRegion(c.axis().BoxToQuery(c.q, point), nil)
 		if err != nil {
 			return err
 		}
@@ -242,107 +627,334 @@ type candidate struct {
 	have  bool
 }
 
-func (c *MDCursor) improve(cand *candidate, ts []types.Tuple, box query.Box) {
+func (r *mdResolver) improve(cand *candidate, ts []types.Tuple, box query.Box) {
 	for _, t := range ts {
-		if c.emitted[t.ID] || !c.q.Matches(t) {
-			continue
-		}
-		z := c.axis.ToAxis(t)
-		if !box.Contains(z) {
-			continue
-		}
-		s := c.axis.ScoreTuple(t)
-		if !cand.have || s < cand.score || (s == cand.score && t.ID < cand.t.ID) {
-			cand.t, cand.score, cand.have = t, s, true
-		}
+		r.improveOne(cand, t, box)
 	}
 }
 
-// top1 finds the best non-emitted tuple matching q inside box.
-func (c *MDCursor) top1(box query.Box) (types.Tuple, bool, error) {
-	var cand candidate
-	// Seed from history (§3.1.1 applied to MD).
-	if !c.s.e.opts.DisableHistory {
-		c.s.e.know.hist.ForEachMatching(c.q, func(t types.Tuple) bool {
-			c.improve(&cand, []types.Tuple{t}, box)
-			return true
-		})
+// improveOne considers a single tuple for the candidate, reusing the
+// resolver's axis-point scratch.
+func (r *mdResolver) improveOne(cand *candidate, t types.Tuple, box query.Box) {
+	if r.c.emitted[t.ID] || (r.c.excludeOK && t.ID == r.c.excludeID) || !r.c.q.Matches(t) {
+		return
 	}
-	stack := []query.Box{box}
-	for len(stack) > 0 {
-		b := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if b.Empty() {
-			continue
-		}
-		if cand.have {
-			tb, ok := c.axis.Tighten(b, cand.score)
-			if !ok {
+	z := r.axis.ToAxisInto(t, r.zbuf)
+	if !box.Contains(z) {
+		return
+	}
+	s := r.axis.ScoreTuple(t)
+	if !cand.have || s < cand.score || (s == cand.score && t.ID < cand.t.ID) {
+		cand.t, cand.score, cand.have = t, s, true
+	}
+}
+
+// pushBox adds a box to the top-1 frontier with its lower-bound key.
+func (r *mdResolver) pushBox(b query.Box) {
+	r.boxSeq++
+	heap.Push(&r.frontier, frontierBox{box: b, lb: r.axis.LowerBound(b), seq: r.boxSeq})
+}
+
+// top1 finds the best non-emitted tuple matching q inside box, starting from
+// the pre-seeded candidate.
+//
+// The frontier is explored best-first in speculative rounds of up to W
+// boxes: round composition (pop, tighten, dense fast path), budget charging
+// and result processing all happen in deterministic frontier order on the
+// resolver's goroutine; only the upstream probes of one round run
+// concurrently.
+func (r *mdResolver) top1(box query.Box, cand *candidate) (types.Tuple, bool, error) {
+	c := r.c
+	r.frontier = r.frontier[:0]
+	r.boxSeq = 0
+	r.charged = 0
+	r.chain = 0
+	r.covered = r.covered[:0]
+	r.pushBox(box)
+	for r.frontier.Len() > 0 {
+		// Compose one speculative round: the W best frontier boxes that
+		// survive tightening and the dense-index fast path.
+		r.batch = r.batch[:0]
+		for len(r.batch) < c.width && r.frontier.Len() > 0 {
+			fb := heap.Pop(&r.frontier).(frontierBox)
+			b := fb.box
+			if b.Empty() {
 				continue
 			}
-			b = tb
-		}
-		// MD-RERANK fast path: a box already covered by a crawled
-		// dense region is answered locally with zero queries.
-		if c.variant == Rerank && c.denseVol > 0 && b.IsFinite() && c.isDense(b) {
-			if reg, ok := c.denseIdx.Lookup(c.realBoxOf(b)); ok {
-				c.improve(&cand, reg.Tuples, b)
+			if cand.have {
+				tb, ok := r.axis.Tighten(b, cand.score)
+				if !ok {
+					continue
+				}
+				b = tb
+			}
+			// A box inside an already-answered complete page is fully
+			// known: improve has seen every tuple in it, so probing it
+			// again (typically the confirm probe after a ladder rung
+			// collapsed the improvement chain) buys nothing.
+			if r.coveredBy(b) {
 				continue
 			}
+			// MD-RERANK fast path: a box already covered by a crawled
+			// dense region is answered locally with zero queries.
+			if c.variant == Rerank && c.denseVol > 0 && b.IsFinite() && r.isDense(b) {
+				if reg, ok := c.denseIdx.Lookup(r.realBoxInto(b)); ok {
+					r.improve(cand, reg.Tuples, b)
+					continue
+				}
+			}
+			r.batch = append(r.batch, batchItem{box: b, thrScore: cand.score, thrHave: cand.have})
 		}
-		res, err := c.issue(b)
-		if err != nil {
-			return types.Tuple{}, false, err
-		}
-		prevScore, prevHave := cand.score, cand.have
-		c.improve(&cand, res.Tuples, b)
-		if !res.Overflow {
+		if len(r.batch) == 0 {
 			continue
 		}
-		// MD-RERANK dense-region handling (Algorithm 6): an overflowing
-		// sub-threshold box is a certified dense region — crawl it once
-		// (generically, without Sel(q)) and index it for every future
-		// user query.
-		if c.variant == Rerank && c.denseVol > 0 && b.IsFinite() && c.isDense(b) {
-			if err := c.denseAnswer(b, &cand); err != nil {
+		if len(r.batch) < c.width && r.chain > 0 {
+			// A detected improvement chain: the previous round was a
+			// lone box whose probe improved the threshold, and this
+			// round is re-probing it — the regime where the search
+			// degenerates to one improvement per round-trip. Fill the
+			// free slots with a speculative tightening ladder over the
+			// round's best box to collapse the chase. (Gating on a
+			// detected chain keeps ordinary one-probe resolutions at
+			// one probe.)
+			r.padLadder(cand)
+		}
+		// Charge the per-op budget at issue, in deterministic round order.
+		// Boxes the budget cannot cover go back to the frontier un-probed.
+		issuable := len(r.batch)
+		for i := range r.batch {
+			if !c.chargeOp() {
+				issuable = i
+				break
+			}
+		}
+		if issuable == 0 {
+			for i := range r.batch {
+				r.pushBox(r.batch[i].box)
+			}
+			return types.Tuple{}, false, ErrBudget
+		}
+		for i := issuable; i < len(r.batch); i++ {
+			r.pushBox(r.batch[i].box)
+		}
+		r.batch = r.batch[:issuable]
+		// Issue the round concurrently; slots beyond the first are
+		// speculative.
+		for i := range r.batch {
+			r.axis.BoxToQueryInto(c.q, r.batch[i].box, &r.probeQs[i])
+		}
+		c.s.issueAll(r.probeQs[:len(r.batch)], r.results[:len(r.batch)])
+		for i := range r.batch {
+			if r.results[i].issued {
+				r.charged++
+				// Frontier slots beyond the first are speculative probes
+				// (unless this whole resolution is a speculative region
+				// slot, whose probes are all counted by resolveRound).
+				if i > 0 && !r.spec {
+					c.s.e.specIssued.Add(1)
+				}
+			}
+		}
+		// Process results strictly in round order.
+		restarted := false
+		nonLadder := 0
+		for i := range r.batch {
+			if !r.batch[i].ladder {
+				nonLadder++
+			}
+		}
+		singleImproved := false
+		for i := range r.batch {
+			it := &r.batch[i]
+			if err := r.results[i].err; err != nil {
 				return types.Tuple{}, false, err
 			}
-			continue
-		}
-		if cand.have && (!prevHave || cand.score < prevScore) {
-			// The query improved the threshold. MD-BASELINE and
-			// MD-BINARY restart the whole search around the new
-			// contour ("we restart the entire process with t = t'",
-			// §4.2.1 / Algorithm 5 line 7). MD-RERANK instead keeps
-			// the partition queue and only re-searches the
-			// overflowing box re-tightened — a documented
-			// refinement with identical coverage and fewer
-			// repeated queries.
-			if c.variant == Rerank {
-				if tb, ok := c.axis.Tighten(b, cand.score); ok {
-					stack = append(stack, tb)
-				}
-			} else {
-				stack = stack[:0]
-				if tb, ok := c.axis.Tighten(box, cand.score); ok {
-					stack = append(stack, tb)
-				}
+			res := r.results[i].res
+			prevScore, prevHave := cand.score, cand.have
+			r.improve(cand, res.Tuples, it.box)
+			if !res.Overflow {
+				// A complete answer authoritatively resolves the probed
+				// box whatever the threshold did since issue: everything
+				// in it has been seen. Never waste; remember the cover
+				// so later frontier boxes inside it are skipped.
+				r.covered = append(r.covered, it.box)
+				continue
 			}
-			continue
+			if it.ladder {
+				// An overflowing ladder rung guessed too loose a
+				// threshold: its page still improved the candidate and
+				// fed history, but the rung resolves nothing — count it
+				// wasted (only if it actually reached the upstream:
+				// free cache replays cost nothing to waste) and let the
+				// canonical chain (the round's first slot re-pushed
+				// tightened) carry the coverage argument.
+				if r.results[i].issued {
+					c.s.e.specWasted.Add(1)
+				}
+				continue
+			}
+			if restarted {
+				// A restart discarded the whole partition; the re-pushed
+				// root covers this box, so the speculative probe was
+				// waste (its page still fed history above).
+				if r.results[i].issued {
+					c.s.e.specWasted.Add(1)
+				}
+				continue
+			}
+			// MD-RERANK dense-region handling (Algorithm 6): an
+			// overflowing sub-threshold box is a certified dense region —
+			// crawl it once (generically, without Sel(q)) and index it
+			// for every future user query.
+			if c.variant == Rerank && c.denseVol > 0 && it.box.IsFinite() && r.isDense(it.box) {
+				if err := r.denseAnswer(it.box, cand); err != nil {
+					return types.Tuple{}, false, err
+				}
+				continue
+			}
+			if cand.have && (!prevHave || cand.score < prevScore) {
+				// The probe improved the threshold. MD-BASELINE and
+				// MD-BINARY restart the whole search around the new
+				// contour ("we restart the entire process with t = t'",
+				// §4.2.1 / Algorithm 5 line 7). MD-RERANK instead keeps
+				// the partition queue and only re-searches the
+				// overflowing box re-tightened — a documented
+				// refinement with identical coverage and fewer
+				// repeated queries.
+				if nonLadder == 1 {
+					singleImproved = true
+				}
+				if c.variant == Rerank {
+					if tb, ok := r.axis.Tighten(it.box, cand.score); ok {
+						r.pushBox(tb)
+					}
+				} else {
+					r.frontier = r.frontier[:0]
+					if tb, ok := r.axis.Tighten(box, cand.score); ok {
+						r.pushBox(tb)
+					}
+					restarted = true
+				}
+				continue
+			}
+			if cand.have && (!it.thrHave || cand.score < it.thrScore) {
+				// The threshold improved between issue and processing
+				// (an earlier result of this round): sequential
+				// execution would have probed this box re-tightened, so
+				// the stale overflow is speculative waste (when it
+				// reached the upstream — cache replays are free).
+				// Re-enqueue the box; its next probe pays only what the
+				// tightened form costs, and this probe's page already
+				// fed history. Slot 0 can only go stale through
+				// compose-time dense-hit improvements — itself a
+				// width>1 artifact — so its probe is counted into the
+				// speculative ledger here to keep wasted ≤ issued.
+				if r.results[i].issued {
+					c.s.e.specWasted.Add(1)
+					if i == 0 && !r.spec {
+						c.s.e.specIssued.Add(1)
+					}
+				}
+				if tb, ok := r.axis.Tighten(it.box, cand.score); ok {
+					r.pushBox(tb)
+				}
+				continue
+			}
+			kids, err := r.partition(it.box, res.Tuples, cand)
+			if err != nil {
+				return types.Tuple{}, false, err
+			}
+			for _, k := range kids {
+				r.pushBox(k)
+			}
 		}
-		kids, err := c.partition(b, res.Tuples, &cand)
-		if err != nil {
-			return types.Tuple{}, false, err
+		if singleImproved {
+			r.chain++
+		} else {
+			r.chain = 0
 		}
-		stack = append(stack, kids...)
 	}
 	return cand.t, cand.have, nil
+}
+
+// padLadder fills the round's free slots with a speculative tightening
+// ladder: copies of the round's best box tightened against geometrically
+// more optimistic thresholds between the box's lower bound and the
+// threshold it was composed under. The chase a sequential search runs —
+// probe, improve, re-tighten, probe again, one upstream round-trip per
+// improvement — collapses when a deep rung comes back complete: a complete
+// page over Tighten(b, θ_j) reveals the true minimum of everything under
+// θ_j at once, a parallel exponential search down the score axis. Rungs are
+// processed improve-only (never partitioned — they overlap the canonical
+// slot), so they can accelerate the search but never steer it; an
+// overflowing rung is counted as speculative waste.
+func (r *mdResolver) padLadder(cand *candidate) {
+	base := r.batch[0]
+	lb := r.axis.LowerBound(base.box)
+	up := base.thrScore
+	if !base.thrHave {
+		up = r.axis.UpperBound(base.box)
+	}
+	if !(up > lb) || math.IsInf(up, 1) || math.IsInf(lb, -1) {
+		return
+	}
+	theta := up
+	for len(r.batch) < r.c.width {
+		theta = lb + (theta-lb)/4
+		if !(theta > lb) {
+			return // hit the numeric floor above the lower bound
+		}
+		tb, ok := r.axis.Tighten(base.box, theta)
+		if !ok {
+			return
+		}
+		if r.dupInBatch(tb) {
+			continue // same tightening as an existing slot; descend further
+		}
+		r.batch = append(r.batch, batchItem{box: tb, thrScore: theta, thrHave: true, ladder: true})
+	}
+}
+
+// coveredBy reports whether b lies entirely inside a box this top-1 search
+// has already received a complete answer for.
+func (r *mdResolver) coveredBy(b query.Box) bool {
+	for i := range r.covered {
+		if r.covered[i].ContainsBox(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// dupInBatch reports whether box equals any box already in the round —
+// identical probes inside one round must not happen (whether a duplicate
+// coalesces or replays from cache would depend on timing, breaking ledger
+// reproducibility).
+func (r *mdResolver) dupInBatch(b query.Box) bool {
+	for i := range r.batch {
+		if boxesEqual(r.batch[i].box, b) {
+			return true
+		}
+	}
+	return false
+}
+
+func boxesEqual(a, b query.Box) bool {
+	if len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for j := range a.Dims {
+		if a.Dims[j] != b.Dims[j] {
+			return false
+		}
+	}
+	return true
 }
 
 // partition splits an overflowing box into disjoint children covering every
 // potentially-better tuple, excluding all returned tuples so the search
 // always progresses.
-func (c *MDCursor) partition(b query.Box, returned []types.Tuple, cand *candidate) ([]query.Box, error) {
+func (r *mdResolver) partition(b query.Box, returned []types.Tuple, cand *candidate) ([]query.Box, error) {
 	var kids []query.Box
 	// Pivot on the lowest-score returned tuple by default; switch to the
 	// virtual-tuple machinery when the pivot sits so close to the box's
@@ -350,18 +962,19 @@ func (c *MDCursor) partition(b query.Box, returned []types.Tuple, cand *candidat
 	// ill-conditioned-system-ranking pathology of §4.3.1.
 	pi := 0
 	for i := 1; i < len(returned); i++ {
-		if c.axis.ScoreTuple(returned[i]) < c.axis.ScoreTuple(returned[pi]) {
+		if r.axis.ScoreTuple(returned[i]) < r.axis.ScoreTuple(returned[pi]) {
 			pi = i
 		}
 	}
 	// MD-BINARY applies the virtual-tuple machinery on every stuck
 	// overflow (Algorithm 5); MD-RERANK reserves it for boxes where the
 	// pivot split would prune almost nothing.
+	c := r.c
 	useVirtual := c.variant != Baseline && !c.s.e.opts.DisableVirtualTuples && cand.have &&
-		(c.variant == Binary || c.prunedFraction(b, c.axis.ToAxis(returned[pi])) < 0.02)
+		(c.variant == Binary || r.prunedFraction(b, r.axis.ToAxis(returned[pi])) < 0.02)
 	placed := false
 	if useVirtual {
-		if vp, ok := c.axis.VirtualTuple(b, cand.score); ok {
+		if vp, ok := r.axis.VirtualTuple(b, cand.score); ok {
 			if !c.s.e.opts.DisableDominationProbe {
 				// Direct domination detection (§4.3.2): probe
 				// the box dominating v' for a better tuple.
@@ -370,33 +983,33 @@ func (c *MDCursor) partition(b query.Box, returned []types.Tuple, cand *candidat
 					domB.Dims[j] = domB.Dims[j].Intersect(types.ClosedInterval(math.Inf(-1), vp[j]))
 				}
 				if !domB.Empty() {
-					res, err := c.issue(domB)
+					res, err := r.issue(domB)
 					if err != nil {
 						return nil, err
 					}
-					c.improve(cand, res.Tuples, b)
+					r.improve(cand, res.Tuples, b)
 				}
 			}
 			// Virtual-tuple pruning: children exclude the
 			// anti-dominance region of v', which is sound because
 			// S(v') ≥ threshold.
-			kids = c.splitAt(b, vp, true)
+			kids = r.splitAt(b, vp, true)
 			placed = true
 		}
 	}
 	if !placed {
-		zp := c.axis.ToAxis(returned[pi])
-		kids = c.splitAt(b, zp, c.pruneAntiOK(returned[pi], cand))
+		zp := r.axis.ToAxis(returned[pi])
+		kids = r.splitAt(b, zp, r.pruneAntiOK(returned[pi], cand))
 		returned = append(returned[:pi:pi], returned[pi+1:]...)
 	}
 	// Exclude every remaining returned tuple from whichever child
 	// contains it (children are disjoint), so no query can return an
 	// already-seen page forever.
 	for _, t := range returned {
-		z := c.axis.ToAxis(t)
+		z := r.axis.ToAxis(t)
 		for i := 0; i < len(kids); i++ {
 			if kids[i].Contains(z) {
-				repl := c.splitAt(kids[i], z, c.pruneAntiOK(t, cand))
+				repl := r.splitAt(kids[i], z, r.pruneAntiOK(t, cand))
 				kids = append(append(kids[:i:i], repl...), kids[i+1:]...)
 				break
 			}
@@ -409,11 +1022,11 @@ func (c *MDCursor) partition(b query.Box, returned []types.Tuple, cand *candidat
 // axis point z occupies — the pruning power of a pivot split around z.
 // Unbounded dimensions contribute zero (the pivot prunes a negligible
 // sliver of an unbounded box).
-func (c *MDCursor) prunedFraction(b query.Box, z []float64) float64 {
+func (r *mdResolver) prunedFraction(b query.Box, z []float64) float64 {
 	frac := 1.0
 	for j, iv := range b.Dims {
-		lo := math.Max(iv.Lo, c.axis.Lo()[j])
-		hi := math.Min(iv.Hi, c.axis.Hi()[j])
+		lo := math.Max(iv.Lo, r.axis.Lo()[j])
+		hi := math.Min(iv.Hi, r.axis.Hi()[j])
 		w := hi - lo
 		if w <= 0 || math.IsInf(w, 1) {
 			return 0
@@ -426,8 +1039,8 @@ func (c *MDCursor) prunedFraction(b query.Box, z []float64) float64 {
 // pruneAntiOK reports whether pruning t's anti-dominance region is sound:
 // every tuple there scores at least S(t), so the region can be dropped only
 // when S(t) is at least the current threshold.
-func (c *MDCursor) pruneAntiOK(t types.Tuple, cand *candidate) bool {
-	return cand.have && c.axis.ScoreTuple(t) >= cand.score
+func (r *mdResolver) pruneAntiOK(t types.Tuple, cand *candidate) bool {
+	return cand.have && r.axis.ScoreTuple(t) >= cand.score
 }
 
 // splitAt partitions box b minus the point z into disjoint children:
@@ -436,7 +1049,7 @@ func (c *MDCursor) pruneAntiOK(t types.Tuple, cand *candidate) bool {
 // the anti-dominance region minus the point itself is also covered, with
 // degenerate-slice children:
 // anti  j  = b ∧ {dim i = z_i for i < j} ∧ {dim j > z_j} ∧ {dim l ≥ z_l for l > j}.
-func (c *MDCursor) splitAt(b query.Box, z []float64, pruneAnti bool) []query.Box {
+func (r *mdResolver) splitAt(b query.Box, z []float64, pruneAnti bool) []query.Box {
 	m := len(z)
 	var out []query.Box
 	for j := 0; j < m; j++ {
@@ -470,9 +1083,9 @@ func (c *MDCursor) splitAt(b query.Box, z []float64, pruneAnti bool) []query.Box
 // isDense reports whether the box qualifies for dense-region handling:
 // every side below its per-dimension threshold (hence volume below the
 // paper's |V|·(s/n)/c bound).
-func (c *MDCursor) isDense(b query.Box) bool {
+func (r *mdResolver) isDense(b query.Box) bool {
 	for j, iv := range b.Dims {
-		if iv.Width() >= c.denseDim[j] {
+		if iv.Width() >= r.c.denseDim[j] {
 			return false
 		}
 	}
@@ -482,14 +1095,14 @@ func (c *MDCursor) isDense(b query.Box) bool {
 // denseAnswer resolves a sub-threshold box through the MD dense index,
 // crawling it generically (without Sel(q)) on a miss so the region serves
 // every future user query (Algorithm 6).
-func (c *MDCursor) denseAnswer(b query.Box, cand *candidate) error {
-	realBox := c.realBoxOf(b)
-	idx := c.denseIdx
+func (r *mdResolver) denseAnswer(b query.Box, cand *candidate) error {
+	realBox := r.realBoxOf(b)
+	idx := r.c.denseIdx
 	reg, ok := idx.Lookup(realBox)
 	if !ok {
 		// Crawl-and-index, deduplicated: concurrent sessions hitting the
 		// same dense box crawl it once; followers read it from the index.
-		if err := c.s.crawlDenseMD(c.sorted, realBox); err != nil {
+		if err := r.c.s.crawlDenseMD(r.c.sorted, realBox); err != nil {
 			return err
 		}
 		reg, ok = idx.Lookup(realBox)
@@ -499,23 +1112,30 @@ func (c *MDCursor) denseAnswer(b query.Box, cand *candidate) error {
 			return fmt.Errorf("core: dense region %v missing after crawl", realBox)
 		}
 	}
-	c.improve(cand, reg.Tuples, b)
+	r.improve(cand, reg.Tuples, b)
 	return nil
 }
 
 // realBoxOf converts an axis box to real-value space with dimensions in
 // canonical (sorted attribute) order so that rankers sharing an attribute
-// subset share index regions.
-func (c *MDCursor) realBoxOf(b query.Box) query.Box {
-	attrs := c.axis.Attrs()
-	pos := make(map[int]int, len(attrs)) // attr -> axis dim
-	for j, a := range attrs {
-		pos[a] = j
-	}
-	rb := query.Box{Dims: make([]types.Interval, len(c.sorted))}
-	for i, a := range c.sorted {
-		j := pos[a]
-		rb.Dims[i] = c.axis.RealInterval(j, b.Dims[j])
-	}
+// subset share index regions. The result is freshly allocated (the crawl
+// path stores it in the shared index).
+func (r *mdResolver) realBoxOf(b query.Box) query.Box {
+	rb := query.Box{Dims: make([]types.Interval, len(r.c.sorted))}
+	r.fillRealBox(b, rb)
 	return rb
+}
+
+// realBoxInto is realBoxOf into the resolver's scratch box — for index
+// lookups, which do not retain their argument.
+func (r *mdResolver) realBoxInto(b query.Box) query.Box {
+	r.fillRealBox(b, r.rlkBuf)
+	return r.rlkBuf
+}
+
+func (r *mdResolver) fillRealBox(b query.Box, dst query.Box) {
+	for i := range r.c.sorted {
+		j := r.c.axisPos[i]
+		dst.Dims[i] = r.axis.RealInterval(j, b.Dims[j])
+	}
 }

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/crawl"
@@ -30,12 +31,58 @@ import (
 type Session struct {
 	e       *Engine
 	queries atomic.Int64
+	// workers bounds the session's concurrent speculative probes (nil when
+	// Options.SearchParallelism ≤ 1): one MD cursor issues at most one
+	// round of SearchParallelism probes at a time, and several cursors of
+	// the same session share this pool rather than multiplying it.
+	workers chan struct{}
 }
 
 // NewSession starts a session against the engine. Sessions are cheap;
 // create one per request (or per cursor) and read its Queries ledger for
 // the request's upstream cost.
-func (e *Engine) NewSession() *Session { return &Session{e: e} }
+func (e *Engine) NewSession() *Session {
+	s := &Session{e: e}
+	if w := e.searchWidth(); w > 1 {
+		s.workers = make(chan struct{}, w)
+	}
+	return s
+}
+
+// probeResult is one outcome slot of a concurrent probe round. issued
+// mirrors issueCounted's flag: whether this probe reached the upstream (and
+// was therefore charged), as opposed to replaying a cached or coalesced
+// answer for free.
+type probeResult struct {
+	res    hidden.Result
+	issued bool
+	err    error
+}
+
+// issueAll issues qs concurrently through the coalescing layer, bounded by
+// the session's worker pool, writing outcome i into out[i]. Charging is per
+// probe exactly as in issue: only calls that reach the upstream are charged,
+// atomically, so the ledger total is order-independent and reproducible.
+// Callers own qs and out again once issueAll returns.
+func (s *Session) issueAll(qs []query.Query, out []probeResult) {
+	if len(qs) == 1 || s.workers == nil {
+		for i := range qs {
+			out[i].res, out[i].issued, out[i].err = s.issueCounted(qs[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range qs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.workers <- struct{}{}
+			defer func() { <-s.workers }()
+			out[i].res, out[i].issued, out[i].err = s.issueCounted(qs[i])
+		}(i)
+	}
+	wg.Wait()
+}
 
 // Engine returns the engine the session runs against.
 func (s *Session) Engine() *Engine { return s.e }
@@ -66,15 +113,23 @@ func (s *Session) coalescedProbe(q query.Query) (res hidden.Result, issued bool,
 // issue sends one query to the primary database through the coalescing
 // layer, recording every returned tuple in the shared history.
 func (s *Session) issue(q query.Query) (hidden.Result, error) {
+	res, _, err := s.issueCounted(q)
+	return res, err
+}
+
+// issueCounted is issue, additionally reporting whether the probe reached
+// the upstream (and was charged) — the hook the MD search's speculation
+// accounting needs.
+func (s *Session) issueCounted(q query.Query) (hidden.Result, bool, error) {
 	res, issued, err := s.coalescedProbe(q)
 	if err != nil {
-		return res, err
+		return res, issued, err
 	}
 	if issued {
 		s.e.know.queries.Add(1)
 		s.queries.Add(1)
 	}
-	return res, nil
+	return res, issued, nil
 }
 
 // issueOn sends one query directly to an alternate database view (e.g. an

@@ -43,6 +43,13 @@
 // Older versions always load: a vN engine reading a v(N-1) snapshot restores
 // every section the older format carries and leaves the rest cold. Snapshots
 // are written at the current version unconditionally.
+//
+// Snapshots persist dense regions as plain (bounds, tuple IDs) records; the
+// sub-linear lookup structures around them — the 1D sorted region arrays
+// and the MD centroid-grid buckets — are not serialized. LoadSnapshot
+// replays every region through the live Insert path, which rebuilds both
+// incrementally, so a restored engine's indexes are bit-identical to the
+// saved engine's (asserted by TestSnapshotRebuildsDenseStructures).
 
 package core
 

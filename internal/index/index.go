@@ -16,9 +16,23 @@
 // is monotone — once an interval or box is covered it stays covered — and
 // the tuple slices inside recorded regions are immutable once inserted, so
 // returned regions may be read without further synchronization.
+//
+// Both lookups are sub-linear in the number of recorded regions. Dense1D
+// keeps its per-attribute regions as a sorted array probed by binary search,
+// and Insert splices the merged region into place with a linear merge of the
+// affected sorted tuple runs (the history store's sorted-run discipline) —
+// never a full re-sort. DenseMD buckets regions by the grid cell of their
+// box centroid: because every region recorded so far is at most maxW wide
+// per dimension, any region containing a lookup box has its centroid within
+// one cell of the lookup centroid, so a lookup inspects at most 3^m buckets
+// instead of every region. The grid grows incrementally on Insert and is
+// rebuilt (amortized, like a sorted-run flush) only when a new region
+// exceeds the cell size or an absorb invalidates stored indices.
 package index
 
 import (
+	"encoding/binary"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -90,36 +104,57 @@ func covers1D(outer, inner types.Interval) bool {
 // Insert records a fully-crawled interval with its tuples (which must be
 // every database tuple whose attr value falls inside rng). Overlapping or
 // adjacent existing regions are merged; tuples are deduplicated by ID.
+//
+// The region array stays sorted by Range.Lo without ever being re-sorted:
+// overlapping regions are contiguous in the sorted array, so Insert binary
+// searches for the overlap window, merges the window's (already sorted)
+// tuple runs with the freshly sorted incoming run via linear merges, and
+// splices the merged region into place.
 func (d *Dense1D) Insert(attr int, rng types.Interval, tuples []types.Tuple) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	merged := Interval1D{Range: rng, Tuples: append([]types.Tuple(nil), tuples...)}
-	var keep []Interval1D
-	for _, r := range d.regions[attr] {
-		// Merge only regions whose union is contiguous. Two intervals
-		// that touch at an endpoint excluded by BOTH sides — (a,b) and
-		// (b,c) — must stay separate: neither was crawled at b, so a
-		// merged (a,c) would authoritatively claim tuples at b that the
-		// index never saw.
-		if r.Range.Hi < rng.Lo || r.Range.Lo > rng.Hi ||
-			(r.Range.Hi == rng.Lo && r.Range.HiOpen && rng.LoOpen) ||
+	regs := d.regions[attr]
+	merged := Interval1D{Range: rng, Tuples: sortRun(append([]types.Tuple(nil), tuples...), attr)}
+	// Overlap window: regions are sorted by Lo and interior-disjoint, so
+	// every region mergeable with rng lies in one contiguous span. Regions
+	// touching rng at an endpoint excluded by BOTH sides — (a,b) then
+	// (b,c) — must stay separate: neither was crawled at b, so a merged
+	// (a,c) would authoritatively claim tuples at b that the index never
+	// saw. Such regions sit at the window's edges and are kept.
+	lo := sort.Search(len(regs), func(i int) bool { return regs[i].Range.Hi >= rng.Lo })
+	hi := lo
+	var keepInWindow []Interval1D // both-open-touch neighbors, ≤ 2 of them
+	for ; hi < len(regs) && regs[hi].Range.Lo <= rng.Hi; hi++ {
+		r := regs[hi]
+		if (r.Range.Hi == rng.Lo && r.Range.HiOpen && rng.LoOpen) ||
 			(r.Range.Lo == rng.Hi && r.Range.LoOpen && rng.HiOpen) {
-			keep = append(keep, r)
+			keepInWindow = append(keepInWindow, r)
 			continue
 		}
-		// Overlap: merge ranges and tuple sets.
 		if r.Range.Lo < merged.Range.Lo || (r.Range.Lo == merged.Range.Lo && !r.Range.LoOpen) {
 			merged.Range.Lo, merged.Range.LoOpen = r.Range.Lo, r.Range.LoOpen
 		}
 		if r.Range.Hi > merged.Range.Hi || (r.Range.Hi == merged.Range.Hi && !r.Range.HiOpen) {
 			merged.Range.Hi, merged.Range.HiOpen = r.Range.Hi, r.Range.HiOpen
 		}
-		merged.Tuples = append(merged.Tuples, r.Tuples...)
+		merged.Tuples = mergeTupleRuns(merged.Tuples, r.Tuples, attr)
 	}
-	merged.Tuples = dedupeSort(merged.Tuples, attr)
-	keep = append(keep, merged)
-	sort.Slice(keep, func(i, j int) bool { return keep[i].Range.Lo < keep[j].Range.Lo })
-	d.regions[attr] = keep
+	// Splice: prefix, kept touch-neighbors below, merged, kept above, suffix.
+	out := make([]Interval1D, 0, lo+len(keepInWindow)+1+len(regs)-hi)
+	out = append(out, regs[:lo]...)
+	for _, r := range keepInWindow {
+		if r.Range.Lo < merged.Range.Lo {
+			out = append(out, r)
+		}
+	}
+	out = append(out, merged)
+	for _, r := range keepInWindow {
+		if r.Range.Lo >= merged.Range.Lo {
+			out = append(out, r)
+		}
+	}
+	out = append(out, regs[hi:]...)
+	d.regions[attr] = out
 }
 
 // Regions returns the number of recorded regions for attr.
@@ -149,7 +184,11 @@ func (d *Dense1D) TotalTuples(attr int) int {
 	return n
 }
 
-func dedupeSort(ts []types.Tuple, attr int) []types.Tuple {
+// sortRun sorts ts ascending by (Ord[attr], ID) and deduplicates by ID —
+// the canonical order of every sorted tuple run in the system. Only fresh
+// crawl results pay this sort; region-to-region combination goes through
+// mergeTupleRuns.
+func sortRun(ts []types.Tuple, attr int) []types.Tuple {
 	sort.Slice(ts, func(i, j int) bool {
 		if ts[i].Ord[attr] != ts[j].Ord[attr] {
 			return ts[i].Ord[attr] < ts[j].Ord[attr]
@@ -157,14 +196,44 @@ func dedupeSort(ts []types.Tuple, attr int) []types.Tuple {
 		return ts[i].ID < ts[j].ID
 	})
 	out := ts[:0]
-	seen := make(map[int]bool, len(ts))
 	for _, t := range ts {
-		if seen[t.ID] {
+		if len(out) > 0 && t.ID == out[len(out)-1].ID {
 			continue
 		}
-		seen[t.ID] = true
 		out = append(out, t)
 	}
+	return out
+}
+
+// mergeTupleRuns linearly merges two runs sorted by (Ord[attr], ID) into a
+// fresh run, deduplicating by ID. A tuple present in both runs carries the
+// same attribute value, so duplicates always meet at equal sort keys.
+func mergeTupleRuns(a, b []types.Tuple, attr int) []types.Tuple {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]types.Tuple, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Ord[attr] < b[j].Ord[attr] ||
+			(a[i].Ord[attr] == b[j].Ord[attr] && a[i].ID < b[j].ID):
+			out = append(out, a[i])
+			i++
+		case a[i].Ord[attr] == b[j].Ord[attr] && a[i].ID == b[j].ID:
+			out = append(out, a[i])
+			i++
+			j++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }
 
@@ -228,13 +297,41 @@ type Region struct {
 }
 
 // DenseMD records fully-crawled boxes in the axis space of one ranker.
-// Lookups are linear in the number of regions, which Theorem 3's argument
-// keeps small (dense regions are rare by construction when c = n).
+// Lookups go through a uniform-grid bucket index over box centroids, so the
+// §4.4 oracle stays O(3^m · bucket) as knowledge grows instead of paying a
+// scan over every recorded region.
 type DenseMD struct {
 	mu        sync.RWMutex
 	regions   []Region
 	crawlCost atomic.Int64
+	grid      mdGrid
 }
+
+// mdGrid buckets region indices by the grid cell of their box centroid.
+//
+// Invariant: every bucketed region is at most cell[j] wide on dimension j
+// (cell widths are set to the maximum region width at build time). A region
+// R containing a lookup box q also contains q's centroid, so the two
+// centroids differ by at most width(R) ≤ cell[j] per dimension — R's bucket
+// is within one cell of q's centroid cell, and a lookup needs only the 3^m
+// neighboring buckets. Inserts are incremental (append to one bucket); the
+// grid is rebuilt only when a new region is wider than the current cells or
+// an absorb compacts the region array — the amortized rebuild discipline of
+// the history store's sorted-run flushes.
+type mdGrid struct {
+	built bool
+	cell  []float64        // per-dimension cell width (max gridable width × slack)
+	seen  []float64        // per-dimension max width over gridable (finite) regions
+	cells map[string][]int // centroid cell key -> indices into regions
+	loose []int            // regions the grid can't bucket (non-finite boxes)
+}
+
+// gridCellSlack inflates cell widths above the maximum region width, so the
+// real centroid-distance ratio |cR−cq|/cell stays strictly below 1 even for
+// the widest region; float division rounding (~1 ulp) then cannot push two
+// cell boundaries between the two centroids, making the ±1 integer-cell
+// neighborhood in Lookup provably sufficient.
+const gridCellSlack = 1 + 1e-6
 
 // NewDenseMD returns an empty MD dense index.
 func NewDenseMD() *DenseMD { return &DenseMD{} }
@@ -245,32 +342,185 @@ func (d *DenseMD) AddCrawlCost(n int64) { d.crawlCost.Add(n) }
 // CrawlCost returns queries charged to MD index construction.
 func (d *DenseMD) CrawlCost() int64 { return d.crawlCost.Load() }
 
+// cellOf returns the integer cell coordinates of point z under the grid's
+// cell widths. All key derivation goes through this single floor, so
+// neighbor enumeration can work on exact integers (re-flooring perturbed
+// float coordinates can skip a cell at boundaries).
+func (g *mdGrid) cellOf(z []float64) []int64 {
+	c := make([]int64, len(z))
+	for j, v := range z {
+		c[j] = int64(math.Floor(v / g.cell[j]))
+	}
+	return c
+}
+
+// cellKey encodes integer cell coordinates as a map key.
+func cellKey(coords []int64) string {
+	var buf [8]byte
+	key := make([]byte, 0, len(coords)*8)
+	for _, c := range coords {
+		binary.LittleEndian.PutUint64(buf[:], uint64(c))
+		key = append(key, buf[:]...)
+	}
+	return string(key)
+}
+
+// centroid returns the box's per-dimension midpoints. Finite boxes only.
+func centroid(b query.Box) []float64 {
+	z := make([]float64, len(b.Dims))
+	for j, iv := range b.Dims {
+		z[j] = iv.Lo + (iv.Hi-iv.Lo)/2
+	}
+	return z
+}
+
+// gridable reports whether the box can live in a centroid bucket.
+func gridable(b query.Box) bool { return b.IsFinite() }
+
+// place adds region idx to its centroid bucket (or the loose list).
+func (g *mdGrid) place(idx int, b query.Box) {
+	if !gridable(b) {
+		g.loose = append(g.loose, idx)
+		return
+	}
+	key := cellKey(g.cellOf(centroid(b)))
+	g.cells[key] = append(g.cells[key], idx)
+}
+
+// rebuild reconstructs the grid over the current region array. Cell widths
+// are the maximum region width per dimension (minimum 1 so point-sized
+// regions still hash; the containment check keeps correctness regardless of
+// cell size — widths only bound how far a containing region's bucket can be).
+func (d *DenseMD) rebuild() {
+	if len(d.regions) == 0 {
+		d.grid = mdGrid{}
+		return
+	}
+	m := len(d.regions[0].Box.Dims)
+	g := mdGrid{
+		built: true,
+		cell:  make([]float64, m),
+		seen:  make([]float64, m),
+		cells: make(map[string][]int, len(d.regions)),
+	}
+	for _, r := range d.regions {
+		if !gridable(r.Box) {
+			continue
+		}
+		for j, iv := range r.Box.Dims {
+			if w := iv.Hi - iv.Lo; w > g.seen[j] {
+				g.seen[j] = w
+			}
+		}
+	}
+	for j := range g.cell {
+		g.cell[j] = math.Max(g.seen[j], 1) * gridCellSlack
+	}
+	for i, r := range d.regions {
+		g.place(i, r.Box)
+	}
+	d.grid = g
+}
+
 // Lookup returns a recorded region fully covering box, if any.
 func (d *DenseMD) Lookup(box query.Box) (Region, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	for _, r := range d.regions {
-		if r.Box.ContainsBox(box) {
-			return r, true
+	if !d.grid.built {
+		for _, r := range d.regions {
+			if r.Box.ContainsBox(box) {
+				return r, true
+			}
+		}
+		return Region{}, false
+	}
+	for _, i := range d.grid.loose {
+		if d.regions[i].Box.ContainsBox(box) {
+			return d.regions[i], true
 		}
 	}
-	return Region{}, false
+	if !gridable(box) {
+		// A non-finite box fits only inside a non-finite region, and those
+		// all live in the loose list scanned above.
+		return Region{}, false
+	}
+	// Walk the 3^m cells around the lookup centroid: a containing region's
+	// centroid lies within one (slack-inflated) cell width on every
+	// dimension, so its integer cell index differs by at most 1. One
+	// backing array serves both coordinate slices (base stays fixed while
+	// coords varies during the walk).
+	m := len(box.Dims)
+	backing := make([]int64, 2*m)
+	base, coords := backing[:m], backing[m:]
+	for j, iv := range box.Dims {
+		base[j] = int64(math.Floor((iv.Lo + (iv.Hi-iv.Lo)/2) / d.grid.cell[j]))
+	}
+	var found Region
+	ok := d.walkCells(box, base, coords, 0, &found)
+	return found, ok
+}
+
+// walkCells recurses over the ±1 integer-cell neighborhood of base,
+// checking each visited bucket's regions for containment of box. It reports
+// whether a containing region was found (written to found).
+func (d *DenseMD) walkCells(box query.Box, base, coords []int64, j int, found *Region) bool {
+	if j == len(base) {
+		for _, i := range d.grid.cells[cellKey(coords)] {
+			if d.regions[i].Box.ContainsBox(box) {
+				*found = d.regions[i]
+				return true
+			}
+		}
+		return false
+	}
+	for _, off := range [3]int64{0, -1, 1} {
+		coords[j] = base[j] + off
+		if d.walkCells(box, base, coords, j+1, found) {
+			return true
+		}
+	}
+	return false
 }
 
 // Insert records a fully-crawled box. Regions contained in the new box are
-// absorbed.
+// absorbed (their tuples are a subset of the crawl).
 func (d *DenseMD) Insert(box query.Box, tuples []types.Tuple) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	kept := make([]Region, 0, len(d.regions)+1)
 	merged := append([]types.Tuple(nil), tuples...)
+	kept := make([]Region, 0, len(d.regions)+1)
 	for _, r := range d.regions {
 		if box.ContainsBox(r.Box) {
-			continue // absorbed; its tuples are a subset of the crawl
+			continue
 		}
 		kept = append(kept, r)
 	}
+	absorbed := len(kept) != len(d.regions)
 	d.regions = append(kept, Region{Box: box, Tuples: merged})
+	switch {
+	case !d.grid.built, absorbed, d.widerThanCells(box):
+		// Stored bucket indices shifted (absorb) or the cell-width
+		// invariant broke (a wider region arrived): rebuild, amortized.
+		d.rebuild()
+	default:
+		d.grid.place(len(d.regions)-1, box)
+	}
+}
+
+// widerThanCells reports whether box breaks the grid's cell-width invariant
+// on some dimension: every bucketed width must stay at most cell/slack,
+// preserving the strict ratio bound the ±1 lookup neighborhood relies on.
+// A true return triggers rebuild, which recomputes widths from scratch.
+func (d *DenseMD) widerThanCells(box query.Box) bool {
+	if !gridable(box) {
+		return false // goes to the loose list; widths don't matter
+	}
+	for j, iv := range box.Dims {
+		if (iv.Hi-iv.Lo)*gridCellSlack > d.grid.cell[j] {
+			return true
+		}
+	}
+	return false
 }
 
 // Len returns the number of recorded regions.
@@ -278,6 +528,28 @@ func (d *DenseMD) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.regions)
+}
+
+// GridStats describes the centroid grid's shape for observability.
+type GridStats struct {
+	Regions   int // recorded regions
+	Buckets   int // occupied grid cells
+	MaxBucket int // largest bucket population (lookup worst case × 3^m)
+	Loose     int // regions outside the grid (non-finite boxes)
+}
+
+// Stats returns the index's current grid statistics.
+func (d *DenseMD) Stats() GridStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	st := GridStats{Regions: len(d.regions), Loose: len(d.grid.loose)}
+	st.Buckets = len(d.grid.cells)
+	for _, b := range d.grid.cells {
+		if len(b) > st.MaxBucket {
+			st.MaxBucket = len(b)
+		}
+	}
+	return st
 }
 
 // Export returns a copy of the recorded regions (for persistence and

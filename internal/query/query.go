@@ -48,11 +48,39 @@ func (q Query) Clone() Query {
 // intersected with iv.
 func (q Query) WithRange(attr int, iv types.Interval) Query {
 	c := q.Clone()
-	if old, ok := c.Ranges[attr]; ok {
+	c.AddRange(attr, iv)
+	return c
+}
+
+// AddRange intersects iv onto q's constraint on attr in place — the
+// allocation-free counterpart of WithRange for callers that own q (e.g. a
+// probe scratch buffer being rebuilt for every box).
+func (q *Query) AddRange(attr int, iv types.Interval) {
+	if old, ok := q.Ranges[attr]; ok {
 		iv = old.Intersect(iv)
 	}
-	c.Ranges[attr] = iv
-	return c
+	q.Ranges[attr] = iv
+}
+
+// CopyFrom resets q to a deep copy of src, reusing q's existing maps so a
+// long-lived scratch query allocates nothing after warm-up.
+func (q *Query) CopyFrom(src Query) {
+	if q.Ranges == nil {
+		q.Ranges = make(map[int]types.Interval, len(src.Ranges))
+	} else {
+		clear(q.Ranges)
+	}
+	if q.Cats == nil {
+		q.Cats = make(map[string]string, len(src.Cats))
+	} else {
+		clear(q.Cats)
+	}
+	for k, v := range src.Ranges {
+		q.Ranges[k] = v
+	}
+	for k, v := range src.Cats {
+		q.Cats[k] = v
+	}
 }
 
 // WithCat returns a copy of q with an added categorical equality predicate.

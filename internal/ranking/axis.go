@@ -19,6 +19,11 @@ import (
 // Axis wraps a Ranker together with the schema it ranks over and provides
 // real↔axis coordinate transforms, domain bounds in axis space, and score
 // evaluation on axis points.
+//
+// An Axis carries small scratch buffers reused by the geometric primitives
+// (corner evaluation, tightening), so it is NOT safe for concurrent use.
+// Every cursor builds its own Axis and drives it from one goroutine, which
+// is the established cursor contract.
 type Axis struct {
 	R      Ranker
 	Schema *types.Schema
@@ -27,6 +32,9 @@ type Axis struct {
 	dirs  []float64 // +1 asc, -1 desc, per position in attrs
 	lo    []float64 // axis-space domain minima (best possible per attribute)
 	hi    []float64 // axis-space domain maxima (worst possible per attribute)
+
+	cornerBuf []float64 // scratch for bestCorner (contour.go)
+	scoreBuf  []float64 // scratch for ScoreAxis value conversion
 }
 
 // NewAxis builds the axis view of r over schema s.
@@ -66,11 +74,16 @@ func (a *Axis) Hi() []float64 { return a.hi }
 
 // ToAxis converts tuple t's ranked attributes to an axis point.
 func (a *Axis) ToAxis(t types.Tuple) []float64 {
-	z := make([]float64, len(a.attrs))
+	return a.ToAxisInto(t, make([]float64, len(a.attrs)))
+}
+
+// ToAxisInto converts t's ranked attributes into dst (which must have length
+// M) and returns it — the allocation-free ToAxis for per-tuple hot loops.
+func (a *Axis) ToAxisInto(t types.Tuple, dst []float64) []float64 {
 	for j, attr := range a.attrs {
-		z[j] = a.dirs[j] * t.Ord[attr]
+		dst[j] = a.dirs[j] * t.Ord[attr]
 	}
-	return z
+	return dst
 }
 
 // ToValue converts one axis coordinate back to a real attribute value.
@@ -78,11 +91,38 @@ func (a *Axis) ToValue(j int, z float64) float64 { return a.dirs[j] * z }
 
 // ScoreAxis evaluates the ranking score at an axis point.
 func (a *Axis) ScoreAxis(z []float64) float64 {
-	vals := make([]float64, len(z))
-	for j := range z {
-		vals[j] = a.dirs[j] * z[j]
+	if a.scoreBuf == nil {
+		a.scoreBuf = make([]float64, len(a.attrs))
 	}
-	return a.R.Score(vals)
+	for j := range z {
+		a.scoreBuf[j] = a.dirs[j] * z[j]
+	}
+	return a.R.Score(a.scoreBuf)
+}
+
+// LowerBound returns the smallest score any tuple inside box b could have:
+// the score of b's best corner clamped to the attribute domains. It is the
+// admissible bound that orders the best-first frontier and the lazy region
+// heap in internal/core.
+func (a *Axis) LowerBound(b query.Box) float64 {
+	return a.ScoreAxis(a.bestCorner(b))
+}
+
+// UpperBound returns the largest score any tuple inside b (clamped to the
+// attribute domains) could have — the worst-corner counterpart of
+// LowerBound, used to anchor the speculative tightening ladder.
+func (a *Axis) UpperBound(b query.Box) float64 {
+	if a.cornerBuf == nil {
+		a.cornerBuf = make([]float64, a.M())
+	}
+	c := a.cornerBuf
+	for j := range c {
+		c[j] = math.Min(b.Dims[j].Hi, a.hi[j])
+		if lo := math.Max(b.Dims[j].Lo, a.lo[j]); c[j] < lo {
+			c[j] = lo
+		}
+	}
+	return a.ScoreAxis(c)
 }
 
 // ScoreTuple evaluates the ranking score of a tuple.
@@ -120,11 +160,19 @@ func (a *Axis) RealInterval(j int, iv types.Interval) types.Interval {
 // still emitted: real search interfaces require explicit ranges and the
 // hidden-DB simulator treats them equivalently.
 func (a *Axis) BoxToQuery(base query.Query, b query.Box) query.Query {
-	q := base.Clone()
-	for j, attr := range a.attrs {
-		q = q.WithRange(attr, a.RealInterval(j, b.Dims[j]))
-	}
+	var q query.Query
+	a.BoxToQueryInto(base, b, &q)
 	return q
+}
+
+// BoxToQueryInto is BoxToQuery writing into a caller-owned scratch query,
+// reusing its maps. The per-probe fast path: the old clone-per-dimension
+// construction allocated m+1 query copies per probe.
+func (a *Axis) BoxToQueryInto(base query.Query, b query.Box, dst *query.Query) {
+	dst.CopyFrom(base)
+	for j, attr := range a.attrs {
+		dst.AddRange(attr, a.RealInterval(j, b.Dims[j]))
+	}
 }
 
 // QueryToBox extracts the constraints base places on the ranked attributes as

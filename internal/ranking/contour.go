@@ -69,9 +69,14 @@ func (a *Axis) ContourMax(b query.Box, r int, theta float64) (float64, bool) {
 }
 
 // bestCorner returns the box's smallest (best) axis corner, clamped to the
-// attribute domains.
+// attribute domains. The returned slice is the axis's scratch buffer: it is
+// valid until the next bestCorner call and must not be retained (Axis is
+// single-goroutine by contract).
 func (a *Axis) bestCorner(b query.Box) []float64 {
-	c := make([]float64, a.M())
+	if a.cornerBuf == nil {
+		a.cornerBuf = make([]float64, a.M())
+	}
+	c := a.cornerBuf
 	for j := range c {
 		c[j] = math.Max(b.Dims[j].Lo, a.lo[j])
 		if hi := math.Min(b.Dims[j].Hi, a.hi[j]); c[j] > hi {
@@ -141,9 +146,10 @@ func (a *Axis) VirtualTuple(b query.Box, theta float64) ([]float64, bool) {
 		}
 	}
 	// Diagonal bisection: v(α) = lo + α·(hi-lo); S(v(0)) < θ ≤ S(v(1)).
+	// One scratch point is reused across iterations (ScoreAxis copies).
 	loA, hiA := 0.0, 1.0
+	v := make([]float64, len(lo))
 	point := func(alpha float64) []float64 {
-		v := make([]float64, len(lo))
 		for j := range v {
 			v[j] = lo[j] + alpha*(hi[j]-lo[j])
 		}
@@ -159,7 +165,7 @@ func (a *Axis) VirtualTuple(b query.Box, theta float64) ([]float64, bool) {
 	}
 	// Round toward the worse side so S(v') ≥ θ, which the pruning step
 	// requires for soundness.
-	return point(hiA), true
+	return append([]float64(nil), point(hiA)...), true
 }
 
 // waterFill maximizes Π_j (v_j − lo_j) subject to Σ |w_j|·v_j = θ' (the

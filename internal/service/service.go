@@ -91,10 +91,25 @@ type Stats struct {
 	// MDDenseRegions is the number of crawled MD dense regions across all
 	// ranked-attribute subsets — the boxes MD-RERANK answers locally for
 	// zero upstream cost (persisted across restarts since snapshot v3).
-	MDDenseRegions int    `json:"mdDenseRegions"`
-	Requests       int64  `json:"requests"`
-	UpstreamK      int    `json:"upstreamK"`
-	UpstreamRanker string `json:"upstreamRanker,omitempty"`
+	MDDenseRegions int `json:"mdDenseRegions"`
+	// DenseMDBuckets / DenseMDMaxBucket describe the MD dense indexes'
+	// centroid-grid shape: occupied grid cells and the largest cell
+	// population. MaxBucket staying small as MDDenseRegions grows is the
+	// sub-linear-lookup property holding in production.
+	DenseMDBuckets   int `json:"denseMDBuckets"`
+	DenseMDMaxBucket int `json:"denseMDMaxBucket"`
+	// SearchParallelism is the MD search's effective speculative probe
+	// width W (1 when unset or when a per-op budget forces sequential);
+	// SpecProbesIssued / SpecProbesWasted count speculative probes issued
+	// (round slots beyond the first) and the subset invalidated by a
+	// threshold improvement. Wasted probes' answers still seed the shared
+	// caches, so their upstream cost is paid at most once.
+	SearchParallelism int    `json:"searchParallelism"`
+	SpecProbesIssued  int64  `json:"specProbesIssued"`
+	SpecProbesWasted  int64  `json:"specProbesWasted"`
+	Requests          int64  `json:"requests"`
+	UpstreamK         int    `json:"upstreamK"`
+	UpstreamRanker    string `json:"upstreamRanker,omitempty"`
 }
 
 // Server is the reranking service. Requests are handled concurrently: the
@@ -157,11 +172,18 @@ func (s *Server) Handler() http.Handler {
 
 // Stats reports the service's current counters (also served at /v1/stats).
 func (s *Server) Stats() Stats {
+	gs := s.engine.MDBucketStats()
+	specIssued, specWasted := s.engine.SpeculationStats()
 	st := Stats{
 		EngineQueries:     s.engine.Queries(),
 		HistoryTuples:     s.engine.History().Size(),
 		ProbeCacheEntries: s.engine.ProbeCacheEntries(),
 		MDDenseRegions:    s.engine.MDDenseRegions(),
+		DenseMDBuckets:    gs.Buckets,
+		DenseMDMaxBucket:  gs.MaxBucket,
+		SearchParallelism: s.engine.SearchParallelism(),
+		SpecProbesIssued:  specIssued,
+		SpecProbesWasted:  specWasted,
 		Requests:          s.requests.Load(),
 		UpstreamK:         s.db.K(),
 	}
