@@ -13,6 +13,7 @@ package repro_test
 import (
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"runtime"
 	"sort"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/ranking"
+	"repro/internal/service"
 	"repro/internal/types"
 	"repro/internal/workload"
 )
@@ -609,4 +611,82 @@ func BenchmarkGetNextLatency(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(db.QueryCount())/float64(b.N), "upstreamQ/op")
+}
+
+// BenchmarkServiceThroughput drives the full serving stack — HTTP handler,
+// admission gate, JSON wire codecs, engine sessions — with concurrent
+// clients issuing the production mix (single 1D and MD reranks, 4-item
+// batches through the shared coalescer, NDJSON streams drained to the final
+// event) against one in-process server. ns/op is the end-to-end price of
+// one mixed operation at GOMAXPROCS parallelism; upstreamQ/op reports the
+// paper's cost measure for the same traffic. This is the benchdiff-gated
+// guardrail for the serving tier: admission bookkeeping, budget ledgers, or
+// wire-format changes that tax the hot path show up here.
+func BenchmarkServiceThroughput(b *testing.B) {
+	ds := dataset.BlueNile(13, 4000)
+	db, err := hidden.NewDB(ds.Schema, ds.Tuples, hidden.Options{
+		K: ds.DefaultSystemK, Ranker: ds.DefaultRanker,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := service.NewServerWithOptions(db, service.Options{
+		Core: core.Options{N: 4000, MaxConcurrentSessions: 4 * runtime.GOMAXPROCS(0)},
+	})
+	api := httptest.NewServer(srv.Handler())
+	defer api.Close()
+
+	window := func(i int64) (float64, float64) {
+		lo := 2000 + float64(i%6)*1000 // six overlapping price bands
+		return lo, lo + 1500
+	}
+	oneD := func(i int64) service.RerankRequest {
+		lo, hi := window(i)
+		return service.RerankRequest{
+			Ranges:  []service.RangeSpec{{Attr: "Price", Min: &lo, Max: &hi}},
+			Ranking: service.RankingSpec{Kind: "single", Attrs: []string{"Price"}},
+			H:       5,
+		}
+	}
+	md := func(i int64) service.RerankRequest {
+		lo, hi := window(i)
+		return service.RerankRequest{
+			Ranges: []service.RangeSpec{{Attr: "Price", Min: &lo, Max: &hi}},
+			Ranking: service.RankingSpec{Kind: "linear",
+				Attrs: []string{"Price", "Carat"}, Weights: []float64{1, 1}},
+			H: 5,
+		}
+	}
+
+	var next, ops atomic.Int64
+	db.ResetCounter()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := service.NewClient(api.URL, api.Client())
+		for pb.Next() {
+			i := next.Add(1)
+			var err error
+			switch i % 4 {
+			case 0:
+				_, err = client.Rerank(oneD(i))
+			case 1:
+				_, err = client.Rerank(md(i))
+			case 2:
+				_, err = client.RerankBatch(service.BatchRequest{Requests: []service.RerankRequest{
+					oneD(i), md(i), oneD(i + 1), md(i + 1),
+				}})
+			default:
+				_, err = client.RerankStream(md(i), nil)
+			}
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ops.Add(1)
+		}
+	})
+	b.StopTimer()
+	if n := ops.Load(); n > 0 {
+		b.ReportMetric(float64(db.QueryCount())/float64(n), "upstreamQ/op")
+	}
 }

@@ -1,0 +1,408 @@
+// Command loadgen is a closed-loop load generator for the reranking
+// service: the tool both humans and CI use to pin rerankd's serving
+// behavior under concurrent traffic.
+//
+// Each of -clients workers runs a closed loop against -url for -duration:
+// pick an operation from the weighted -mix (1d = single-attribute rerank,
+// md = two-attribute linear rerank, batch = one POST /v1/rerank/batch of
+// -batch-size sub-requests, stream = POST /v1/rerank/stream drained to the
+// final event), build a randomized request from the service's /v1/schema,
+// issue it, and record the outcome. Requests shed by admission control
+// (429/503) count as "shed", not errors — backpressure is correct behavior
+// under overload, and the shed rate is part of the report.
+//
+// The report prints per-kind and total counts, throughput, p50/p95/p99
+// latency, shed rate, and upstream queries per request (the paper's cost
+// measure, straight from the service's ledgers); streams additionally
+// report time-to-first-tuple. -report writes the same numbers as JSON (the
+// BENCH_e2e artifact in CI).
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -clients 8 -duration 10s \
+//	        -mix "1d=4,md=3,batch=2,stream=1" -report report.json
+//
+// Exit status: 0 when every request either succeeded or was shed; 1 when
+// hard errors occurred (or the optional -min-ops floor was missed).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+type opKind string
+
+const (
+	op1D     opKind = "1d"
+	opMD     opKind = "md"
+	opBatch  opKind = "batch"
+	opStream opKind = "stream"
+)
+
+// sample is one completed operation.
+type sample struct {
+	kind      opKind
+	latency   time.Duration
+	firstTup  time.Duration // streams only; 0 when no tuple arrived
+	upstreamQ int64
+	shed      bool
+	err       bool
+}
+
+func main() {
+	var (
+		url       = flag.String("url", "http://localhost:8080", "rerankd base URL")
+		clients   = flag.Int("clients", 8, "concurrent closed-loop workers")
+		duration  = flag.Duration("duration", 10*time.Second, "run length")
+		mixSpec   = flag.String("mix", "1d=4,md=3,batch=2,stream=1", "weighted operation mix (kind=weight,...)")
+		h         = flag.Int("h", 8, "answers requested per rerank")
+		batchSize = flag.Int("batch-size", 4, "sub-requests per batch operation")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		report    = flag.String("report", "", "write the JSON report to this file")
+		minOps    = flag.Int64("min-ops", 0, "fail unless at least this many operations completed")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	schema, err := fetchSchema(*url)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	ordinals := ordinalAttrs(schema)
+	if len(ordinals) < 2 {
+		log.Fatalf("loadgen: schema exposes %d ordinal attributes, need ≥ 2", len(ordinals))
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []sample
+	)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			client := service.NewClient(*url, &http.Client{Timeout: 2 * time.Minute})
+			client.ClientID = fmt.Sprintf("loadgen-%d", w)
+			var local []sample
+			for time.Now().Before(deadline) {
+				local = append(local, runOp(client, rng, mix.pick(rng), ordinals, *h, *batchSize))
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := buildReport(samples, elapsed, *clients, *mixSpec)
+	printReport(rep)
+	if *report != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("loadgen: marshal report: %v", err)
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*report, raw, 0o644); err != nil {
+			log.Fatalf("loadgen: write report: %v", err)
+		}
+	}
+	if rep.Total.Errors > 0 {
+		log.Fatalf("loadgen: %d hard errors", rep.Total.Errors)
+	}
+	if rep.Total.Count < *minOps {
+		log.Fatalf("loadgen: only %d operations completed, floor is %d", rep.Total.Count, *minOps)
+	}
+}
+
+// runOp executes one operation of the given kind and classifies the result.
+func runOp(client *service.Client, rng *rand.Rand, kind opKind, ordinals []service.AttrSpec, h, batchSize int) sample {
+	s := sample{kind: kind}
+	begin := time.Now()
+	var err error
+	switch kind {
+	case op1D, opMD:
+		var resp *service.RerankResponse
+		resp, err = client.Rerank(randomRequest(rng, kind, ordinals, h))
+		if resp != nil {
+			s.upstreamQ = resp.QueriesIssued
+		}
+	case opBatch:
+		reqs := make([]service.RerankRequest, batchSize)
+		for i := range reqs {
+			k := op1D
+			if rng.Intn(2) == 0 {
+				k = opMD
+			}
+			reqs[i] = randomRequest(rng, k, ordinals, h)
+		}
+		var resp *service.BatchResponse
+		resp, err = client.RerankBatch(service.BatchRequest{Requests: reqs})
+		if resp != nil {
+			s.upstreamQ = resp.QueriesIssued
+		}
+	case opStream:
+		var final *service.StreamEvent
+		final, err = client.RerankStream(randomRequest(rng, opMD, ordinals, h), func(ev service.StreamEvent) bool {
+			if ev.Tuple != nil && s.firstTup == 0 {
+				s.firstTup = time.Since(begin)
+			}
+			return true
+		})
+		if final != nil {
+			s.upstreamQ = final.QueriesIssued
+		}
+	}
+	s.latency = time.Since(begin)
+	if err != nil {
+		var se *service.StatusError
+		if errors.As(err, &se) &&
+			(se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable) {
+			s.shed = true
+		} else {
+			s.err = true
+			log.Printf("loadgen: %s: %v", kind, err)
+		}
+	}
+	return s
+}
+
+// randomRequest builds a rerank request over randomly chosen ranked
+// attributes, selecting a random window of the first one's domain so
+// workers overlap enough to exercise history and probe coalescing.
+func randomRequest(rng *rand.Rand, kind opKind, ordinals []service.AttrSpec, h int) service.RerankRequest {
+	a := ordinals[rng.Intn(len(ordinals))]
+	req := service.RerankRequest{H: 1 + rng.Intn(h)}
+	if kind == op1D {
+		req.Ranking = service.RankingSpec{Kind: "single", Attrs: []string{a.Name}, Desc: rng.Intn(2) == 0}
+	} else {
+		b := a
+		for b.Name == a.Name {
+			b = ordinals[rng.Intn(len(ordinals))]
+		}
+		req.Ranking = service.RankingSpec{
+			Kind: "linear", Attrs: []string{a.Name, b.Name}, Weights: []float64{1, 1},
+		}
+	}
+	// Range window over a coarse grid (quarters of the domain), so
+	// concurrent workers repeat windows and the shared knowledge pays off.
+	width := a.Max - a.Min
+	if width > 0 {
+		q := width / 4
+		lo := a.Min + float64(rng.Intn(3))*q
+		hi := lo + q + float64(rng.Intn(2))*q
+		if hi > a.Max {
+			hi = a.Max
+		}
+		req.Ranges = []service.RangeSpec{{Attr: a.Name, Min: &lo, Max: &hi}}
+	}
+	return req
+}
+
+// weightedMix picks operation kinds proportionally to their weights.
+type weightedMix struct {
+	kinds   []opKind
+	weights []int
+	total   int
+}
+
+func parseMix(spec string) (*weightedMix, error) {
+	m := &weightedMix{}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
+		}
+		kind := opKind(kv[0])
+		switch kind {
+		case op1D, opMD, opBatch, opStream:
+		default:
+			return nil, fmt.Errorf("unknown mix kind %q (want 1d, md, batch, stream)", kv[0])
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", kv[1])
+		}
+		if w == 0 {
+			continue
+		}
+		m.kinds = append(m.kinds, kind)
+		m.weights = append(m.weights, w)
+		m.total += w
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("mix %q selects nothing", spec)
+	}
+	return m, nil
+}
+
+func (m *weightedMix) pick(rng *rand.Rand) opKind {
+	n := rng.Intn(m.total)
+	for i, w := range m.weights {
+		if n < w {
+			return m.kinds[i]
+		}
+		n -= w
+	}
+	return m.kinds[len(m.kinds)-1]
+}
+
+func fetchSchema(baseURL string) (*service.SchemaResponse, error) {
+	resp, err := http.Get(baseURL + "/v1/schema")
+	if err != nil {
+		return nil, fmt.Errorf("fetch schema: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch schema: status %s", resp.Status)
+	}
+	var sr service.SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("decode schema: %w", err)
+	}
+	return &sr, nil
+}
+
+func ordinalAttrs(sr *service.SchemaResponse) []service.AttrSpec {
+	var out []service.AttrSpec
+	for _, a := range sr.Attrs {
+		if a.Kind == "ordinal" && a.Max > a.Min {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// OpStats aggregates one operation kind (or the total row) for the report.
+type OpStats struct {
+	Count     int64   `json:"count"`
+	OK        int64   `json:"ok"`
+	Shed      int64   `json:"shed"` // 429/503 admission rejections
+	Errors    int64   `json:"errors"`
+	ShedRate  float64 `json:"shedRate"`
+	OpsPerSec float64 `json:"opsPerSec"`
+	P50Ms     float64 `json:"p50Ms"`
+	P95Ms     float64 `json:"p95Ms"`
+	P99Ms     float64 `json:"p99Ms"`
+	// UpstreamQueries is the summed per-request cost ledger;
+	// UpstreamPerOp averages it over successful operations.
+	UpstreamQueries int64   `json:"upstreamQueries"`
+	UpstreamPerOp   float64 `json:"upstreamPerOp"`
+	// FirstTupleP50Ms is the median time to the first streamed tuple
+	// (streams only).
+	FirstTupleP50Ms float64 `json:"firstTupleP50Ms,omitempty"`
+}
+
+// Report is the loadgen JSON output.
+type Report struct {
+	Clients         int                `json:"clients"`
+	Mix             string             `json:"mix"`
+	DurationSeconds float64            `json:"durationSeconds"`
+	Total           OpStats            `json:"total"`
+	PerKind         map[string]OpStats `json:"perKind"`
+}
+
+func buildReport(samples []sample, elapsed time.Duration, clients int, mix string) *Report {
+	rep := &Report{
+		Clients:         clients,
+		Mix:             mix,
+		DurationSeconds: elapsed.Seconds(),
+		PerKind:         map[string]OpStats{},
+	}
+	byKind := map[opKind][]sample{}
+	for _, s := range samples {
+		byKind[s.kind] = append(byKind[s.kind], s)
+	}
+	rep.Total = aggregate(samples, elapsed)
+	for kind, ss := range byKind {
+		rep.PerKind[string(kind)] = aggregate(ss, elapsed)
+	}
+	return rep
+}
+
+func aggregate(ss []sample, elapsed time.Duration) OpStats {
+	var st OpStats
+	var lats, firsts []float64
+	for _, s := range ss {
+		st.Count++
+		switch {
+		case s.err:
+			st.Errors++
+		case s.shed:
+			st.Shed++
+		default:
+			st.OK++
+			st.UpstreamQueries += s.upstreamQ
+			lats = append(lats, float64(s.latency)/float64(time.Millisecond))
+			if s.firstTup > 0 {
+				firsts = append(firsts, float64(s.firstTup)/float64(time.Millisecond))
+			}
+		}
+	}
+	if st.Count > 0 {
+		st.ShedRate = float64(st.Shed) / float64(st.Count)
+	}
+	if st.OK > 0 {
+		st.UpstreamPerOp = float64(st.UpstreamQueries) / float64(st.OK)
+	}
+	if elapsed > 0 {
+		st.OpsPerSec = float64(st.Count) / elapsed.Seconds()
+	}
+	st.P50Ms, st.P95Ms, st.P99Ms = percentile(lats, 50), percentile(lats, 95), percentile(lats, 99)
+	st.FirstTupleP50Ms = percentile(firsts, 50)
+	return st
+}
+
+func percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sort.Float64s(v)
+	idx := int(p / 100 * float64(len(v)-1))
+	return v[idx]
+}
+
+func printReport(rep *Report) {
+	fmt.Printf("loadgen: %d clients, mix %s, %.1fs\n", rep.Clients, rep.Mix, rep.DurationSeconds)
+	fmt.Printf("%-8s %8s %8s %6s %6s %9s %9s %9s %9s %11s\n",
+		"kind", "ops", "ops/s", "shed", "errs", "p50 ms", "p95 ms", "p99 ms", "firstT ms", "upstrQ/op")
+	row := func(name string, st OpStats) {
+		first := "-"
+		if st.FirstTupleP50Ms > 0 {
+			first = fmt.Sprintf("%.1f", st.FirstTupleP50Ms)
+		}
+		fmt.Printf("%-8s %8d %8.1f %6d %6d %9.1f %9.1f %9.1f %9s %11.1f\n",
+			name, st.Count, st.OpsPerSec, st.Shed, st.Errors,
+			st.P50Ms, st.P95Ms, st.P99Ms, first, st.UpstreamPerOp)
+	}
+	kinds := make([]string, 0, len(rep.PerKind))
+	for k := range rep.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		row(k, rep.PerKind[k])
+	}
+	row("total", rep.Total)
+}

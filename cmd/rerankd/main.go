@@ -17,16 +17,27 @@
 //	  "ranking": {"kind":"ratio","attrs":["Price","Carat"]},
 //	  "filters": {"Shape":"Round"},
 //	  "h": 5}'
+//
+// Production knobs: -max-sessions bounds in-flight sessions (excess gets
+// 429 + Retry-After), -client-budget/-client-budget-window meter upstream
+// queries per X-Client-ID, and SIGTERM/SIGINT triggers a graceful drain —
+// admission stops (healthz flips to 503), in-flight requests finish within
+// -drain-timeout, and with -state set the engine's knowledge is
+// snapshotted so the next start is warm. See docs/operations.md.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -36,16 +47,22 @@ import (
 
 func main() {
 	var (
-		upstream = flag.String("upstream", "", "URL of the upstream hiddendb search endpoint")
-		name     = flag.String("dataset", "", "in-process dataset instead of -upstream: dot, bluenile, yahooautos")
-		n        = flag.Int("n", 20000, "tuples for the in-process dataset")
-		seed     = flag.Int64("seed", 160205100, "generator seed for the in-process dataset")
-		sizeHint = flag.Int("size-hint", 0, "upstream size estimate for dense-index thresholds (0 = n)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		state    = flag.String("state", "", "snapshot file: loaded at startup, saved on SIGINT/SIGTERM")
-		cache    = flag.Int("probe-cache", 0, "probe-result LRU entries (0 = default 1024, negative disables the cache)")
-		noCoal   = flag.Bool("no-coalesce", false, "disable probe coalescing (for upstreams whose corpus changes mid-run)")
-		width    = flag.Int("search-parallelism", 1, "speculative probe width W of the MD search: up to W frontier probes in flight per request (1 = sequential; raise against high-latency upstreams)")
+		upstream     = flag.String("upstream", "", "URL of the upstream hiddendb search endpoint")
+		name         = flag.String("dataset", "", "in-process dataset instead of -upstream: dot, bluenile, yahooautos")
+		n            = flag.Int("n", 20000, "tuples for the in-process dataset")
+		seed         = flag.Int64("seed", 160205100, "generator seed for the in-process dataset")
+		sizeHint     = flag.Int("size-hint", 0, "upstream size estimate for dense-index thresholds (0 = n)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		state        = flag.String("state", "", "snapshot file: loaded at startup, saved after the SIGINT/SIGTERM drain")
+		cache        = flag.Int("probe-cache", 0, "probe-result LRU entries (0 = default 1024, negative disables the cache)")
+		noCoal       = flag.Bool("no-coalesce", false, "disable probe coalescing (for upstreams whose corpus changes mid-run)")
+		width        = flag.Int("search-parallelism", 1, "speculative probe width W of the MD search: up to W frontier probes in flight per request (1 = sequential; raise against high-latency upstreams)")
+		maxSessions  = flag.Int("max-sessions", 0, "max in-flight sessions before requests are shed with 429 (0 = unlimited; a batch of N counts N)")
+		clientBudget = flag.Int64("client-budget", 0, "upstream queries each client (X-Client-ID header) may cost per budget window (0 = unmetered)")
+		budgetWindow = flag.Duration("client-budget-window", time.Minute, "length of the per-client budget window")
+		maxBody      = flag.Int64("max-body-bytes", 1<<20, "request body size limit in bytes")
+		streamWrite  = flag.Duration("stream-write-timeout", 30*time.Second, "per-event write deadline on /v1/rerank/stream (stalled readers are disconnected)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
 
@@ -81,13 +98,26 @@ func main() {
 	if hint == 0 {
 		hint = *n
 	}
-	srv := service.NewServerWith(db, core.Options{
-		N:                 hint,
-		ProbeCacheSize:    *cache,
-		DisableCoalescing: *noCoal,
-		SearchParallelism: *width,
+	srv := service.NewServerWithOptions(db, service.Options{
+		Core: core.Options{
+			N:                     hint,
+			ProbeCacheSize:        *cache,
+			DisableCoalescing:     *noCoal,
+			SearchParallelism:     *width,
+			MaxConcurrentSessions: *maxSessions,
+		},
+		MaxBodyBytes:       *maxBody,
+		ClientBudget:       *clientBudget,
+		ClientBudgetWindow: *budgetWindow,
+		StreamWriteTimeout: *streamWrite,
 	})
 	log.Printf("rerankd: search parallelism %d (speculative probe width per request)", *width)
+	if *maxSessions > 0 {
+		log.Printf("rerankd: admission bound %d in-flight sessions", *maxSessions)
+	}
+	if *clientBudget > 0 {
+		log.Printf("rerankd: per-client budget %d upstream queries / %s", *clientBudget, *budgetWindow)
+	}
 	if *state != "" {
 		if f, err := os.Open(*state); err == nil {
 			if err := srv.LoadState(f); err != nil {
@@ -98,25 +128,76 @@ func main() {
 			log.Printf("rerankd: warm start from %s (%d history tuples, %d cached probe answers, %d MD dense regions)",
 				*state, st.HistoryTuples, st.ProbeCacheEntries, st.MDDenseRegions)
 		}
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			f, err := os.Create(*state)
-			if err == nil {
-				err = srv.SaveState(f)
-				f.Close()
-			}
-			if err != nil {
-				log.Printf("rerankd: save state: %v", err)
-			} else {
-				st := srv.Stats()
-				log.Printf("rerankd: state saved to %s (%d MD dense regions in %d grid buckets; %d speculative probes, %d wasted)",
-					*state, st.MDDenseRegions, st.DenseMDBuckets, st.SpecProbesIssued, st.SpecProbesWasted)
-			}
-			os.Exit(0)
-		}()
 	}
-	log.Printf("rerankd: listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slowloris protection: a client gets 5s to finish its headers
+		// and idle keep-alive connections are reaped. WriteTimeout stays
+		// 0 because /v1/rerank/stream responses legitimately run as long
+		// as the search does; per-request work is bounded by admission
+		// control instead.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       1 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Graceful drain: on SIGTERM/SIGINT stop admitting (healthz goes 503 so
+	// load balancers deregister), let in-flight requests finish, then
+	// snapshot the engine's knowledge so the restart is warm.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() {
+		log.Printf("rerankd: listening on %s", *addr)
+		serveErr <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
+		// Bind failure or another fatal serve error before any signal.
+		log.Fatalf("rerankd: serve: %v", err)
+	case s := <-sig:
+		log.Printf("rerankd: %s received, draining (timeout %s)", s, *drainTimeout)
+	}
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("rerankd: drain incomplete: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("rerankd: serve: %v", err)
+	}
+	if *state != "" {
+		if err := saveState(srv, *state); err != nil {
+			log.Fatalf("rerankd: save state: %v", err)
+		}
+		st := srv.Stats()
+		log.Printf("rerankd: state saved to %s (%d history tuples, %d cached probe answers, %d MD dense regions in %d grid buckets)",
+			*state, st.HistoryTuples, st.ProbeCacheEntries, st.MDDenseRegions, st.DenseMDBuckets)
+	}
+	log.Printf("rerankd: drained %d single / %d batch / %d stream requests served; bye",
+		srv.Stats().Requests, srv.Stats().BatchRequests, srv.Stats().StreamRequests)
+}
+
+// saveState writes the snapshot atomically: temp file + rename, so a crash
+// mid-save never clobbers the previous good snapshot.
+func saveState(srv *service.Server, path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := srv.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

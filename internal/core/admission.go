@@ -1,0 +1,102 @@
+// Session admission: the engine-level backpressure primitive.
+//
+// An engine bound to a real upstream has two scarce resources — upstream
+// query budget and the goroutines/memory each live session's cursors hold.
+// The admission gate bounds the second: Options.MaxConcurrentSessions caps
+// how many sessions may be in flight at once, and callers that sit on the
+// service edge (HTTP handlers, batch schedulers) reserve their slots through
+// TryAdmit BEFORE creating sessions, so overload is rejected cheaply (an
+// HTTP 429) instead of queueing unbounded work behind the upstream.
+//
+// The gate is weighted: a batch request admitting N sub-requests reserves N
+// slots in one atomic step, so a batch can never be half-admitted and the
+// in-flight total never exceeds the bound regardless of interleaving.
+// Admission is deliberately non-blocking — the serving tier's contract is
+// "fail fast with Retry-After", not "queue forever" — which also keeps the
+// primitive deadlock-free under arbitrary weights.
+//
+// Library callers that construct sessions directly (experiments, qrank,
+// tests) are unaffected: NewSession itself never blocks or rejects. The
+// gate only binds callers that opt in through TryAdmit.
+
+package core
+
+import "sync"
+
+// admissionGate is a weighted, non-blocking semaphore. The zero capacity
+// means unlimited: TryAdmit always succeeds but still counts in-flight
+// weight, so SessionsInFlight stays meaningful for metrics either way.
+type admissionGate struct {
+	mu   sync.Mutex
+	cap  int // 0 = unlimited
+	used int
+}
+
+func newAdmissionGate(capacity int) *admissionGate {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &admissionGate{cap: capacity}
+}
+
+// tryAcquire reserves weight slots if they all fit, atomically.
+func (g *admissionGate) tryAcquire(weight int) bool {
+	if weight <= 0 {
+		weight = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cap > 0 && g.used+weight > g.cap {
+		return false
+	}
+	g.used += weight
+	return true
+}
+
+func (g *admissionGate) release(weight int) {
+	if weight <= 0 {
+		weight = 1
+	}
+	g.mu.Lock()
+	g.used -= weight
+	if g.used < 0 {
+		g.used = 0
+	}
+	g.mu.Unlock()
+}
+
+func (g *admissionGate) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used
+}
+
+// TryAdmit reserves weight session slots against the engine's
+// MaxConcurrentSessions bound, atomically: either all weight slots are
+// reserved or none. It never blocks; ok=false means the caller should shed
+// the request (HTTP 429 with Retry-After at the service edge). On success
+// the returned release function returns the slots; it is idempotent, so
+// calling it from both an error path and a deferred cleanup is safe.
+//
+// With MaxConcurrentSessions unset (0) admission always succeeds but
+// in-flight weight is still tracked for SessionsInFlight.
+func (e *Engine) TryAdmit(weight int) (release func(), ok bool) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if !e.adm.tryAcquire(weight) {
+		return nil, false
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() { e.adm.release(weight) })
+	}, true
+}
+
+// SessionsInFlight reports the total admitted weight currently held — the
+// number of in-flight admitted sessions.
+func (e *Engine) SessionsInFlight() int { return e.adm.inFlight() }
+
+// SessionCapacity returns the configured MaxConcurrentSessions bound
+// (0 = unlimited).
+func (e *Engine) SessionCapacity() int { return e.adm.cap }

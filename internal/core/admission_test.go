@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/types"
+)
+
+func admissionEngine(t *testing.T, maxSessions int) *Engine {
+	t.Helper()
+	schema := types.MustSchema([]types.Attribute{
+		{Name: "A", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 100}},
+	})
+	tuples := []types.Tuple{{ID: 0, Ord: []float64{1}}}
+	db := hidden.MustDB(schema, tuples, hidden.Options{K: 5})
+	return NewEngine(db, Options{N: 1, MaxConcurrentSessions: maxSessions})
+}
+
+func TestAdmitBound(t *testing.T) {
+	e := admissionEngine(t, 3)
+	if got := e.SessionCapacity(); got != 3 {
+		t.Fatalf("SessionCapacity = %d, want 3", got)
+	}
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		rel, ok := e.TryAdmit(1)
+		if !ok {
+			t.Fatalf("admit %d rejected below capacity", i)
+		}
+		releases = append(releases, rel)
+	}
+	if got := e.SessionsInFlight(); got != 3 {
+		t.Fatalf("SessionsInFlight = %d, want 3", got)
+	}
+	if _, ok := e.TryAdmit(1); ok {
+		t.Fatal("admit beyond capacity succeeded")
+	}
+	releases[0]()
+	if rel, ok := e.TryAdmit(1); !ok {
+		t.Fatal("admit after release rejected")
+	} else {
+		rel()
+	}
+	// release is idempotent: calling it twice must not free a phantom slot.
+	releases[1]()
+	releases[1]()
+	if got := e.SessionsInFlight(); got != 1 {
+		t.Fatalf("after double release SessionsInFlight = %d, want 1", got)
+	}
+}
+
+func TestAdmitWeighted(t *testing.T) {
+	e := admissionEngine(t, 4)
+	// A weight-3 batch fits; a second weight-3 batch must be rejected
+	// whole, not half-admitted.
+	rel, ok := e.TryAdmit(3)
+	if !ok {
+		t.Fatal("weight-3 admit rejected at empty gate")
+	}
+	if _, ok := e.TryAdmit(3); ok {
+		t.Fatal("second weight-3 admit fit in 1 remaining slot")
+	}
+	if got := e.SessionsInFlight(); got != 3 {
+		t.Fatalf("half-admitted batch leaked weight: in-flight = %d, want 3", got)
+	}
+	if rel2, ok := e.TryAdmit(1); !ok {
+		t.Fatal("weight-1 admit rejected with 1 slot free")
+	} else {
+		rel2()
+	}
+	rel()
+	if got := e.SessionsInFlight(); got != 0 {
+		t.Fatalf("SessionsInFlight = %d after full release, want 0", got)
+	}
+	// Non-positive weight normalizes to 1 on acquire and release alike.
+	rel, ok = e.TryAdmit(0)
+	if !ok {
+		t.Fatal("weight-0 admit rejected")
+	}
+	if got := e.SessionsInFlight(); got != 1 {
+		t.Fatalf("weight-0 admit holds %d, want 1", got)
+	}
+	rel()
+}
+
+func TestAdmitUnlimited(t *testing.T) {
+	e := admissionEngine(t, 0)
+	var rels []func()
+	for i := 0; i < 100; i++ {
+		rel, ok := e.TryAdmit(7)
+		if !ok {
+			t.Fatalf("unlimited gate rejected admit %d", i)
+		}
+		rels = append(rels, rel)
+	}
+	if got := e.SessionsInFlight(); got != 700 {
+		t.Fatalf("SessionsInFlight = %d, want 700 (tracked even when unlimited)", got)
+	}
+	for _, rel := range rels {
+		rel()
+	}
+	if got := e.SessionsInFlight(); got != 0 {
+		t.Fatalf("SessionsInFlight = %d after releases, want 0", got)
+	}
+}
+
+// TestAdmitConcurrentBound hammers the gate from many goroutines (run with
+// -race) and asserts the admitted in-flight weight never exceeds the bound.
+func TestAdmitConcurrentBound(t *testing.T) {
+	const capacity = 8
+	e := admissionEngine(t, capacity)
+	var inFlight, peak, admitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			weight := 1 + g%3
+			for i := 0; i < 400; i++ {
+				rel, ok := e.TryAdmit(weight)
+				if !ok {
+					continue
+				}
+				admitted.Add(1)
+				cur := inFlight.Add(int64(weight))
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				inFlight.Add(-int64(weight))
+				rel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("observed %d in-flight weight, bound is %d", p, capacity)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("no admissions succeeded at all")
+	}
+	if got := e.SessionsInFlight(); got != 0 {
+		t.Fatalf("SessionsInFlight = %d after all releases, want 0", got)
+	}
+}

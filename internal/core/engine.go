@@ -115,6 +115,13 @@ type Options struct {
 	// (1024 probe results), negative disables the cache while keeping
 	// in-flight dedup.
 	ProbeCacheSize int
+	// MaxConcurrentSessions bounds the total weight of sessions admitted
+	// through Engine.TryAdmit at any instant (0 = unlimited). It is the
+	// serving tier's backpressure knob: the HTTP layer reserves one slot
+	// per request (N for an N-item batch) before creating sessions and
+	// sheds the excess with 429 + Retry-After. Sessions created directly
+	// via NewSession (library use, experiments) bypass the gate.
+	MaxConcurrentSessions int
 	// SearchParallelism is the speculative probe width W of the MD search:
 	// each best-first round issues up to W frontier probes concurrently
 	// through the coalescing layer, bounded by a per-session worker pool.
@@ -135,8 +142,9 @@ type Engine struct {
 	opts Options
 
 	know   *Knowledge
-	probes *coalescer   // issue-path dedup + complete-answer cache
-	crawls *flightGroup // dense-region crawl dedup
+	probes *coalescer     // issue-path dedup + complete-answer cache
+	crawls *flightGroup   // dense-region crawl dedup
+	adm    *admissionGate // session admission (MaxConcurrentSessions)
 
 	// Speculative-search accounting: probes issued beyond the first slot
 	// of an MD search round, and the subset invalidated by a threshold
@@ -153,6 +161,7 @@ func NewEngine(db hidden.Database, opts Options) *Engine {
 		know:   newKnowledge(db.Schema()),
 		probes: newCoalescer(db, opts.ProbeCacheSize, opts.DisableCoalescing),
 		crawls: newFlightGroup(),
+		adm:    newAdmissionGate(opts.MaxConcurrentSessions),
 	}
 }
 

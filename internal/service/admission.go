@@ -1,0 +1,226 @@
+// Serving-tier admission: the request-shedding layer in front of the engine.
+//
+// The engine's session gate (core.Engine.TryAdmit) bounds in-flight work;
+// this file adds the HTTP semantics around it — 429 + Retry-After on
+// overload, an optional per-client upstream-query budget window (the
+// paper's cost ledger turned into a QoS primitive: every response already
+// reports queriesIssued, here the same number is charged against a
+// header-keyed allowance), and the draining state a graceful shutdown uses
+// to stop admitting while in-flight requests finish.
+
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Options configure the serving tier around a core engine.
+type Options struct {
+	// Core configures the underlying reranking engine, including the
+	// session admission bound (Core.MaxConcurrentSessions).
+	Core core.Options
+	// MaxBodyBytes bounds request bodies (default 1 MiB). Oversized
+	// bodies get 413.
+	MaxBodyBytes int64
+	// MaxBatchItems bounds the per-call batch size (default 64).
+	MaxBatchItems int
+	// ClientBudget, when > 0, is the number of upstream queries each
+	// client (keyed by the X-Client-ID header; empty key is one shared
+	// anonymous bucket) may cost per ClientBudgetWindow. A client over
+	// budget gets 429 with Retry-After set to the window's remaining
+	// seconds. Deduplicated/cached probes are free here exactly as in
+	// response accounting: only queries that reached the upstream charge.
+	ClientBudget int64
+	// ClientBudgetWindow is the budget window length (default 1 minute).
+	ClientBudgetWindow time.Duration
+	// StreamWriteTimeout bounds each NDJSON event write on
+	// /v1/rerank/stream (default 30s). A client that stops reading past
+	// this stalls its write, which ends the stream and releases its
+	// admission slot — stalled readers cannot pin capacity forever.
+	StreamWriteTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = 64
+	}
+	if o.ClientBudgetWindow <= 0 {
+		o.ClientBudgetWindow = time.Minute
+	}
+	if o.StreamWriteTimeout <= 0 {
+		o.StreamWriteTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// ClientIDHeader keys per-client budget windows.
+const ClientIDHeader = "X-Client-ID"
+
+// budgetWindow is one client's running allowance window. inflight counts
+// the client's requests currently executing: each reserves one unit of the
+// allowance at admission, so a concurrent burst cannot multiply the budget
+// by passing the check before any completed request has been charged.
+type budgetWindow struct {
+	start    time.Time
+	used     int64
+	inflight int64
+}
+
+// budgetLedger tracks per-client upstream-query spending in fixed windows.
+// Windows are lazily reset on first touch after expiry; expired idle
+// clients are pruned at most once per window, so the map stays proportional
+// to the set of clients active within the last window and admission never
+// pays a per-request O(clients) scan.
+type budgetLedger struct {
+	limit  int64
+	window time.Duration
+	now    func() time.Time
+
+	mu        sync.Mutex
+	clients   map[string]*budgetWindow
+	lastPrune time.Time
+}
+
+func newBudgetLedger(limit int64, window time.Duration, now func() time.Time) *budgetLedger {
+	if limit <= 0 {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &budgetLedger{
+		limit:   limit,
+		window:  window,
+		now:     now,
+		clients: make(map[string]*budgetWindow),
+	}
+}
+
+// begin admits one request against the client's allowance, reserving one
+// in-flight unit, and returns the settle function the caller must invoke
+// when the request finishes with its actual upstream cost. When the client
+// is over budget (spent plus in-flight reservations reach the limit) it
+// returns ok=false with the backoff to advertise. Actual charges land at
+// settle time, so one request may overshoot its remaining allowance — the
+// overshoot is carried until the window that absorbed it expires.
+func (l *budgetLedger) begin(key string) (ok bool, retryAfter time.Duration, settle func(issued int64)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	w := l.fetch(key, now)
+	if w.used+w.inflight >= l.limit {
+		if w.used >= l.limit {
+			return false, w.start.Add(l.window).Sub(now), nil
+		}
+		// Bound hit by concurrent in-flight reservations, not spent
+		// budget: a short backoff, since slots free as requests finish.
+		return false, time.Second, nil
+	}
+	w.inflight++
+	return true, 0, func(issued int64) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		w.inflight--
+		if issued > 0 {
+			w.used += issued
+		}
+	}
+}
+
+// fetch returns the client's live window, resetting it if expired, and
+// occasionally prunes idle expired clients. Caller holds l.mu.
+func (l *budgetLedger) fetch(key string, now time.Time) *budgetWindow {
+	w, ok := l.clients[key]
+	if !ok {
+		if len(l.clients) >= 1024 && now.Sub(l.lastPrune) >= l.window {
+			for k, old := range l.clients {
+				if old.inflight == 0 && now.Sub(old.start) >= l.window {
+					delete(l.clients, k)
+				}
+			}
+			l.lastPrune = now
+		}
+		w = &budgetWindow{start: now}
+		l.clients[key] = w
+	} else if now.Sub(w.start) >= l.window {
+		w.start, w.used = now, 0
+	}
+	return w
+}
+
+// admit runs the full admission pipeline for a request that will create
+// weight sessions: drain check, per-client budget check, engine capacity
+// reservation. On rejection it writes the HTTP error (503 draining, or 429
+// with Retry-After) and returns ok=false. On success the caller must invoke
+// both returned functions when the request finishes: release frees the
+// session slots (idempotent) and charge books the request's actual upstream
+// cost against the client's budget window.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, weight int) (release func(), charge func(issued int64), ok bool) {
+	if s.draining.Load() {
+		s.rejectedDraining.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, errDraining)
+		return nil, nil, false
+	}
+	var settle func(int64)
+	if s.budgets != nil {
+		clientKey := r.Header.Get(ClientIDHeader)
+		allowed, retry, fn := s.budgets.begin(clientKey)
+		if !allowed {
+			s.rejectedBudget.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Errorf("client %q over upstream-query budget (retry in %s)", clientKey, retry.Round(time.Second)))
+			return nil, nil, false
+		}
+		settle = fn
+	}
+	rel, admitted := s.engine.TryAdmit(weight)
+	if !admitted {
+		if settle != nil {
+			settle(0) // return the budget reservation
+		}
+		s.rejectedCapacity.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server at capacity (%d in-flight sessions, limit %d)",
+				s.engine.SessionsInFlight(), s.engine.SessionCapacity()))
+		return nil, nil, false
+	}
+	charge = func(issued int64) {
+		if settle != nil {
+			settle(issued)
+		}
+	}
+	return rel, charge, true
+}
+
+// retryAfterSeconds renders a duration as a Retry-After header value,
+// rounded up so clients never retry before the window actually resets.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprint(secs)
+}
+
+var errDraining = fmt.Errorf("server is draining for shutdown")
+
+// BeginDrain puts the server into draining mode: every subsequent request
+// (including /healthz, so load balancers deregister the instance) is
+// rejected with 503 while in-flight requests run to completion. Callers
+// typically pair it with http.Server.Shutdown and a final SaveState — see
+// cmd/rerankd. Draining is not reversible.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }

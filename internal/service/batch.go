@@ -1,0 +1,102 @@
+// Batched reranking: POST /v1/rerank/batch.
+//
+// A batch carries N independent rerank requests in one HTTP round trip and
+// runs them concurrently against the shared engine. Because every item's
+// probes route through the engine's coalescing layer, overlapping queries
+// inside one batch (and across concurrent batches) deduplicate at probe
+// granularity: identical in-flight probes are issued once and charged to
+// the item that issued them, so a batch of near-duplicate queries costs far
+// less upstream than the same requests issued serially by cold clients.
+//
+// Admission is atomic and weighted: a batch of N reserves N session slots
+// or is rejected whole with 429 — it can never be half-admitted past
+// MaxConcurrentSessions. Items fail independently: each BatchItem carries
+// its own status code and error, and one bad item does not poison the rest.
+
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchRequest is the /v1/rerank/batch request body.
+type BatchRequest struct {
+	Requests []RerankRequest `json:"requests"`
+}
+
+// BatchItem is the outcome of one batch entry, in request order.
+type BatchItem struct {
+	// Status is the item's HTTP-equivalent status code (200 on success).
+	Status int `json:"status"`
+	// Error describes the failure when Status != 200.
+	Error string `json:"error,omitempty"`
+	// Response is the item's result when Status == 200.
+	Response *RerankResponse `json:"response,omitempty"`
+}
+
+// BatchResponse is the /v1/rerank/batch response body.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+	// QueriesIssued is the whole batch's upstream cost: the sum of the
+	// items' ledgers. Probes deduplicated across items count once.
+	QueriesIssued int64 `json:"queriesIssued"`
+	// EngineQueries is the engine's lifetime upstream query count.
+	EngineQueries int64 `json:"engineQueries"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Requests) > s.opts.MaxBatchItems {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds the %d-item limit", len(req.Requests), s.opts.MaxBatchItems))
+		return
+	}
+	release, charge, ok := s.admit(w, r, len(req.Requests))
+	if !ok {
+		return
+	}
+	defer release()
+
+	resp := s.RerankBatch(req)
+	charge(resp.QueriesIssued)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RerankBatch runs every request of the batch concurrently and returns the
+// per-item outcomes in request order. Exported for in-process callers; like
+// Rerank it bypasses the HTTP edge's admission control.
+func (s *Server) RerankBatch(req BatchRequest) *BatchResponse {
+	s.batchRequests.Add(1)
+	s.batchItems.Add(int64(len(req.Requests)))
+	resp := &BatchResponse{Items: make([]BatchItem, len(req.Requests))}
+	var wg sync.WaitGroup
+	var issued atomic.Int64
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, cost, code, err := s.rerank(req.Requests[i])
+			issued.Add(cost)
+			if err != nil {
+				resp.Items[i] = BatchItem{Status: code, Error: err.Error()}
+				return
+			}
+			resp.Items[i] = BatchItem{Status: http.StatusOK, Response: r}
+		}(i)
+	}
+	wg.Wait()
+	resp.QueriesIssued = issued.Load()
+	resp.EngineQueries = s.engine.Queries()
+	return resp
+}

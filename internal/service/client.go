@@ -3,10 +3,12 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -14,6 +16,9 @@ import (
 type Client struct {
 	baseURL string
 	http    *http.Client
+	// ClientID, when set, is sent as the X-Client-ID header so the
+	// server's per-client budget windows attribute cost to this client.
+	ClientID string
 }
 
 // NewClient builds a client for the service at baseURL.
@@ -24,29 +29,129 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 	return &Client{baseURL: baseURL, http: hc}
 }
 
-// Rerank submits one reranking request.
-func (c *Client) Rerank(req RerankRequest) (*RerankResponse, error) {
-	body, err := json.Marshal(req)
+// StatusError is a non-200 service answer. Shed requests (429/503) carry
+// RetryAfter, the server's requested backoff.
+type StatusError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("status %d: %s", e.Status, e.Msg)
+	}
+	return fmt.Sprintf("status %d", e.Status)
+}
+
+// statusError drains a non-200 response into a *StatusError.
+func statusError(resp *http.Response) *StatusError {
+	var e struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	se := &StatusError{Status: resp.StatusCode, Msg: e.Error}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		se.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return se
+}
+
+func (c *Client) post(path string, v any) (*http.Response, error) {
+	body, err := json.Marshal(v)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http.Post(c.baseURL+"/v1/rerank", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, c.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.ClientID != "" {
+		req.Header.Set(ClientIDHeader, c.ClientID)
+	}
+	return c.http.Do(req)
+}
+
+// Rerank submits one reranking request.
+func (c *Client) Rerank(req RerankRequest) (*RerankResponse, error) {
+	resp, err := c.post("/v1/rerank", req)
 	if err != nil {
 		return nil, fmt.Errorf("rerank request: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return nil, fmt.Errorf("rerank request: status %s: %s", resp.Status, e.Error)
+		return nil, fmt.Errorf("rerank request: %w", statusError(resp))
 	}
 	var out RerankResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("decode rerank response: %w", err)
 	}
 	return &out, nil
+}
+
+// RerankBatch submits a batch of requests in one round trip. The returned
+// response carries per-item outcomes in request order; an error is only
+// returned when the batch itself was rejected (bad request, 429, 503).
+func (c *Client) RerankBatch(req BatchRequest) (*BatchResponse, error) {
+	resp, err := c.post("/v1/rerank/batch", req)
+	if err != nil {
+		return nil, fmt.Errorf("batch request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("batch request: %w", statusError(resp))
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode batch response: %w", err)
+	}
+	return &out, nil
+}
+
+// RerankStream submits a streaming request and calls fn for every NDJSON
+// event as it arrives, final Done event included. fn returning false stops
+// reading and disconnects (the server releases the session at the next
+// tuple boundary). The final event is also returned for convenience.
+func (c *Client) RerankStream(req RerankRequest, fn func(StreamEvent) bool) (*StreamEvent, error) {
+	resp, err := c.post("/v1/rerank/stream", req)
+	if err != nil {
+		return nil, fmt.Errorf("stream request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stream request: %w", statusError(resp))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("decode stream event: %w", err)
+		}
+		cont := fn == nil || fn(ev)
+		if ev.Done {
+			// The final event's error outranks fn's stop signal — a
+			// failed stream must never return a nil error.
+			if ev.Error != "" {
+				// In-band failure: surface it with the same typed
+				// status a one-shot request would have returned.
+				status := ev.Status
+				if status == 0 {
+					status = http.StatusBadGateway
+				}
+				return &ev, fmt.Errorf("stream failed: %w", &StatusError{Status: status, Msg: ev.Error})
+			}
+			return &ev, nil
+		}
+		if !cont {
+			return &ev, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read stream: %w", err)
+	}
+	return nil, fmt.Errorf("stream ended without a final event")
 }
 
 // Stats fetches engine statistics.

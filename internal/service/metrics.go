@@ -1,0 +1,56 @@
+// GET /metrics: the service's counters in Prometheus text exposition
+// format (version 0.0.4), hand-rendered — the service has no dependencies,
+// and the format is a few fmt.Fprintf lines per series. Every series is
+// derived from the same Stats snapshot /v1/stats serves, so the two
+// endpoints can never disagree; docs/operations.md is the metrics
+// reference.
+
+package service
+
+import (
+	"fmt"
+	"net/http"
+)
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("rerank_requests_total", "Single /v1/rerank requests started.", st.Requests)
+	counter("rerank_batch_requests_total", "/v1/rerank/batch requests accepted.", st.BatchRequests)
+	counter("rerank_batch_items_total", "Sub-requests inside accepted batches.", st.BatchItems)
+	counter("rerank_stream_requests_total", "/v1/rerank/stream requests admitted.", st.StreamRequests)
+	counter("rerank_stream_tuples_total", "NDJSON tuple lines emitted by streams.", st.StreamTuples)
+
+	fmt.Fprintf(w, "# HELP rerank_rejected_total Requests shed at admission, by cause.\n")
+	fmt.Fprintf(w, "# TYPE rerank_rejected_total counter\n")
+	fmt.Fprintf(w, "rerank_rejected_total{cause=\"capacity\"} %d\n", st.RejectedCapacity)
+	fmt.Fprintf(w, "rerank_rejected_total{cause=\"budget\"} %d\n", st.RejectedBudget)
+	fmt.Fprintf(w, "rerank_rejected_total{cause=\"draining\"} %d\n", st.RejectedDraining)
+
+	gauge("rerank_sessions_in_flight", "Admitted session weight currently in flight.", int64(st.SessionsInFlight))
+	gauge("rerank_sessions_limit", "Configured MaxConcurrentSessions bound (0 = unlimited).", int64(st.MaxSessions))
+	draining := int64(0)
+	if st.Draining {
+		draining = 1
+	}
+	gauge("rerank_draining", "1 once graceful drain has begun.", draining)
+
+	counter("rerank_engine_queries_total", "Lifetime upstream queries issued by the engine.", st.EngineQueries)
+	gauge("rerank_history_tuples", "Tuples in the cross-query answer history.", int64(st.HistoryTuples))
+	gauge("rerank_probe_cache_entries", "Complete probe answers in the coalescing LRU.", int64(st.ProbeCacheEntries))
+	gauge("rerank_md_dense_regions", "Crawled MD dense regions across attribute subsets.", int64(st.MDDenseRegions))
+	gauge("rerank_dense_md_buckets", "Occupied MD centroid-grid cells.", int64(st.DenseMDBuckets))
+	gauge("rerank_dense_md_max_bucket", "Largest MD centroid-grid cell population.", int64(st.DenseMDMaxBucket))
+	gauge("rerank_search_parallelism", "Effective speculative probe width W.", int64(st.SearchParallelism))
+	counter("rerank_spec_probes_issued_total", "Speculative MD probes issued.", st.SpecProbesIssued)
+	counter("rerank_spec_probes_wasted_total", "Speculative MD probes invalidated before use.", st.SpecProbesWasted)
+	gauge("rerank_upstream_k", "Upstream interface's system-k.", int64(st.UpstreamK))
+}

@@ -171,26 +171,32 @@ func (r *RemoteDB) Schema() *types.Schema { return r.schema }
 func isNegInf(v float64) bool { return v < -1e308 }
 func isPosInf(v float64) bool { return v > 1e308 }
 
+// schemaResponse renders a schema plus system-k in the wire form both
+// hiddendb's and the rerank service's /v1/schema endpoints serve.
+func schemaResponse(schema *types.Schema, k int) SchemaResponse {
+	sr := SchemaResponse{K: k}
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		spec := AttrSpec{Name: a.Name}
+		if a.Kind == types.Ordinal {
+			spec.Kind = "ordinal"
+			spec.Min, spec.Max = a.Domain.Min, a.Domain.Max
+		} else {
+			spec.Kind = "categorical"
+			spec.Values = a.Values
+		}
+		sr.Attrs = append(sr.Attrs, spec)
+	}
+	return sr
+}
+
 // HiddenDBHandler serves a *hidden.DB over the hiddendb HTTP protocol
 // (the counterpart of RemoteDB, used by cmd/hiddendb and tests).
 func HiddenDBHandler(db *hidden.DB) http.Handler {
 	mux := http.NewServeMux()
 	schema := db.Schema()
 	mux.HandleFunc("GET /v1/schema", func(w http.ResponseWriter, _ *http.Request) {
-		sr := SchemaResponse{K: db.K()}
-		for i := 0; i < schema.Len(); i++ {
-			a := schema.Attr(i)
-			spec := AttrSpec{Name: a.Name}
-			if a.Kind == types.Ordinal {
-				spec.Kind = "ordinal"
-				spec.Min, spec.Max = a.Domain.Min, a.Domain.Max
-			} else {
-				spec.Kind = "categorical"
-				spec.Values = a.Values
-			}
-			sr.Attrs = append(sr.Attrs, spec)
-		}
-		writeJSON(w, http.StatusOK, sr)
+		writeJSON(w, http.StatusOK, schemaResponse(schema, db.K()))
 	})
 	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
 		var req SearchRequest

@@ -1,11 +1,22 @@
 // Package service implements "query reranking as a service" over HTTP: the
 // third-party deployment the paper's title promises. A Server wraps one
 // reranking engine per upstream database, keeps the cross-query history and
-// dense indexes alive across requests, and exposes a small JSON API:
+// dense indexes alive across requests, and exposes the serving API:
 //
-//	POST /v1/rerank   {query, ranking, h, algorithm}  -> ranked tuples + cost
-//	GET  /v1/stats                                    -> engine statistics
-//	GET  /healthz                                     -> liveness
+//	POST /v1/rerank         {query, ranking, h, algorithm} -> ranked tuples + cost
+//	POST /v1/rerank/batch   {requests:[...]}               -> per-item results, probes deduped across the batch
+//	POST /v1/rerank/stream  same body as /v1/rerank        -> NDJSON, one tuple per line as the search produces them
+//	GET  /v1/stats                                         -> engine statistics (JSON)
+//	GET  /v1/schema                                        -> upstream schema + k (for clients/load generators)
+//	GET  /metrics                                          -> the same counters in Prometheus text format
+//	GET  /healthz                                          -> liveness (503 once draining)
+//
+// The serving tier is production-shaped: Core.MaxConcurrentSessions bounds
+// in-flight sessions through a weighted admission gate (excess requests get
+// 429 + Retry-After; a batch of N weighs N), Options.ClientBudget turns the
+// per-request cost ledger into a per-client QoS allowance, request bodies
+// are size-capped, and BeginDrain stops admission for graceful shutdown
+// while in-flight requests finish. See docs/operations.md.
 //
 // The upstream database can be in-process (a *hidden.DB) or remote — see
 // remote.go for the adapter that speaks to any HTTP top-k search endpoint
@@ -104,12 +115,31 @@ type Stats struct {
 	// (round slots beyond the first) and the subset invalidated by a
 	// threshold improvement. Wasted probes' answers still seed the shared
 	// caches, so their upstream cost is paid at most once.
-	SearchParallelism int    `json:"searchParallelism"`
-	SpecProbesIssued  int64  `json:"specProbesIssued"`
-	SpecProbesWasted  int64  `json:"specProbesWasted"`
-	Requests          int64  `json:"requests"`
-	UpstreamK         int    `json:"upstreamK"`
-	UpstreamRanker    string `json:"upstreamRanker,omitempty"`
+	SearchParallelism int   `json:"searchParallelism"`
+	SpecProbesIssued  int64 `json:"specProbesIssued"`
+	SpecProbesWasted  int64 `json:"specProbesWasted"`
+	// Requests counts single /v1/rerank requests; BatchRequests and
+	// StreamRequests count the batch/stream endpoints (BatchItems is the
+	// total of sub-requests inside batches, StreamTuples the total NDJSON
+	// tuple lines emitted).
+	Requests       int64 `json:"requests"`
+	BatchRequests  int64 `json:"batchRequests"`
+	BatchItems     int64 `json:"batchItems"`
+	StreamRequests int64 `json:"streamRequests"`
+	StreamTuples   int64 `json:"streamTuples"`
+	// SessionsInFlight / MaxSessions describe the admission gate:
+	// currently-admitted session weight and the configured bound
+	// (0 = unlimited). Rejected* count requests shed at the edge, by
+	// cause: engine capacity, per-client budget, draining shutdown.
+	SessionsInFlight int   `json:"sessionsInFlight"`
+	MaxSessions      int   `json:"maxSessions"`
+	RejectedCapacity int64 `json:"rejectedCapacity"`
+	RejectedBudget   int64 `json:"rejectedBudget"`
+	RejectedDraining int64 `json:"rejectedDraining"`
+	// Draining is true once BeginDrain was called (shutdown in progress).
+	Draining       bool   `json:"draining"`
+	UpstreamK      int    `json:"upstreamK"`
+	UpstreamRanker string `json:"upstreamRanker,omitempty"`
 }
 
 // Server is the reranking service. Requests are handled concurrently: the
@@ -118,10 +148,24 @@ type Stats struct {
 // The only server-level lock serializes snapshot save/load against each
 // other; snapshots are safe to take while requests are in flight.
 type Server struct {
-	db       hidden.Database
-	engine   *core.Engine
-	requests atomic.Int64
-	n        int
+	db     hidden.Database
+	engine *core.Engine
+	opts   Options
+
+	requests       atomic.Int64
+	batchRequests  atomic.Int64
+	batchItems     atomic.Int64
+	streamRequests atomic.Int64
+	streamTuples   atomic.Int64
+
+	// Admission/shedding state (see admission.go).
+	draining         atomic.Bool
+	rejectedCapacity atomic.Int64
+	rejectedBudget   atomic.Int64
+	rejectedDraining atomic.Int64
+	budgets          *budgetLedger // nil when ClientBudget is unset
+
+	n int
 
 	stateMu sync.Mutex // serializes SaveState/LoadState
 }
@@ -133,14 +177,26 @@ func NewServer(db hidden.Database, n int) *Server {
 }
 
 // NewServerWith builds a service with explicit engine options (opts.N is the
-// upstream size estimate; coalescing and cache sizing are also set here).
+// upstream size estimate; coalescing, cache sizing and the session admission
+// bound are also set here) and default serving options.
 func NewServerWith(db hidden.Database, opts core.Options) *Server {
+	return NewServerWithOptions(db, Options{Core: opts})
+}
+
+// NewServerWithOptions builds a service with full serving-tier options.
+func NewServerWithOptions(db hidden.Database, opts Options) *Server {
+	opts = opts.withDefaults()
 	return &Server{
-		db:     db,
-		engine: core.NewEngine(db, opts),
-		n:      opts.N,
+		db:      db,
+		engine:  core.NewEngine(db, opts.Core),
+		opts:    opts,
+		budgets: newBudgetLedger(opts.ClientBudget, opts.ClientBudgetWindow, nil),
+		n:       opts.Core.N,
 	}
 }
+
+// Engine exposes the server's underlying engine (admission gauges, tests).
+func (s *Server) Engine() *core.Engine { return s.engine }
 
 // SaveState serializes the engine's accumulated knowledge (answer history
 // and dense indexes) so a restarted service stays warm. Safe to call while
@@ -162,12 +218,46 @@ func (s *Server) LoadState(r io.Reader) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rerank", s.handleRerank)
+	mux.HandleFunc("POST /v1/rerank/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/rerank/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Draining instances fail liveness so load balancers stop
+		// routing to them while in-flight requests finish.
+		if s.draining.Load() {
+			httpError(w, http.StatusServiceUnavailable, errDraining)
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// handleSchema republishes the upstream search schema (the same wire shape
+// hiddendb serves), so service clients and load generators can build
+// requests without a side channel to the upstream.
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, schemaResponse(s.db.Schema(), s.db.K()))
+}
+
+// decodeBody decodes a size-capped JSON request body. The error is already
+// written to w when ok is false (413 for oversized bodies, 400 otherwise).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
 }
 
 // Stats reports the service's current counters (also served at /v1/stats).
@@ -185,6 +275,16 @@ func (s *Server) Stats() Stats {
 		SpecProbesIssued:  specIssued,
 		SpecProbesWasted:  specWasted,
 		Requests:          s.requests.Load(),
+		BatchRequests:     s.batchRequests.Load(),
+		BatchItems:        s.batchItems.Load(),
+		StreamRequests:    s.streamRequests.Load(),
+		StreamTuples:      s.streamTuples.Load(),
+		SessionsInFlight:  s.engine.SessionsInFlight(),
+		MaxSessions:       s.engine.SessionCapacity(),
+		RejectedCapacity:  s.rejectedCapacity.Load(),
+		RejectedBudget:    s.rejectedBudget.Load(),
+		RejectedDraining:  s.rejectedDraining.Load(),
+		Draining:          s.draining.Load(),
 		UpstreamK:         s.db.K(),
 	}
 	if hdb, ok := s.db.(*hidden.DB); ok {
@@ -199,11 +299,26 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	var req RerankRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	resp, code, err := s.Rerank(req)
+	// Validate before admitting: invalid requests must not compete with
+	// real traffic for session slots or budget.
+	q, rk, variant, err := buildRequest(s.db.Schema(), &req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, charge, ok := s.admit(w, r, 1)
+	if !ok {
+		return
+	}
+	defer release()
+	// Counted here, not in the shared core: batch sub-items have their own
+	// BatchItems counter and must not inflate the single-request rate.
+	s.requests.Add(1)
+	resp, issued, code, err := s.run(q, rk, variant, req.H)
+	charge(issued)
 	if err != nil {
 		httpError(w, code, err)
 		return
@@ -212,53 +327,76 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 }
 
 // Rerank executes one reranking request. It is exported so in-process
-// callers (tests, examples) can skip HTTP.
+// callers (tests, examples) can skip HTTP; it bypasses admission control
+// and budgets, which live at the HTTP edge.
 func (s *Server) Rerank(req RerankRequest) (*RerankResponse, int, error) {
-	if req.H <= 0 {
-		req.H = 10
-	}
-	if req.H > 10_000 {
-		return nil, http.StatusBadRequest, errors.New("h too large (max 10000)")
-	}
-	schema := s.db.Schema()
-	q, err := buildQuery(schema, req)
-	if err != nil {
-		return nil, http.StatusBadRequest, err
-	}
-	rk, err := buildRanker(schema, req.Ranking)
-	if err != nil {
-		return nil, http.StatusBadRequest, err
-	}
-	variant, err := parseAlgorithm(req.Algorithm, len(rk.Attrs()))
-	if err != nil {
-		return nil, http.StatusBadRequest, err
-	}
-
 	s.requests.Add(1)
+	resp, _, code, err := s.rerank(req)
+	return resp, code, err
+}
+
+// rerank validates and runs one request, reporting the upstream queries it
+// cost even when it failed mid-search — the number the HTTP edge charges
+// against the client's budget window.
+func (s *Server) rerank(req RerankRequest) (_ *RerankResponse, issued int64, code int, err error) {
+	q, rk, variant, err := buildRequest(s.db.Schema(), &req)
+	if err != nil {
+		return nil, 0, http.StatusBadRequest, err
+	}
+	return s.run(q, rk, variant, req.H)
+}
+
+// run executes one compiled request in a fresh session.
+func (s *Server) run(q query.Query, rk ranking.Ranker, variant core.Variant, h int) (_ *RerankResponse, issued int64, code int, err error) {
 	// One session per request: its ledger is the request's upstream cost
 	// (exact under concurrency, unlike a before/after diff of the engine
 	// counter, which would absorb other requests' probes).
 	sess := s.engine.NewSession()
 	cur, err := sess.NewCursor(q, rk, variant)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, sess.Queries(), http.StatusBadRequest, err
 	}
-	tuples, err := core.TopH(cur, req.H)
+	tuples, err := core.TopH(cur, h)
 	if err != nil {
 		if errors.Is(err, hidden.ErrRateLimited) {
-			return nil, http.StatusTooManyRequests, err
+			return nil, sess.Queries(), http.StatusTooManyRequests, err
 		}
-		return nil, http.StatusBadGateway, fmt.Errorf("upstream search failed: %w", err)
+		return nil, sess.Queries(), http.StatusBadGateway, fmt.Errorf("upstream search failed: %w", err)
 	}
 	resp := &RerankResponse{
-		Exhausted:     len(tuples) < req.H,
+		Exhausted:     len(tuples) < h,
 		QueriesIssued: sess.Queries(),
 		EngineQueries: s.engine.Queries(),
 	}
 	for _, t := range tuples {
-		resp.Tuples = append(resp.Tuples, toJSON(schema, rk, t))
+		resp.Tuples = append(resp.Tuples, toJSON(s.db.Schema(), rk, t))
 	}
-	return resp, http.StatusOK, nil
+	return resp, resp.QueriesIssued, http.StatusOK, nil
+}
+
+// buildRequest validates and compiles one wire request into its engine
+// parts (query, ranker, algorithm variant), applying the default and
+// maximum h. Shared by the single, batch and streaming endpoints.
+func buildRequest(schema *types.Schema, req *RerankRequest) (query.Query, ranking.Ranker, core.Variant, error) {
+	if req.H <= 0 {
+		req.H = 10
+	}
+	if req.H > 10_000 {
+		return query.Query{}, nil, 0, errors.New("h too large (max 10000)")
+	}
+	q, err := buildQuery(schema, *req)
+	if err != nil {
+		return query.Query{}, nil, 0, err
+	}
+	rk, err := buildRanker(schema, req.Ranking)
+	if err != nil {
+		return query.Query{}, nil, 0, err
+	}
+	variant, err := parseAlgorithm(req.Algorithm, len(rk.Attrs()))
+	if err != nil {
+		return query.Query{}, nil, 0, err
+	}
+	return q, rk, variant, nil
 }
 
 func toJSON(schema *types.Schema, rk ranking.Ranker, t types.Tuple) TupleJSON {

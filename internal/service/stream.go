@@ -1,0 +1,138 @@
+// Streaming reranking: POST /v1/rerank/stream.
+//
+// The engine's Get-Next interface (§2.2) is incremental by construction:
+// the cursor proves each next-best tuple correct before looking for the
+// following one. The plain /v1/rerank endpoint hides that — a client waits
+// for the whole search before seeing tuple #1. This endpoint streams the
+// cursor instead: the response is NDJSON, one StreamEvent per line, flushed
+// as each tuple is produced, so the first answer reaches the client while
+// the search for the rest is still probing the upstream. Each tuple event
+// carries the session's cumulative upstream cost at emission time, making
+// the cost-per-answer curve visible to the client in real time.
+//
+// A disconnecting client cancels the stream at the next tuple boundary: the
+// handler observes the request context between Get-Next calls, stops the
+// search, and releases its admission slot — abandoned streams do not leak
+// capacity. Already-issued probes stay in the shared history/probe caches,
+// so a cancelled stream's upstream spend still benefits later requests.
+
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/hidden"
+)
+
+// StreamEvent is one NDJSON line of a /v1/rerank/stream response. Tuple
+// events carry Tuple and CumQueries; the final event has Done=true and the
+// same summary fields RerankResponse reports. A mid-stream failure ends the
+// stream with a final event whose Error is set (the HTTP status is already
+// 200 by then — NDJSON errors are in-band).
+type StreamEvent struct {
+	Tuple *TupleJSON `json:"tuple,omitempty"`
+	// CumQueries is the session's cumulative upstream-query cost at the
+	// moment this event was emitted.
+	CumQueries int64 `json:"cumQueries"`
+	// Done marks the final event of the stream.
+	Done      bool `json:"done,omitempty"`
+	Exhausted bool `json:"exhausted,omitempty"`
+	// QueriesIssued / EngineQueries mirror RerankResponse on the final
+	// event.
+	QueriesIssued int64 `json:"queriesIssued,omitempty"`
+	EngineQueries int64 `json:"engineQueries,omitempty"`
+	// Error and Status report an in-band failure on the final event:
+	// Status is the HTTP status the same failure would have produced on
+	// /v1/rerank (429 for upstream rate limiting, 502 otherwise), so
+	// clients can classify mid-stream failures exactly like one-shot ones.
+	Error  string `json:"error,omitempty"`
+	Status int    `json:"status,omitempty"`
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var req RerankRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	schema := s.db.Schema()
+	q, rk, variant, err := buildRequest(schema, &req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, charge, ok := s.admit(w, r, 1)
+	if !ok {
+		return
+	}
+	defer release()
+
+	s.streamRequests.Add(1)
+	sess := s.engine.NewSession()
+	defer func() { charge(sess.Queries()) }()
+	cur, err := sess.NewCursor(q, rk, variant)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	// Per-event write deadlines (the server's WriteTimeout is 0 so streams
+	// may run as long as the search): a client that stops READING stalls
+	// its next write past StreamWriteTimeout, the write errors, the stream
+	// ends and the admission slot frees. Stalled readers cannot pin
+	// capacity forever. The deadline is cleared before the handler returns
+	// so a reused keep-alive connection is not poisoned.
+	rc := http.NewResponseController(w)
+	defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
+	enc := json.NewEncoder(w)
+	emit := func(ev StreamEvent) bool {
+		_ = rc.SetWriteDeadline(time.Now().Add(s.opts.StreamWriteTimeout))
+		if err := enc.Encode(ev); err != nil {
+			return false // client went away; stop the search
+		}
+		_ = rc.Flush()
+		return true
+	}
+
+	ctx := r.Context()
+	emitted, exhausted := 0, false
+	for emitted < req.H {
+		// A disconnected client is detected at tuple boundaries: the
+		// search stops, the deferred release frees the admission slot.
+		if ctx.Err() != nil {
+			return
+		}
+		t, ok, err := cur.Next()
+		if err != nil {
+			ev := StreamEvent{Done: true, CumQueries: sess.Queries()}
+			if errors.Is(err, hidden.ErrRateLimited) {
+				ev.Status, ev.Error = http.StatusTooManyRequests, err.Error()
+			} else {
+				ev.Status, ev.Error = http.StatusBadGateway, "upstream search failed: "+err.Error()
+			}
+			emit(ev)
+			return
+		}
+		if !ok {
+			exhausted = true
+			break
+		}
+		tj := toJSON(schema, rk, t)
+		if !emit(StreamEvent{Tuple: &tj, CumQueries: sess.Queries()}) {
+			return
+		}
+		emitted++
+		s.streamTuples.Add(1)
+	}
+	emit(StreamEvent{
+		Done:          true,
+		Exhausted:     exhausted,
+		CumQueries:    sess.Queries(),
+		QueriesIssued: sess.Queries(),
+		EngineQueries: s.engine.Queries(),
+	})
+}
