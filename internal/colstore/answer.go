@@ -1,0 +1,80 @@
+package colstore
+
+import "repro/internal/types"
+
+// Answer is a probe answer (an ordered list of tuples) compacted into
+// columnar form for the probe-LRU cache: one int32 ID lane, a row-major
+// float64 lane for the full Ord vector, and a row-major symbol lane for
+// categorical values, interned into the shared dictionary. A 10-tuple
+// answer over a 5-attribute schema is three flat slices instead of ten
+// row structs with ten Ord slices and ten Cat maps.
+type Answer struct {
+	layout *Layout
+	dict   *Dict
+	ids    []int32
+	ords   []float64 // n × schema.Len(), row-major
+	cats   []uint32  // n × layout.NumCat(), row-major
+}
+
+// EncodeAnswer compacts tuples. ok is false when some tuple cannot be
+// represented exactly (ID outside int32, Ord length differing from the
+// schema width, or a categorical name outside the schema) — callers fall
+// back to row storage for those rare answers.
+func EncodeAnswer(layout *Layout, dict *Dict, tuples []types.Tuple) (*Answer, bool) {
+	m := layout.schema.Len()
+	nc := len(layout.catPos)
+	a := &Answer{
+		layout: layout,
+		dict:   dict,
+		ids:    make([]int32, len(tuples)),
+		ords:   make([]float64, len(tuples)*m),
+		cats:   make([]uint32, len(tuples)*nc),
+	}
+	for i, t := range tuples {
+		if int(int32(t.ID)) != t.ID || len(t.Ord) != m {
+			return nil, false
+		}
+		a.ids[i] = int32(t.ID)
+		copy(a.ords[i*m:(i+1)*m], t.Ord)
+		for name, val := range t.Cat {
+			c, ok := layout.colOf[name]
+			if !ok {
+				return nil, false
+			}
+			a.cats[i*nc+c] = dict.Intern(val)
+		}
+	}
+	return a, true
+}
+
+// Len returns the number of encoded tuples.
+func (a *Answer) Len() int { return len(a.ids) }
+
+// Bytes approximates the answer's resident size.
+func (a *Answer) Bytes() int64 {
+	return int64(4*len(a.ids) + 8*len(a.ords) + 4*len(a.cats))
+}
+
+// Decode materializes the answer back into fresh tuples that share no
+// storage with the answer — safe to retain.
+func (a *Answer) Decode() []types.Tuple {
+	m := a.layout.schema.Len()
+	nc := len(a.layout.catPos)
+	out := make([]types.Tuple, len(a.ids))
+	for i := range out {
+		t := types.Tuple{
+			ID:  int(a.ids[i]),
+			Ord: append([]float64(nil), a.ords[i*m:(i+1)*m]...),
+		}
+		for c := 0; c < nc; c++ {
+			if sym := a.cats[i*nc+c]; sym != 0 {
+				if t.Cat == nil {
+					t.Cat = make(map[string]string, nc)
+				}
+				t.Cat[a.layout.catNames[c]] = a.dict.Value(sym)
+			}
+		}
+		out[i] = t
+	}
+	return out
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/colstore"
 	"repro/internal/hidden"
 	"repro/internal/query"
 )
@@ -95,27 +96,64 @@ func (g *flightGroup) Do(key string, fn func() (hidden.Result, error)) (res hidd
 var errFlightPanicked = fmt.Errorf("core: coalesced upstream probe aborted by panic")
 
 // probeCache is a bounded LRU of complete (valid/underflow) probe results.
+//
+// Entries are stored in columnar form (colstore.Answer: flat ID/value/symbol
+// lanes interned into the history's shared dictionary) rather than as row
+// structs, so a full cache of top-k pages costs a few slices per entry
+// instead of cap·k tuples each with its own Ord slice and Cat map. The row
+// form is materialized lazily on first hit and memoized — repeated hits on a
+// hot probe return the same shared immutable tuples with zero allocation.
+// Answers that cannot be encoded exactly (irregular tuples) fall back to
+// plain row storage.
 type probeCache struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recent; values are *cacheEntry
-	byKey map[string]*list.Element
+	mu     sync.Mutex
+	cap    int
+	order  *list.List // front = most recent; values are *cacheEntry
+	byKey  map[string]*list.Element
+	layout *colstore.Layout
+	dict   *colstore.Dict
 }
 
 type cacheEntry struct {
-	key string
-	res hidden.Result
+	key  string
+	ans  *colstore.Answer // columnar form; nil when not exactly representable
+	res  hidden.Result    // row form: direct storage, or memoized from ans
+	memo bool             // res has been materialized from ans
 }
 
-func newProbeCache(capacity int) *probeCache {
+func newProbeCache(capacity int, layout *colstore.Layout, dict *colstore.Dict) *probeCache {
 	if capacity <= 0 {
 		return nil
 	}
 	return &probeCache{
-		cap:   capacity,
-		order: list.New(),
-		byKey: make(map[string]*list.Element, capacity),
+		cap:    capacity,
+		order:  list.New(),
+		byKey:  make(map[string]*list.Element, capacity),
+		layout: layout,
+		dict:   dict,
 	}
+}
+
+// fill stores res into ce, compacting to columnar form when possible.
+func (p *probeCache) fill(ce *cacheEntry, res hidden.Result) {
+	ce.ans, ce.res, ce.memo = nil, res, false
+	if p.layout == nil || len(res.Tuples) == 0 {
+		return
+	}
+	if ans, ok := colstore.EncodeAnswer(p.layout, p.dict, res.Tuples); ok {
+		ce.ans = ans
+		ce.res = hidden.Result{Overflow: res.Overflow}
+	}
+}
+
+// rowForm returns ce's answer as shared immutable tuples, materializing and
+// memoizing the columnar form on first use. Callers hold p.mu.
+func (ce *cacheEntry) rowForm() hidden.Result {
+	if ce.ans != nil && !ce.memo {
+		ce.res.Tuples = ce.ans.Decode()
+		ce.memo = true
+	}
+	return ce.res
 }
 
 func (p *probeCache) get(key string) (hidden.Result, bool) {
@@ -129,7 +167,7 @@ func (p *probeCache) get(key string) (hidden.Result, bool) {
 		return hidden.Result{}, false
 	}
 	p.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return el.Value.(*cacheEntry).rowForm(), true
 }
 
 // export returns the cached entries ordered least-recently-used first, so
@@ -145,7 +183,7 @@ func (p *probeCache) export() []probeEntry {
 	out := make([]probeEntry, 0, p.order.Len())
 	for el := p.order.Back(); el != nil; el = el.Prev() {
 		ce := el.Value.(*cacheEntry)
-		out = append(out, probeEntry{Key: ce.key, Res: ce.res})
+		out = append(out, probeEntry{Key: ce.key, Res: ce.rowForm()})
 	}
 	return out
 }
@@ -160,6 +198,22 @@ func (p *probeCache) size() int {
 	return p.order.Len()
 }
 
+// approxBytes estimates the resident bytes of the columnar-encoded entries.
+func (p *probeCache) approxBytes() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var b int64
+	for el := p.order.Front(); el != nil; el = el.Next() {
+		if ce := el.Value.(*cacheEntry); ce.ans != nil {
+			b += ce.ans.Bytes()
+		}
+	}
+	return b
+}
+
 func (p *probeCache) put(key string, res hidden.Result) {
 	if p == nil || res.Overflow {
 		return // only complete answers are authoritative
@@ -168,10 +222,12 @@ func (p *probeCache) put(key string, res hidden.Result) {
 	defer p.mu.Unlock()
 	if el, ok := p.byKey[key]; ok {
 		p.order.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
+		p.fill(el.Value.(*cacheEntry), res)
 		return
 	}
-	p.byKey[key] = p.order.PushFront(&cacheEntry{key: key, res: res})
+	ce := &cacheEntry{key: key}
+	p.fill(ce, res)
+	p.byKey[key] = p.order.PushFront(ce)
 	for p.order.Len() > p.cap {
 		oldest := p.order.Back()
 		p.order.Remove(oldest)
@@ -196,14 +252,17 @@ type coalescer struct {
 	disabled bool // pass every probe straight through
 }
 
-func newCoalescer(db hidden.Database, cacheSize int, disabled bool) *coalescer {
+// newCoalescer builds the coalescing layer. layout and dict come from the
+// engine's history store, so cached answers intern their categorical values
+// into the same dictionary as the tuple history.
+func newCoalescer(db hidden.Database, cacheSize int, disabled bool, layout *colstore.Layout, dict *colstore.Dict) *coalescer {
 	if cacheSize == 0 {
 		cacheSize = defaultProbeCacheSize
 	}
 	return &coalescer{
 		db:       db,
 		flights:  newFlightGroup(),
-		cache:    newProbeCache(cacheSize),
+		cache:    newProbeCache(cacheSize, layout, dict),
 		disabled: disabled,
 	}
 }
@@ -233,6 +292,15 @@ func (c *coalescer) cacheSize() int {
 		return 0
 	}
 	return c.cache.size()
+}
+
+// cacheBytes approximates the resident bytes of columnar-encoded cached
+// answers.
+func (c *coalescer) cacheBytes() int64 {
+	if c.disabled {
+		return 0
+	}
+	return c.cache.approxBytes()
 }
 
 // TopK answers q, deduplicating in-flight identical probes and serving

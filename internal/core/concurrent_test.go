@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/hidden"
 	"repro/internal/query"
 	"repro/internal/ranking"
@@ -314,9 +315,10 @@ func TestFlightGroupLeaderPanic(t *testing.T) {
 
 // TestProbeCacheLRU pins the cache's bounded-LRU behavior: complete answers
 // are served back, overflow pages are never stored, and the oldest entry is
-// evicted first.
+// evicted first. Run without a column layout, the cache stores row results
+// directly (the fallback path).
 func TestProbeCacheLRU(t *testing.T) {
-	p := newProbeCache(2)
+	p := newProbeCache(2, nil, nil)
 	mk := func(id int) hidden.Result {
 		return hidden.Result{Tuples: []types.Tuple{{ID: id}}}
 	}
@@ -338,6 +340,40 @@ func TestProbeCacheLRU(t *testing.T) {
 	}
 	if res, ok := p.get("c"); !ok || res.Tuples[0].ID != 3 {
 		t.Fatalf("c = %v, %v", res, ok)
+	}
+}
+
+// TestProbeCacheColumnar pins the columnar storage path: regular answers are
+// compacted through colstore and materialized lazily (repeat hits share one
+// memoized decode), while irregular tuples fall back to row storage intact.
+func TestProbeCacheColumnar(t *testing.T) {
+	schema := types.MustSchema([]types.Attribute{
+		{Name: "a", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 10}},
+		{Name: "c", Kind: types.Categorical, Values: []string{"x", "y"}},
+	})
+	p := newProbeCache(4, colstore.NewLayout(schema), colstore.NewDict())
+	reg := hidden.Result{Tuples: []types.Tuple{
+		{ID: 1, Ord: []float64{1, 0}, Cat: map[string]string{"c": "x"}},
+		{ID: 2, Ord: []float64{2, 0}},
+	}}
+	p.put("reg", reg)
+	got1, ok := p.get("reg")
+	if !ok || len(got1.Tuples) != 2 || got1.Tuples[0].Cat["c"] != "x" || got1.Tuples[1].Ord[1] != 0 {
+		t.Fatalf("columnar round-trip broken: %v %v", got1, ok)
+	}
+	got2, _ := p.get("reg")
+	if &got1.Tuples[0] != &got2.Tuples[0] {
+		t.Fatal("repeat hit re-materialized instead of sharing the memoized decode")
+	}
+	if p.approxBytes() <= 0 {
+		t.Fatal("approxBytes not positive with a columnar entry")
+	}
+	// Irregular tuple (short Ord): must fall back to row storage, unchanged.
+	irr := hidden.Result{Tuples: []types.Tuple{{ID: 3, Ord: []float64{5}}}}
+	p.put("irr", irr)
+	got, ok := p.get("irr")
+	if !ok || len(got.Tuples) != 1 || len(got.Tuples[0].Ord) != 1 {
+		t.Fatalf("irregular fallback broken: %v %v", got, ok)
 	}
 }
 

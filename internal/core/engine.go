@@ -155,11 +155,15 @@ type Engine struct {
 
 // NewEngine builds an engine over db.
 func NewEngine(db hidden.Database, opts Options) *Engine {
+	// The knowledge layer is built first so the probe cache can compact
+	// its answers into the history store's column layout and shared
+	// string dictionary.
+	know := newKnowledge(db.Schema())
 	return &Engine{
 		db:     db,
 		opts:   opts,
-		know:   newKnowledge(db.Schema()),
-		probes: newCoalescer(db, opts.ProbeCacheSize, opts.DisableCoalescing),
+		know:   know,
+		probes: newCoalescer(db, opts.ProbeCacheSize, opts.DisableCoalescing, know.hist.Layout(), know.hist.Dict()),
 		crawls: newFlightGroup(),
 		adm:    newAdmissionGate(opts.MaxConcurrentSessions),
 	}
@@ -187,6 +191,13 @@ func (e *Engine) DenseIndex1D() *index.Dense1D { return e.know.dense1 }
 // disabled). Snapshots persist these entries, so after a warm restart this
 // reports how many probes the engine can answer for zero upstream cost.
 func (e *Engine) ProbeCacheEntries() int { return e.probes.cacheSize() }
+
+// ProbeCacheBytes approximates the resident bytes of columnar-encoded probe
+// answers in the coalescing LRU.
+func (e *Engine) ProbeCacheBytes() int64 { return e.probes.cacheBytes() }
+
+// StorageStats returns the history store's columnar storage counters.
+func (e *Engine) StorageStats() history.StorageStats { return e.know.hist.StorageStats() }
 
 // MDDenseRegions returns the total number of crawled MD dense regions across
 // all ranked-attribute subsets. Snapshots (v3+) persist these regions, so

@@ -82,6 +82,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/colstore"
 	"repro/internal/hidden"
 	"repro/internal/index"
 	"repro/internal/query"
@@ -516,9 +517,11 @@ func (c *MDCursor) seedRound(regs []*mdRegion, off int) []candidate {
 	// One pass over the matching history seeds every slot: all callbacks
 	// run on the cursor goroutine, so sharing the scan preserves the
 	// deterministic seeding order while keeping the cost independent of W.
-	c.s.e.know.hist.ForEachMatching(c.q, func(t types.Tuple) bool {
+	// The scan reads the columnar view directly — a candidate tuple is
+	// materialized only when a slot actually adopts it.
+	c.s.e.know.hist.ScanMatching(c.q, func(v colstore.View, row int) bool {
 		for i, reg := range regs {
-			c.resolvers[i+off].improveOne(&cands[i], t, reg.box)
+			c.resolvers[i+off].improveRow(&cands[i], v, row, reg.box)
 		}
 		return true
 	})
@@ -646,6 +649,25 @@ func (r *mdResolver) improveOne(cand *candidate, t types.Tuple, box query.Box) {
 	s := r.axis.ScoreTuple(t)
 	if !cand.have || s < cand.score || (s == cand.score && t.ID < cand.t.ID) {
 		cand.t, cand.score, cand.have = t, s, true
+	}
+}
+
+// improveRow is improveOne reading straight from a columnar history row. The
+// scan that feeds it has already filtered by the cursor's query, so only the
+// emitted/excluded checks remain, and the tuple is materialized only when
+// the candidate actually adopts it.
+func (r *mdResolver) improveRow(cand *candidate, v colstore.View, row int, box query.Box) {
+	id := v.ID(row)
+	if r.c.emitted[id] || (r.c.excludeOK && id == r.c.excludeID) {
+		return
+	}
+	z := r.axis.ToAxisViewInto(v, row, r.zbuf)
+	if !box.Contains(z) {
+		return
+	}
+	s := r.axis.ScoreView(v, row)
+	if !cand.have || s < cand.score || (s == cand.score && id < cand.t.ID) {
+		cand.t, cand.score, cand.have = v.Tuple(row), s, true
 	}
 }
 

@@ -70,7 +70,7 @@ func (a *Adversary) TopK(q query.Query) (Result, error) {
 	var res Result
 	for _, t := range a.tuples {
 		if iv.Contains(t.Ord[0]) && len(res.Tuples) < a.k {
-			res.Tuples = append(res.Tuples, t.Clone())
+			res.Tuples = append(res.Tuples, t)
 		}
 	}
 	hi := math.Min(a.vq, iv.Hi)
@@ -81,7 +81,7 @@ func (a *Adversary) TopK(q query.Query) (Result, error) {
 			t := types.Tuple{ID: a.nextID, Ord: []float64{v}}
 			a.nextID++
 			a.tuples = append(a.tuples, t)
-			res.Tuples = append(res.Tuples, t.Clone())
+			res.Tuples = append(res.Tuples, t)
 		}
 		a.vq = newLo
 	}
@@ -99,7 +99,7 @@ func (a *Adversary) answerFromHistory(iv types.Interval) Result {
 			res.Overflow = true
 			break
 		}
-		res.Tuples = append(res.Tuples, t.Clone())
+		res.Tuples = append(res.Tuples, t)
 	}
 	return res
 }

@@ -250,7 +250,7 @@ func (db *DB) TopK(q query.Query) (Result, error) {
 			res.Overflow = true
 			break
 		}
-		res.Tuples = append(res.Tuples, db.byRank[i].Clone())
+		res.Tuples = append(res.Tuples, db.byRank[i])
 	}
 	return res, nil
 }
@@ -342,7 +342,7 @@ func (v *OrderByView) TopK(q query.Query) (Result, error) {
 			res.Overflow = true
 			break
 		}
-		res.Tuples = append(res.Tuples, v.rank[i].Clone())
+		res.Tuples = append(res.Tuples, v.rank[i])
 	}
 	return res, nil
 }

@@ -3,6 +3,16 @@
 // and indexed per ordinal attribute, so the processing of one user query can
 // prune the search space using answers observed while processing others.
 //
+// # Columnar storage
+//
+// Tuples live in an append-only colstore.Arena: flat column slices plus a
+// shared string dictionary, so a million cached tuples cost a handful of
+// large allocations instead of a million row structs each carrying its own
+// Ord slice and Cat map. The row-struct types.Tuple stays the API type,
+// materialized from the columns only when a lookup actually returns a row;
+// ScanMatching exposes the raw view for consumers that can score rows
+// without materializing at all.
+//
 // # Sharded incremental indexes
 //
 // The store is write-heavy by nature — sustained discovery traffic keeps
@@ -10,8 +20,8 @@
 // sharded per attribute. Each ordinal attribute owns an independent shard
 // guarded by its own lock, holding
 //
-//   - an immutable sorted run (ascending by value, ties by ID), replaced
-//     wholesale and never mutated in place, and
+//   - a sealed sorted run of row numbers (ascending by value, ties by ID),
+//     replaced wholesale and never mutated in place, and
 //   - a small sorted "recent" buffer that absorbs inserts.
 //
 // When the buffer fills it is merged into the run — a linear merge of two
@@ -21,16 +31,14 @@
 // combine the two candidates.
 //
 // Whole-store scans (BestMatching, ForEachMatching, CountMatching) iterate an
-// append-only insertion-order snapshot slice captured under a brief read
-// lock; the iteration itself runs lock-free, so callbacks may re-enter the
-// store freely.
+// immutable point-in-time arena view in insertion order; the iteration runs
+// lock-free, so callbacks may re-enter the store freely.
 package history
 
 import (
-	"sort"
 	"sync"
 
-	"repro/internal/index"
+	"repro/internal/colstore"
 	"repro/internal/query"
 	"repro/internal/types"
 )
@@ -38,140 +46,98 @@ import (
 // maxBufferLen is the per-shard recent-buffer flush threshold. A larger
 // buffer amortizes merges over more inserts at the price of a longer buffer
 // scan on every read; 256 keeps both sides trivially cheap. It is a variable
-// so tests can shrink it to exercise flushes aggressively.
+// so tests can shrink it to force frequent merges.
 var maxBufferLen = 256
 
-// shard is the incrementally maintained sorted index of one ordinal
-// attribute. run and buf are both ordered ascending by (Ord[attr], ID) and
-// never share a tuple; run is immutable once published.
+// shard is the sorted-run index for one ordinal attribute: row numbers into
+// the store's arena ordered by (attribute value, tuple ID).
 type shard struct {
 	attr int
 	mu   sync.RWMutex
-	run  []types.Tuple
-	buf  []types.Tuple
+	run  colstore.Run // sealed sorted run
+	buf  colstore.Run // small sorted recent buffer
 }
 
-// less orders tuples by (Ord[attr], ID) — the canonical run order.
-func (sh *shard) less(a, b types.Tuple) bool {
-	if a.Ord[sh.attr] != b.Ord[sh.attr] {
-		return a.Ord[sh.attr] < b.Ord[sh.attr]
-	}
-	return a.ID < b.ID
-}
-
-// insert adds tuples (already deduplicated by the store) to the recent
-// buffer, flushing into the run when it fills. A batch that would overfill
-// the buffer skips per-tuple insertion entirely: it is sorted once and
-// folded into the run with linear merges, so bulk loads (snapshot restore,
-// large crawl pages) stay O(n log n) instead of quadratic.
-func (sh *shard) insert(news []types.Tuple) {
+// insert adds freshly appended rows to the shard. Small batches binary-insert
+// into the buffer; once the buffer would exceed maxBufferLen the batch is
+// sorted wholesale and buffer+batch are merged into the sealed run.
+func (sh *shard) insert(v colstore.View, news []uint32) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if len(sh.buf)+len(news) >= maxBufferLen {
-		batch := append([]types.Tuple(nil), news...)
-		sort.Slice(batch, func(i, j int) bool { return sh.less(batch[i], batch[j]) })
-		sh.run = mergeRuns(sh.run, mergeRuns(sh.buf, batch, sh.less), sh.less)
-		sh.buf = nil
+	if sh.buf.Len()+len(news) >= maxBufferLen {
+		batch := colstore.NewRun(v, sh.attr, news)
+		sh.run = colstore.MergeRuns(v, sh.run, colstore.MergeRuns(v, sh.buf, batch))
+		sh.buf = colstore.Run{}
 		return
 	}
-	for _, t := range news {
-		i := sort.Search(len(sh.buf), func(i int) bool { return sh.less(t, sh.buf[i]) })
-		sh.buf = append(sh.buf, types.Tuple{})
-		copy(sh.buf[i+1:], sh.buf[i:])
-		sh.buf[i] = t
+	for _, row := range news {
+		sh.buf.Insert(v, v.Ord(int(row), sh.attr), row)
 	}
 }
 
-// mergeRuns combines two sorted runs into a fresh sorted slice. Linear in
-// the total size: both inputs are already sorted by less.
-func mergeRuns(a, b []types.Tuple, less func(x, y types.Tuple) bool) []types.Tuple {
-	if len(a) == 0 {
-		return b
-	}
-	if len(b) == 0 {
-		return a
-	}
-	out := make([]types.Tuple, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if less(a[i], b[j]) {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
-}
-
-// minMatching scans run and buffer cooperatively for the smallest qualifying
-// value (ties by smallest ID).
-func (sh *shard) minMatching(q query.Query, iv types.Interval) (types.Tuple, bool) {
+// minMatching returns the matching row with the smallest attribute value in
+// iv (ties: smallest ID), scanning the sealed run and the buffer.
+func (sh *shard) minMatching(m *colstore.Matcher, iv types.Interval) (int, bool) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	a, aok := index.ScanMinMatching(sh.run, q, sh.attr, iv)
-	b, bok := index.ScanMinMatching(sh.buf, q, sh.attr, iv)
+	aRow, aVal, aOK := sh.run.ScanMin(m, iv)
+	bRow, bVal, bOK := sh.buf.ScanMin(m, iv)
 	switch {
-	case aok && bok:
-		if sh.less(b, a) {
-			return b, true
+	case aOK && bOK:
+		v := m.View()
+		if bVal < aVal || (bVal == aVal && v.ID(int(bRow)) < v.ID(int(aRow))) {
+			return int(bRow), true
 		}
-		return a, true
-	case aok:
-		return a, true
-	default:
-		return b, bok
+		return int(aRow), true
+	case aOK:
+		return int(aRow), true
+	case bOK:
+		return int(bRow), true
 	}
+	return 0, false
 }
 
-// maxMatching mirrors minMatching: the largest qualifying value, ties by
-// largest ID.
-func (sh *shard) maxMatching(q query.Query, iv types.Interval) (types.Tuple, bool) {
+// maxMatching is minMatching's mirror (ties: largest ID).
+func (sh *shard) maxMatching(m *colstore.Matcher, iv types.Interval) (int, bool) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	a, aok := index.ScanMaxMatching(sh.run, q, sh.attr, iv)
-	b, bok := index.ScanMaxMatching(sh.buf, q, sh.attr, iv)
+	aRow, aVal, aOK := sh.run.ScanMax(m, iv)
+	bRow, bVal, bOK := sh.buf.ScanMax(m, iv)
 	switch {
-	case aok && bok:
-		if sh.less(a, b) {
-			return b, true
+	case aOK && bOK:
+		v := m.View()
+		if bVal > aVal || (bVal == aVal && v.ID(int(bRow)) > v.ID(int(aRow))) {
+			return int(bRow), true
 		}
-		return a, true
-	case aok:
-		return a, true
-	default:
-		return b, bok
+		return int(aRow), true
+	case aOK:
+		return int(aRow), true
+	case bOK:
+		return int(bRow), true
 	}
+	return 0, false
 }
 
-// Store caches observed tuples with a sharded, incrementally maintained
-// sorted index per ordinal attribute. It is safe for concurrent use: the
-// engine's knowledge layer shares one store across every session.
+// Store is the thread-safe tuple history, deduplicated by tuple ID, with a
+// sorted shard per indexed ordinal attribute.
 type Store struct {
 	schema *types.Schema
+	arena  *colstore.Arena
 
 	mu   sync.RWMutex
-	byID map[int]types.Tuple
-	// all holds the cached tuples in insertion order. It is append-only:
-	// a slice header captured under the read lock is an immutable snapshot,
-	// so whole-store scans run without holding any lock.
-	all []types.Tuple
+	byID map[int]uint32 // tuple ID -> arena row
 
-	// shards maps ordinal attribute index -> its index shard. The map
-	// itself is immutable after NewStore.
-	shards map[int]*shard
+	shards map[int]*shard // ordinal attr index -> shard
 }
 
-// NewStore builds an empty history over the given schema, with one index
-// shard per ordinal attribute.
+// NewStore builds an empty history over schema, indexing every ordinal
+// attribute.
 func NewStore(schema *types.Schema) *Store {
 	s := &Store{
 		schema: schema,
-		byID:   make(map[int]types.Tuple),
-		shards: make(map[int]*shard, schema.NumOrdinal()),
+		arena:  colstore.NewArena(colstore.NewLayout(schema), colstore.NewDict()),
+		byID:   make(map[int]uint32),
+		shards: make(map[int]*shard),
 	}
 	for _, attr := range schema.OrdinalIndexes() {
 		s.shards[attr] = &shard{attr: attr}
@@ -179,42 +145,55 @@ func NewStore(schema *types.Schema) *Store {
 	return s
 }
 
-// Add records tuples returned by a query; duplicates (by ID) are ignored.
-// It returns how many tuples were new. Tuples this call inserted are visible
-// to every index shard by the time it returns; a concurrent duplicate Add
-// may return before the first inserter has finished indexing, in which case
-// lookups can briefly miss the tuple — always safe, since a history miss
-// only costs an upstream probe the cache could have pruned.
+// Schema returns the schema the store indexes.
+func (s *Store) Schema() *types.Schema { return s.schema }
+
+// Layout returns the store's column layout (shared with probe caches).
+func (s *Store) Layout() *colstore.Layout { return s.arena.Layout() }
+
+// Dict returns the store's shared string dictionary.
+func (s *Store) Dict() *colstore.Dict { return s.arena.Dict() }
+
+// View snapshots the store's current rows for index-based scanning.
+func (s *Store) View() colstore.View { return s.arena.View() }
+
+// matcherPool recycles compiled matchers so steady-state lookups allocate
+// nothing for predicate compilation.
+var matcherPool = sync.Pool{New: func() any { return new(colstore.Matcher) }}
+
+// Add inserts tuples not already present (by ID) and returns how many were
+// new. The tuples' values are copied into columns; callers may reuse their
+// slices. Add returns only after every shard reflects the new tuples.
 func (s *Store) Add(tuples ...types.Tuple) int {
-	var news []types.Tuple
+	var news []uint32
 	s.mu.Lock()
 	for _, t := range tuples {
 		if _, seen := s.byID[t.ID]; seen {
 			continue
 		}
-		c := t.Clone()
-		s.byID[t.ID] = c
-		s.all = append(s.all, c)
-		news = append(news, c)
+		row := s.arena.Append(t)
+		s.byID[t.ID] = row
+		news = append(news, row)
 	}
 	s.mu.Unlock()
 	if len(news) == 0 {
 		return 0
 	}
+	v := s.arena.View()
 	for _, sh := range s.shards {
-		sh.insert(news)
+		sh.insert(v, news)
 	}
 	return len(news)
 }
 
-// Size returns the number of distinct tuples observed.
+// Size returns the number of distinct tuples stored.
 func (s *Store) Size() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.byID)
 }
 
-// Has reports whether the tuple ID has been observed.
+// Has reports whether a tuple with the given ID is stored.
 func (s *Store) Has(id int) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -222,84 +201,164 @@ func (s *Store) Has(id int) bool {
 	return ok
 }
 
-// Get returns the cached tuple with the given ID.
+// Get returns a copy of the stored tuple with the given ID.
 func (s *Store) Get(id int) (types.Tuple, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.byID[id]
-	return t, ok
+	row, ok := s.byID[id]
+	s.mu.RUnlock()
+	if !ok {
+		return types.Tuple{}, false
+	}
+	return s.arena.View().Tuple(int(row)), true
 }
 
-// snapshot captures the insertion-order tuple list. The returned slice is an
-// immutable point-in-time view: Add only ever appends past its length.
-func (s *Store) snapshot() []types.Tuple {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.all
-}
-
-// MinMatching returns the cached tuple matching q with the smallest value of
-// attr inside iv (ties broken by smallest ID), scanning the attribute
-// shard's sorted run and recent buffer cooperatively. ok is false when no
-// cached tuple qualifies.
+// MinMatching returns the stored tuple matching q whose value on attr lies
+// in iv and is smallest (ties: smallest ID).
 func (s *Store) MinMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
 	sh, ok := s.shards[attr]
 	if !ok {
 		return types.Tuple{}, false
 	}
-	return sh.minMatching(q, iv)
+	v := s.arena.View()
+	m := matcherPool.Get().(*colstore.Matcher)
+	m.Reset(v, q)
+	row, found := sh.minMatching(m, iv)
+	matcherPool.Put(m)
+	if !found {
+		return types.Tuple{}, false
+	}
+	return v.Tuple(row), true
 }
 
-// MaxMatching is MinMatching's mirror: the largest value of attr inside iv,
-// ties broken by largest ID.
+// MaxMatching is MinMatching's mirror (ties: largest ID).
 func (s *Store) MaxMatching(q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
 	sh, ok := s.shards[attr]
 	if !ok {
 		return types.Tuple{}, false
 	}
-	return sh.maxMatching(q, iv)
+	v := s.arena.View()
+	m := matcherPool.Get().(*colstore.Matcher)
+	m.Reset(v, q)
+	row, found := sh.maxMatching(m, iv)
+	matcherPool.Put(m)
+	if !found {
+		return types.Tuple{}, false
+	}
+	return v.Tuple(row), true
 }
 
-// BestMatching returns the cached tuple matching q minimizing score(t), ties
-// broken by smallest ID. Useful for seeding multi-dimensional search with
-// the best tuple observed so far.
+// BestMatching returns the stored tuple matching q with the smallest score
+// (ties: smallest ID). The tuple handed to the score callback is a scratch
+// materialization valid only for the duration of that call.
 func (s *Store) BestMatching(q query.Query, score func(types.Tuple) float64) (types.Tuple, bool) {
-	var best types.Tuple
-	bestScore := 0.0
-	found := false
-	for _, t := range s.snapshot() {
-		if !q.Matches(t) {
+	v := s.arena.View()
+	m := matcherPool.Get().(*colstore.Matcher)
+	m.Reset(v, q)
+	var scratch types.Tuple
+	bestRow, found := -1, false
+	bestScore, bestID := 0.0, 0
+	for row := 0; row < v.Len(); row++ {
+		if !m.Match(row) {
 			continue
 		}
-		sc := score(t)
-		if !found || sc < bestScore || (sc == bestScore && t.ID < best.ID) {
-			best, bestScore, found = t, sc, true
+		v.MaterializeInto(row, &scratch)
+		sc := score(scratch)
+		if !found || sc < bestScore || (sc == bestScore && scratch.ID < bestID) {
+			bestRow, bestScore, bestID, found = row, sc, scratch.ID, true
 		}
 	}
-	return best, found
+	matcherPool.Put(m)
+	if !found {
+		return types.Tuple{}, false
+	}
+	return v.Tuple(bestRow), true
 }
 
-// ForEachMatching invokes fn for every cached tuple matching q, in insertion
-// order; fn returning false stops early. Iteration runs over an immutable
-// snapshot taken when the call starts: fn may safely call back into the
-// store (including Add — tuples added during iteration are not visited).
+// ForEachMatching calls fn for every stored tuple matching q, in insertion
+// order, until fn returns false. Iteration covers an immutable point-in-time
+// snapshot: fn may re-enter the store (including Add), and tuples added
+// during iteration are not visited. Each tuple passed to fn is freshly
+// materialized and shares no storage with the store — fn may retain it.
 func (s *Store) ForEachMatching(q query.Query, fn func(types.Tuple) bool) {
-	for _, t := range s.snapshot() {
-		if q.Matches(t) {
-			if !fn(t) {
-				return
-			}
+	v := s.arena.View()
+	m := matcherPool.Get().(*colstore.Matcher)
+	m.Reset(v, q)
+	for row := 0; row < v.Len(); row++ {
+		if !m.Match(row) {
+			continue
+		}
+		if !fn(v.Tuple(row)) {
+			break
 		}
 	}
+	matcherPool.Put(m)
 }
 
-// CountMatching returns how many cached tuples match q.
+// ScanMatching is ForEachMatching without materialization: fn receives the
+// arena view and a row number and reads attribute values straight from the
+// columns — the zero-alloc hot path for scoring scans (MD frontier seeding).
+// The same snapshot and re-entrancy rules apply.
+func (s *Store) ScanMatching(q query.Query, fn func(v colstore.View, row int) bool) {
+	v := s.arena.View()
+	m := matcherPool.Get().(*colstore.Matcher)
+	m.Reset(v, q)
+	for row := 0; row < v.Len(); row++ {
+		if !m.Match(row) {
+			continue
+		}
+		if !fn(v, row) {
+			break
+		}
+	}
+	matcherPool.Put(m)
+}
+
+// CountMatching returns the number of stored tuples matching q.
 func (s *Store) CountMatching(q query.Query) int {
+	v := s.arena.View()
+	m := matcherPool.Get().(*colstore.Matcher)
+	m.Reset(v, q)
 	n := 0
-	for _, t := range s.snapshot() {
-		if q.Matches(t) {
+	for row := 0; row < v.Len(); row++ {
+		if m.Match(row) {
 			n++
 		}
 	}
+	matcherPool.Put(m)
 	return n
+}
+
+// StorageStats describes the store's columnar footprint.
+type StorageStats struct {
+	// Tuples is the number of resident (deduplicated) tuples.
+	Tuples int
+	// Blocks is the number of sealed column blocks.
+	Blocks int
+	// DictEntries is the number of interned categorical symbols.
+	DictEntries int
+	// DictBytes approximates the string bytes retained by the dictionary.
+	DictBytes int64
+	// ApproxBytes approximates total resident storage: column blocks,
+	// per-shard sorted runs, and the dictionary.
+	ApproxBytes int64
+}
+
+// StorageStats returns the store's current storage counters.
+func (s *Store) StorageStats() StorageStats {
+	ast := s.arena.Stats()
+	dict := s.arena.Dict()
+	st := StorageStats{
+		Tuples:      ast.Rows,
+		Blocks:      ast.Blocks,
+		DictEntries: dict.Len(),
+		DictBytes:   dict.Bytes(),
+	}
+	shardBytes := int64(0)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		shardBytes += int64(12 * (sh.run.Len() + sh.buf.Len())) // 8B val + 4B row
+		sh.mu.RUnlock()
+	}
+	st.ApproxBytes = ast.Bytes + shardBytes + st.DictBytes
+	return st
 }

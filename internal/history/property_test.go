@@ -91,6 +91,16 @@ func (r *referenceStore) CountMatching(q query.Query) int {
 	return n
 }
 
+func (r *referenceStore) MatchingIDs(q query.Query) map[int]bool {
+	ids := make(map[int]bool)
+	for _, t := range r.all {
+		if q.Matches(t) {
+			ids[t.ID] = true
+		}
+	}
+	return ids
+}
+
 // gridValue draws attribute values from a coarse grid so that duplicates and
 // exact interval-endpoint hits are common — the cases where open/closed
 // endpoint handling and tie-breaking actually matter.
@@ -143,8 +153,10 @@ func randomTuple(rng *rand.Rand, id int) types.Tuple {
 }
 
 // TestShardedStoreMatchesReference interleaves Add / MinMatching /
-// MaxMatching / BestMatching / CountMatching calls against the sharded store
-// and the brute-force reference, asserting identical results throughout. The
+// MaxMatching / BestMatching / CountMatching / ForEachMatching / Get calls
+// against the columnar store and the brute-force row-struct reference,
+// asserting identical results throughout (including categorical predicates
+// and open/closed interval endpoints, via randomQuery/randomInterval). The
 // flush threshold is shrunk so buffer merges happen constantly, and tuple
 // IDs are drawn from a small range so duplicate Adds are exercised too.
 func TestShardedStoreMatchesReference(t *testing.T) {
@@ -156,7 +168,7 @@ func TestShardedStoreMatchesReference(t *testing.T) {
 		s := NewStore(schema())
 		ref := newReferenceStore()
 		for op := 0; op < 400; op++ {
-			switch rng.Intn(6) {
+			switch rng.Intn(8) {
 			case 0, 1: // Add a batch, IDs from a small range to force dups
 				batch := make([]types.Tuple, 1+rng.Intn(5))
 				for i := range batch {
@@ -195,6 +207,47 @@ func TestShardedStoreMatchesReference(t *testing.T) {
 				q := randomQuery(rng)
 				if got, want := s.CountMatching(q), ref.CountMatching(q); got != want {
 					t.Fatalf("seed %d op %d: CountMatching(%s) = %d, reference %d", seed, op, q, got, want)
+				}
+			case 6: // ForEachMatching visits exactly the matching set, fully materialized
+				q := randomQuery(rng)
+				want := ref.MatchingIDs(q)
+				got := make(map[int]bool)
+				s.ForEachMatching(q, func(tp types.Tuple) bool {
+					if got[tp.ID] {
+						t.Fatalf("seed %d op %d: ForEachMatching(%s) visited t#%d twice", seed, op, q, tp.ID)
+					}
+					got[tp.ID] = true
+					refT := ref.byID[tp.ID]
+					if len(tp.Ord) != len(refT.Ord) {
+						t.Fatalf("seed %d op %d: t#%d Ord len %d, reference %d", seed, op, tp.ID, len(tp.Ord), len(refT.Ord))
+					}
+					for i := range tp.Ord {
+						if tp.Ord[i] != refT.Ord[i] {
+							t.Fatalf("seed %d op %d: t#%d Ord[%d]=%g, reference %g", seed, op, tp.ID, i, tp.Ord[i], refT.Ord[i])
+						}
+					}
+					if tp.Cat["c"] != refT.Cat["c"] {
+						t.Fatalf("seed %d op %d: t#%d Cat=%q, reference %q", seed, op, tp.ID, tp.Cat["c"], refT.Cat["c"])
+					}
+					return true
+				})
+				if len(got) != len(want) {
+					t.Fatalf("seed %d op %d: ForEachMatching(%s) visited %d, reference %d", seed, op, q, len(got), len(want))
+				}
+				for id := range want {
+					if !got[id] {
+						t.Fatalf("seed %d op %d: ForEachMatching(%s) missed t#%d", seed, op, q, id)
+					}
+				}
+			case 7: // Get / Has round-trip through the columnar arena
+				id := rng.Intn(200)
+				got, gok := s.Get(id)
+				want, wok := ref.byID[id]
+				if gok != wok || s.Has(id) != wok {
+					t.Fatalf("seed %d op %d: Get(%d) ok=%v, reference %v", seed, op, id, gok, wok)
+				}
+				if gok && (got.ID != want.ID || got.Ord[0] != want.Ord[0] || got.Cat["c"] != want.Cat["c"]) {
+					t.Fatalf("seed %d op %d: Get(%d) = %v, reference %v", seed, op, id, got, want)
 				}
 			}
 		}

@@ -185,9 +185,9 @@ func (d *Dense1D) TotalTuples(attr int) int {
 }
 
 // sortRun sorts ts ascending by (Ord[attr], ID) and deduplicates by ID —
-// the canonical order of every sorted tuple run in the system. Only fresh
-// crawl results pay this sort; region-to-region combination goes through
-// mergeTupleRuns.
+// the canonical order of every sorted tuple run in the system (row-struct
+// runs here, row-number runs in colstore.Run). Only fresh crawl results pay
+// this sort; region-to-region combination goes through mergeTupleRuns.
 func sortRun(ts []types.Tuple, attr int) []types.Tuple {
 	sort.Slice(ts, func(i, j int) bool {
 		if ts[i].Ord[attr] != ts[j].Ord[attr] {
@@ -251,8 +251,10 @@ func (r Interval1D) MaxMatching(q query.Query, attr int, iv types.Interval) (typ
 
 // ScanMinMatching returns the first tuple of lst — which must be sorted
 // ascending by (Ord[attr], ID) — that lies inside iv and matches q. It is the
-// shared ascending-scan primitive of every sorted tuple run in the system:
-// dense-region payloads here and the history store's per-attribute runs.
+// ascending-scan primitive for row-struct sorted runs (dense-region
+// payloads); the history store's per-attribute runs live in the columnar
+// arena and are scanned by colstore.Run.ScanMin, which mirrors these
+// semantics exactly.
 func ScanMinMatching(lst []types.Tuple, q query.Query, attr int, iv types.Interval) (types.Tuple, bool) {
 	i := sort.Search(len(lst), func(i int) bool { return lst[i].Ord[attr] >= iv.Lo })
 	for ; i < len(lst); i++ {

@@ -6,10 +6,11 @@
 package query
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -119,30 +120,73 @@ func (q Query) Empty() bool {
 // NumPredicates returns the total number of predicates.
 func (q Query) NumPredicates() int { return len(q.Ranges) + len(q.Cats) }
 
-// String renders the query as a WHERE-clause-like description.
+// String renders the query as a WHERE-clause-like description. It is also
+// the canonical probe-cache and singleflight key, built on every upstream
+// probe and persisted inside snapshots — so it is assembled with strconv
+// into one buffer (no fmt, no intermediate part strings) and its byte-level
+// format must never change.
 func (q Query) String() string {
 	if len(q.Ranges) == 0 && len(q.Cats) == 0 {
 		return "TRUE"
 	}
-	parts := make([]string, 0, len(q.Ranges)+len(q.Cats))
-	attrs := make([]int, 0, len(q.Ranges))
+	sc := keyScratch.Get().(*queryScratch)
+	b := sc.buf[:0]
+	attrs := sc.attrs[:0]
 	for a := range q.Ranges {
 		attrs = append(attrs, a)
 	}
 	sort.Ints(attrs)
-	for _, a := range attrs {
-		parts = append(parts, fmt.Sprintf("A%d ∈ %s", a, q.Ranges[a]))
+	for i, a := range attrs {
+		if i > 0 {
+			b = append(b, " AND "...)
+		}
+		b = append(b, 'A')
+		b = strconv.AppendInt(b, int64(a), 10)
+		b = append(b, " ∈ "...)
+		iv := q.Ranges[a]
+		if iv.LoOpen {
+			b = append(b, '(')
+		} else {
+			b = append(b, '[')
+		}
+		b = strconv.AppendFloat(b, iv.Lo, 'g', -1, 64)
+		b = append(b, ", "...)
+		b = strconv.AppendFloat(b, iv.Hi, 'g', -1, 64)
+		if iv.HiOpen {
+			b = append(b, ')')
+		} else {
+			b = append(b, ']')
+		}
 	}
-	names := make([]string, 0, len(q.Cats))
+	names := sc.names[:0]
 	for n := range q.Cats {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, n := range names {
-		parts = append(parts, fmt.Sprintf("%s = %q", n, q.Cats[n]))
+	for i, n := range names {
+		if i > 0 || len(attrs) > 0 {
+			b = append(b, " AND "...)
+		}
+		b = append(b, n...)
+		b = append(b, " = "...)
+		b = strconv.AppendQuote(b, q.Cats[n])
 	}
-	return strings.Join(parts, " AND ")
+	out := string(b)
+	clear(names) // drop borrowed name strings before pooling
+	sc.buf, sc.attrs, sc.names = b[:0], attrs[:0], names[:0]
+	keyScratch.Put(sc)
+	return out
 }
+
+// queryScratch pools the buffers String needs, so building a probe key
+// allocates only the key itself once the pool is warm.
+type queryScratch struct {
+	buf   []byte
+	attrs []int
+	names []string
+}
+
+var keyScratch = sync.Pool{New: func() any { return new(queryScratch) }}
 
 // Box is an axis-aligned hyper-rectangle over a fixed list of ordinal
 // attributes, expressed in *axis coordinates* (see package ranking: axis

@@ -1,7 +1,10 @@
 package query
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -150,5 +153,54 @@ func TestBoxClampTo(t *testing.T) {
 	}
 	if b.String() == "" {
 		t.Error("String empty")
+	}
+}
+
+// TestQueryStringFormatStable pins the strconv-based String against the
+// original fmt-based rendering byte for byte across randomized queries.
+// Query strings are the probe-cache keys persisted inside snapshots, so any
+// format drift would silently invalidate warm-restart probe replay.
+func TestQueryStringFormatStable(t *testing.T) {
+	reference := func(q Query) string {
+		if len(q.Ranges) == 0 && len(q.Cats) == 0 {
+			return "TRUE"
+		}
+		parts := make([]string, 0, len(q.Ranges)+len(q.Cats))
+		attrs := make([]int, 0, len(q.Ranges))
+		for a := range q.Ranges {
+			attrs = append(attrs, a)
+		}
+		sort.Ints(attrs)
+		for _, a := range attrs {
+			parts = append(parts, fmt.Sprintf("A%d ∈ %s", a, q.Ranges[a]))
+		}
+		names := make([]string, 0, len(q.Cats))
+		for n := range q.Cats {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s = %q", n, q.Cats[n]))
+		}
+		return strings.Join(parts, " AND ")
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	vals := []float64{0, 1, -1, 0.5, 1e-9, 1e17, 123456.789, math.Inf(-1), math.Inf(1), math.Pi}
+	for trial := 0; trial < 500; trial++ {
+		q := New()
+		for a := 0; a < rng.Intn(4); a++ {
+			q.Ranges[rng.Intn(6)] = types.Interval{
+				Lo: vals[rng.Intn(len(vals))], Hi: vals[rng.Intn(len(vals))],
+				LoOpen: rng.Intn(2) == 0, HiOpen: rng.Intn(2) == 0,
+			}
+		}
+		for c := 0; c < rng.Intn(3); c++ {
+			q.Cats[[]string{"make", "color", "x y", `q"uote`}[rng.Intn(4)]] =
+				[]string{"", "UA", `he said "hi"`, "uniçode"}[rng.Intn(4)]
+		}
+		if got, want := q.String(), reference(q); got != want {
+			t.Fatalf("String drifted:\n got %q\nwant %q", got, want)
+		}
 	}
 }

@@ -12,6 +12,7 @@ package ranking
 import (
 	"math"
 
+	"repro/internal/colstore"
 	"repro/internal/query"
 	"repro/internal/types"
 )
@@ -125,8 +126,39 @@ func (a *Axis) UpperBound(b query.Box) float64 {
 	return a.ScoreAxis(c)
 }
 
-// ScoreTuple evaluates the ranking score of a tuple.
-func (a *Axis) ScoreTuple(t types.Tuple) float64 { return ScoreTuple(a.R, t) }
+// ScoreTuple evaluates the ranking score of a tuple, reusing the axis's
+// scratch buffer (unlike the package-level ScoreTuple, which allocates the
+// projection per call).
+func (a *Axis) ScoreTuple(t types.Tuple) float64 {
+	if a.scoreBuf == nil {
+		a.scoreBuf = make([]float64, len(a.attrs))
+	}
+	for j, attr := range a.attrs {
+		a.scoreBuf[j] = t.Ord[attr]
+	}
+	return a.R.Score(a.scoreBuf)
+}
+
+// ToAxisViewInto is ToAxisInto reading the ranked attributes straight from a
+// columnar view row, skipping tuple materialization entirely.
+func (a *Axis) ToAxisViewInto(v colstore.View, row int, dst []float64) []float64 {
+	for j, attr := range a.attrs {
+		dst[j] = a.dirs[j] * v.Ord(row, attr)
+	}
+	return dst
+}
+
+// ScoreView evaluates the ranking score of a columnar view row without
+// materializing the tuple.
+func (a *Axis) ScoreView(v colstore.View, row int) float64 {
+	if a.scoreBuf == nil {
+		a.scoreBuf = make([]float64, len(a.attrs))
+	}
+	for j, attr := range a.attrs {
+		a.scoreBuf[j] = v.Ord(row, attr)
+	}
+	return a.R.Score(a.scoreBuf)
+}
 
 // DomainBox returns the closed axis-space box spanning the attribute domains.
 func (a *Axis) DomainBox() query.Box {

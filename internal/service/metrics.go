@@ -53,4 +53,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("rerank_spec_probes_issued_total", "Speculative MD probes issued.", st.SpecProbesIssued)
 	counter("rerank_spec_probes_wasted_total", "Speculative MD probes invalidated before use.", st.SpecProbesWasted)
 	gauge("rerank_upstream_k", "Upstream interface's system-k.", int64(st.UpstreamK))
+
+	gauge("rerank_storage_blocks", "Sealed column blocks in the history arena.", int64(st.StorageBlocks))
+	gauge("rerank_storage_dict_entries", "Interned categorical symbols in the shared dictionary.", int64(st.StorageDictEntries))
+	gauge("rerank_storage_resident_tuples", "Rows resident in the columnar arena.", int64(st.StorageResidentTuples))
+	gauge("rerank_storage_approx_bytes", "Approximate resident bytes of columnar storage plus cached probe answers.", st.StorageApproxBytes)
 }

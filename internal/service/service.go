@@ -140,6 +140,16 @@ type Stats struct {
 	Draining       bool   `json:"draining"`
 	UpstreamK      int    `json:"upstreamK"`
 	UpstreamRanker string `json:"upstreamRanker,omitempty"`
+	// Columnar storage gauges (see internal/colstore and docs/storage.md):
+	// StorageBlocks is the number of sealed column blocks in the history
+	// arena, StorageDictEntries the interned categorical symbol count,
+	// StorageResidentTuples the arena row count (equals HistoryTuples), and
+	// StorageApproxBytes the approximate resident footprint of the columnar
+	// store plus the columnar-encoded probe-cache answers.
+	StorageBlocks         int   `json:"storageBlocks"`
+	StorageDictEntries    int   `json:"storageDictEntries"`
+	StorageResidentTuples int   `json:"storageResidentTuples"`
+	StorageApproxBytes    int64 `json:"storageApproxBytes"`
 }
 
 // Server is the reranking service. Requests are handled concurrently: the
@@ -287,6 +297,11 @@ func (s *Server) Stats() Stats {
 		Draining:          s.draining.Load(),
 		UpstreamK:         s.db.K(),
 	}
+	ss := s.engine.StorageStats()
+	st.StorageBlocks = ss.Blocks
+	st.StorageDictEntries = ss.DictEntries
+	st.StorageResidentTuples = ss.Tuples
+	st.StorageApproxBytes = ss.ApproxBytes + s.engine.ProbeCacheBytes()
 	if hdb, ok := s.db.(*hidden.DB); ok {
 		st.UpstreamRanker = hdb.RankerName()
 	}
@@ -400,16 +415,26 @@ func buildRequest(schema *types.Schema, req *RerankRequest) (query.Query, rankin
 }
 
 func toJSON(schema *types.Schema, rk ranking.Ranker, t types.Tuple) TupleJSON {
-	out := TupleJSON{
-		ID:    t.ID,
-		Score: ranking.ScoreTuple(rk, t),
-		Ord:   make(map[string]float64),
-		Cat:   t.Cat,
+	var out TupleJSON
+	toJSONInto(schema, rk, t, &out)
+	return out
+}
+
+// toJSONInto fills dst from t, reusing dst's Ord map across calls. The stream
+// encoder serializes each TupleJSON before the next fill, so one reused
+// value covers an entire NDJSON response without per-tuple map allocation.
+func toJSONInto(schema *types.Schema, rk ranking.Ranker, t types.Tuple, dst *TupleJSON) {
+	dst.ID = t.ID
+	dst.Score = ranking.ScoreTuple(rk, t)
+	dst.Cat = t.Cat
+	if dst.Ord == nil {
+		dst.Ord = make(map[string]float64, len(schema.OrdinalIndexes()))
+	} else {
+		clear(dst.Ord)
 	}
 	for _, i := range schema.OrdinalIndexes() {
-		out.Ord[schema.Attr(i).Name] = t.Ord[i]
+		dst.Ord[schema.Attr(i).Name] = t.Ord[i]
 	}
-	return out
 }
 
 func buildQuery(schema *types.Schema, req RerankRequest) (query.Query, error) {

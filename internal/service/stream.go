@@ -100,6 +100,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	ctx := r.Context()
 	emitted, exhausted := 0, false
+	var tj TupleJSON // reused across events; enc.Encode serializes before the next fill
 	for emitted < req.H {
 		// A disconnected client is detected at tuple boundaries: the
 		// search stops, the deferred release frees the admission slot.
@@ -121,7 +122,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			exhausted = true
 			break
 		}
-		tj := toJSON(schema, rk, t)
+		toJSONInto(schema, rk, t, &tj)
 		if !emit(StreamEvent{Tuple: &tj, CumQueries: sess.Queries()}) {
 			return
 		}

@@ -12,7 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
+	"strconv"
+	"sync"
 )
 
 // Kind distinguishes ordinal (numeric, rankable) attributes from categorical
@@ -186,28 +187,51 @@ func (t Tuple) Clone() Tuple {
 	return c
 }
 
+// stringScratch pools the builder and categorical-key slice used by
+// Tuple.String, which shows up in stream-encode profiles: rendering a tuple
+// allocates only the returned string once the pool is warm.
+var stringScratch = sync.Pool{New: func() any { return new(tupleScratch) }}
+
+type tupleScratch struct {
+	buf  []byte
+	keys []string
+}
+
 // String renders the tuple compactly for logs and error messages.
 func (t Tuple) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "t#%d[", t.ID)
+	sc := stringScratch.Get().(*tupleScratch)
+	b := sc.buf[:0]
+	b = append(b, "t#"...)
+	b = strconv.AppendInt(b, int64(t.ID), 10)
+	b = append(b, '[')
 	for i, v := range t.Ord {
 		if i > 0 {
-			b.WriteByte(' ')
+			b = append(b, ' ')
 		}
-		fmt.Fprintf(&b, "%.4g", v)
+		b = strconv.AppendFloat(b, v, 'g', 4, 64)
 	}
 	if len(t.Cat) > 0 {
-		keys := make([]string, 0, len(t.Cat))
+		keys := sc.keys[:0]
 		for k := range t.Cat {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Fprintf(&b, " %s=%s", k, t.Cat[k])
+			b = append(b, ' ')
+			b = append(b, k...)
+			b = append(b, '=')
+			b = append(b, t.Cat[k]...)
 		}
+		// Drop the borrowed key strings before pooling: a retained map key
+		// would keep its tuple's categorical strings alive arbitrarily long.
+		clear(keys)
+		sc.keys = keys[:0]
 	}
-	b.WriteByte(']')
-	return b.String()
+	b = append(b, ']')
+	out := string(b)
+	sc.buf = b[:0]
+	stringScratch.Put(sc)
+	return out
 }
 
 // Interval is a one-dimensional range with independently open or closed
@@ -276,13 +300,24 @@ func (iv Interval) Unbounded() bool {
 }
 
 // String renders the interval using standard open/closed bracket notation.
+// The rendering is byte-identical to the previous fmt-based version
+// (strconv's 'g' formatting matches %g exactly, including ±Inf and NaN):
+// interval strings feed the canonical query keys that snapshots persist, so
+// the format is load-bearing, not cosmetic.
 func (iv Interval) String() string {
-	lb, rb := "[", "]"
+	b := make([]byte, 0, 24)
 	if iv.LoOpen {
-		lb = "("
+		b = append(b, '(')
+	} else {
+		b = append(b, '[')
 	}
+	b = strconv.AppendFloat(b, iv.Lo, 'g', -1, 64)
+	b = append(b, ", "...)
+	b = strconv.AppendFloat(b, iv.Hi, 'g', -1, 64)
 	if iv.HiOpen {
-		rb = ")"
+		b = append(b, ')')
+	} else {
+		b = append(b, ']')
 	}
-	return fmt.Sprintf("%s%g, %g%s", lb, iv.Lo, iv.Hi, rb)
+	return string(b)
 }

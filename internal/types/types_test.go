@@ -1,8 +1,11 @@
 package types
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -161,5 +164,61 @@ func TestIntervalIntersectEndpoints(t *testing.T) {
 	y := a.Intersect(ClosedInterval(2, 7))
 	if y.Lo != 2 || y.Hi != 5 || y.LoOpen || y.HiOpen {
 		t.Errorf("[0,5] ∩ [2,7] = %v, want [2,5]", y)
+	}
+}
+
+// TestStringFormatStable pins the strconv-based Tuple.String and
+// Interval.String against the original fmt-based renderings byte for byte
+// (interval strings feed the canonical query keys snapshots persist).
+func TestStringFormatStable(t *testing.T) {
+	ivs := []Interval{
+		{Lo: 0, Hi: 1},
+		{Lo: -1.5, Hi: 2.25, LoOpen: true},
+		{Lo: math.Inf(-1), Hi: math.Inf(1), LoOpen: true, HiOpen: true},
+		{Lo: 1e-9, Hi: 1e17, HiOpen: true},
+		{Lo: math.Pi, Hi: 123456.789},
+	}
+	for _, iv := range ivs {
+		lb, rb := "[", "]"
+		if iv.LoOpen {
+			lb = "("
+		}
+		if iv.HiOpen {
+			rb = ")"
+		}
+		want := fmt.Sprintf("%s%g, %g%s", lb, iv.Lo, iv.Hi, rb)
+		if got := iv.String(); got != want {
+			t.Fatalf("Interval.String drifted: got %q want %q", got, want)
+		}
+	}
+
+	tuples := []Tuple{
+		{ID: 7, Ord: []float64{1, 2.5, 123456.789}},
+		{ID: -3, Ord: []float64{math.Pi}, Cat: map[string]string{"b": "two", "a": "one"}},
+		{ID: 0},
+	}
+	for _, tp := range tuples {
+		var b strings.Builder
+		fmt.Fprintf(&b, "t#%d[", tp.ID)
+		for i, v := range tp.Ord {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", v)
+		}
+		if len(tp.Cat) > 0 {
+			keys := make([]string, 0, len(tp.Cat))
+			for k := range tp.Cat {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%s", k, tp.Cat[k])
+			}
+		}
+		b.WriteByte(']')
+		if got, want := tp.String(), b.String(); got != want {
+			t.Fatalf("Tuple.String drifted: got %q want %q", got, want)
+		}
 	}
 }

@@ -39,10 +39,16 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hidden"
+	"repro/internal/history"
 	"repro/internal/query"
 	"repro/internal/ranking"
 	"repro/internal/types"
 )
+
+// StorageStats describes the resident footprint of the columnar tuple store
+// backing the answer history (see docs/storage.md): arena row and block
+// counts, interned-dictionary size, and an approximate byte total.
+type StorageStats = history.StorageStats
 
 // Re-exported data-model types.
 type (
@@ -185,6 +191,10 @@ func (r *Reranker) LoadSnapshot(rd io.Reader) error { return r.engine.LoadSnapsh
 
 // HistorySize reports how many distinct upstream tuples have been observed.
 func (r *Reranker) HistorySize() int { return r.engine.History().Size() }
+
+// StorageStats reports the columnar store's resident footprint: sealed
+// blocks, dictionary entries, row count, and approximate bytes.
+func (r *Reranker) StorageStats() StorageStats { return r.engine.StorageStats() }
 
 // TopH drains up to h tuples from a cursor.
 func TopH(c Cursor, h int) ([]Tuple, error) { return core.TopH(c, h) }
