@@ -24,6 +24,12 @@
 // admission stops (healthz flips to 503), in-flight requests finish within
 // -drain-timeout, and with -state set the engine's knowledge is
 // snapshotted so the next start is warm. See docs/operations.md.
+//
+// Crash safety: -data-dir enables segment/journal persistence — knowledge
+// is checkpointed incrementally every -checkpoint-interval while serving,
+// so even a kill -9 restarts warm up to the last committed checkpoint. The
+// -state snapshot remains as a portable export/import on top; see
+// docs/persistence.md.
 package main
 
 import (
@@ -35,13 +41,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/hidden"
+	"repro/internal/segment"
 	"repro/internal/service"
 )
 
@@ -54,6 +60,8 @@ func main() {
 		sizeHint     = flag.Int("size-hint", 0, "upstream size estimate for dense-index thresholds (0 = n)")
 		addr         = flag.String("addr", ":8080", "listen address")
 		state        = flag.String("state", "", "snapshot file: loaded at startup, saved after the SIGINT/SIGTERM drain")
+		dataDir      = flag.String("data-dir", "", "segment/journal persistence directory: replayed at startup, checkpointed in the background, finalized on drain (crash-safe, unlike -state)")
+		ckptInterval = flag.Duration("checkpoint-interval", 15*time.Second, "background checkpoint period for -data-dir (0 = checkpoint only at drain)")
 		cache        = flag.Int("probe-cache", 0, "probe-result LRU entries (0 = default 1024, negative disables the cache)")
 		noCoal       = flag.Bool("no-coalesce", false, "disable probe coalescing (for upstreams whose corpus changes mid-run)")
 		width        = flag.Int("search-parallelism", 1, "speculative probe width W of the MD search: up to W frontier probes in flight per request (1 = sequential; raise against high-latency upstreams)")
@@ -118,12 +126,34 @@ func main() {
 	if *clientBudget > 0 {
 		log.Printf("rerankd: per-client budget %d upstream queries / %s", *clientBudget, *budgetWindow)
 	}
+	// Persistence boot order: replay the data dir's committed knowledge
+	// first, then import the -state snapshot on top. A snapshot loaded after
+	// AttachPersistence flows through the recording hooks, so its contents
+	// are committed to the data dir by the next checkpoint.
+	if *dataDir != "" {
+		if err := srv.OpenDataDir(*dataDir, service.PersistConfig{
+			CheckpointInterval: *ckptInterval,
+			Logf:               func(format string, args ...any) { log.Printf("rerankd: "+format, args...) },
+		}); err != nil {
+			log.Fatalf("rerankd: %v", err)
+		}
+		ps, _ := srv.PersistStats()
+		if ps.Store.ReplayedDeltas > 0 {
+			st := srv.Stats()
+			log.Printf("rerankd: warm start from data dir %s (%d committed deltas replayed: %d history tuples, %d cached probe answers, %d MD dense regions; checkpoint interval %s)",
+				*dataDir, ps.Store.ReplayedDeltas, st.HistoryTuples, st.ProbeCacheEntries, st.MDDenseRegions, *ckptInterval)
+		} else {
+			log.Printf("rerankd: data dir %s opened cold (checkpoint interval %s)", *dataDir, *ckptInterval)
+		}
+	}
 	if *state != "" {
-		if f, err := os.Open(*state); err == nil {
-			if err := srv.LoadState(f); err != nil {
-				log.Fatalf("rerankd: load state: %v", err)
-			}
-			f.Close()
+		warm, err := srv.LoadStateFile(*state, func(format string, args ...any) {
+			log.Printf("rerankd: "+format, args...)
+		})
+		if err != nil {
+			log.Fatalf("rerankd: load state: %v", err)
+		}
+		if warm {
 			st := srv.Stats()
 			log.Printf("rerankd: warm start from %s (%d history tuples, %d cached probe answers, %d MD dense regions)",
 				*state, st.HistoryTuples, st.ProbeCacheEntries, st.MDDenseRegions)
@@ -170,6 +200,17 @@ func main() {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("rerankd: serve: %v", err)
 	}
+	if *dataDir != "" {
+		// Final checkpoint: commit everything learned since the last
+		// background checkpoint, then close the store.
+		if err := srv.ClosePersistence(); err != nil {
+			log.Printf("rerankd: final checkpoint: %v", err)
+		} else {
+			ps, _ := srv.PersistStats()
+			log.Printf("rerankd: data dir %s finalized (%d checkpoints this run, journal seq %d)",
+				*dataDir, ps.Store.Checkpoints, ps.Store.Seq)
+		}
+	}
 	if *state != "" {
 		if err := saveState(srv, *state); err != nil {
 			log.Fatalf("rerankd: save state: %v", err)
@@ -182,22 +223,11 @@ func main() {
 		srv.Stats().Requests, srv.Stats().BatchRequests, srv.Stats().StreamRequests)
 }
 
-// saveState writes the snapshot atomically: temp file + rename, so a crash
-// mid-save never clobbers the previous good snapshot.
+// saveState writes the snapshot atomically AND durably: temp file + fsync +
+// rename + parent-dir fsync, so a crash mid-save never clobbers the previous
+// good snapshot and a crash right after the save never loses the new one.
 func saveState(srv *service.Server, path string) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if err := srv.SaveState(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return segment.WriteFileAtomic(path, func(f *os.File) error {
+		return srv.SaveState(f)
+	})
 }

@@ -282,6 +282,28 @@ func (v View) Tuple(row int) types.Tuple {
 	return t
 }
 
+// TupleRange materializes rows [lo, hi) into fresh tuples, clamping the
+// range to the view. It is the bulk-export path for incremental persistence:
+// because the arena is append-only, a row range exported once never changes,
+// so persisted ranges can be laid down contiguously without re-reading old
+// rows.
+func (v View) TupleRange(lo, hi int) []types.Tuple {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v.n {
+		hi = v.n
+	}
+	if lo >= hi {
+		return nil
+	}
+	out := make([]types.Tuple, 0, hi-lo)
+	for row := lo; row < hi; row++ {
+		out = append(out, v.Tuple(row))
+	}
+	return out
+}
+
 // MaterializeInto reconstructs a row into dst, reusing dst's Ord slice and
 // Cat map when their capacity allows — the zero-steady-state-alloc path for
 // scan loops that inspect one tuple at a time. The result aliases dst's own

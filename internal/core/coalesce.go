@@ -33,6 +33,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/colstore"
 	"repro/internal/hidden"
@@ -64,31 +65,45 @@ func newFlightGroup() *flightGroup {
 
 // Do executes fn for key, coalescing concurrent callers onto one execution.
 // leader reports whether this caller actually ran fn.
+//
+// A follower only ever inherits a SUCCESSFUL flight. When the leader's call
+// fails, the failure is the leader's alone — handing its error to every
+// coalesced follower would fan one transient upstream hiccup out to N
+// independent requests that never touched the upstream. Instead a follower
+// waking to a failed flight re-contends for the key: it becomes the new
+// leader (or follows a newer one), so each caller's outcome reflects an
+// upstream attempt made on its own behalf. Leaders still see their own
+// error, so retry/backoff policy stays with the caller that paid the probe.
 func (g *flightGroup) Do(key string, fn func() (hidden.Result, error)) (res hidden.Result, leader bool, err error) {
-	g.mu.Lock()
-	if f, ok := g.inflight[key]; ok {
-		g.mu.Unlock()
-		<-f.done
-		return f.res, false, f.err
-	}
-	f := &flight{done: make(chan struct{})}
-	g.inflight[key] = f
-	g.mu.Unlock()
-
-	// Complete the flight even if fn panics: a leaked inflight entry would
-	// wedge every future caller of this key on <-f.done forever. The
-	// pre-set error stands when fn panics (the assignment below never
-	// runs), so followers fail loudly instead of reading a fabricated
-	// empty success while the panic unwinds the leader.
-	f.err = errFlightPanicked
-	defer func() {
+	for {
 		g.mu.Lock()
-		delete(g.inflight, key)
+		if f, ok := g.inflight[key]; ok {
+			g.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				continue // leader failed; re-contend instead of inheriting
+			}
+			return f.res, false, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		g.inflight[key] = f
 		g.mu.Unlock()
-		close(f.done)
-	}()
-	f.res, f.err = fn()
-	return f.res, true, f.err
+
+		// Complete the flight even if fn panics: a leaked inflight entry
+		// would wedge every future caller of this key on <-f.done forever.
+		// The pre-set error stands when fn panics (the assignment below
+		// never runs), so followers re-issue instead of reading a fabricated
+		// empty success while the panic unwinds the leader.
+		f.err = errFlightPanicked
+		defer func() {
+			g.mu.Lock()
+			delete(g.inflight, key)
+			g.mu.Unlock()
+			close(f.done)
+		}()
+		f.res, f.err = fn()
+		return f.res, true, f.err
+	}
 }
 
 // errFlightPanicked is what coalesced followers observe when the leader's
@@ -250,6 +265,10 @@ type coalescer struct {
 	flights  *flightGroup
 	cache    *probeCache
 	disabled bool // pass every probe straight through
+
+	// persist, when attached, records every complete answer admitted to the
+	// cache so incremental checkpoints persist probe-level warmth.
+	persist atomic.Pointer[Persister]
 }
 
 // newCoalescer builds the coalescing layer. layout and dict come from the
@@ -276,14 +295,38 @@ func (c *coalescer) export() []probeEntry {
 	return c.cache.export()
 }
 
-// restore seeds one complete answer into the LRU (snapshot warm-restart).
-// A no-op when coalescing is disabled, the cache is off, or the result is
-// not complete.
+// restore seeds one complete answer into the LRU (snapshot warm-restart),
+// recording it for persistence like a freshly cached answer: a snapshot
+// imported with -state must survive the next restart through the segment
+// store, not just this process's lifetime. A no-op when coalescing is
+// disabled, the cache is off, or the result is not complete.
 func (c *coalescer) restore(key string, res hidden.Result) {
 	if c.disabled {
 		return
 	}
 	c.cache.put(key, res)
+	c.recordPut(key, res)
+}
+
+// seed is restore without the persistence record — the segment-replay path,
+// where the answer being inserted is already committed on disk.
+func (c *coalescer) seed(key string, res hidden.Result) {
+	if c.disabled {
+		return
+	}
+	c.cache.put(key, res)
+}
+
+// recordPut forwards a complete, cacheable answer to the attached persister.
+// Mirrors put's own admission rules (no cache, or overflow ⇒ not cached ⇒
+// not recorded) so the journal never carries entries replay would drop.
+func (c *coalescer) recordPut(key string, res hidden.Result) {
+	if c.cache == nil || res.Overflow {
+		return
+	}
+	if p := c.persist.Load(); p != nil {
+		p.recordProbe(key, res)
+	}
 }
 
 // cacheSize returns the number of complete answers currently cached.
@@ -323,6 +366,7 @@ func (c *coalescer) TopK(q query.Query) (res hidden.Result, issued bool, err err
 			// a caller arriving between flight completion and cache write
 			// cannot slip through both and re-issue the probe upstream.
 			c.cache.put(key, res)
+			c.recordPut(key, res)
 		}
 		return res, err
 	})

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/index"
+	"repro/internal/query"
 	"repro/internal/types"
 )
 
@@ -33,6 +34,11 @@ type Knowledge struct {
 	denseMD map[string]*mdEntry // keyed by ranked-attribute signature
 
 	queries atomic.Int64 // upstream queries issued through the engine
+
+	// persist, when attached, records dense-region inserts so incremental
+	// checkpoints can persist them. History needs no recording hook: the
+	// append-only arena's row watermark already identifies what is new.
+	persist atomic.Pointer[Persister]
 }
 
 // mdEntry is one MD dense index together with the canonical (sorted
@@ -76,6 +82,31 @@ func (k *Knowledge) mdIndexFor(attrs []int) *index.DenseMD {
 		k.denseMD[key] = e
 	}
 	return e.idx
+}
+
+// InsertDense1 inserts a fully-crawled 1D dense region into the shared index
+// and records the insert for incremental persistence. All region inserts —
+// live crawls and snapshot restores alike — must go through this wrapper
+// rather than the index directly, so no committed knowledge is invisible to
+// the next checkpoint.
+func (k *Knowledge) InsertDense1(attr int, iv types.Interval, tuples []types.Tuple) {
+	k.dense1.Insert(attr, iv, tuples)
+	if p := k.persist.Load(); p != nil {
+		p.recordDense1(attr, iv, tuples)
+	}
+}
+
+// InsertDenseMD inserts a fully-crawled MD dense region for the given
+// attribute subset (sorted canonically here) and records the insert for
+// incremental persistence. See InsertDense1 for why inserts must route
+// through this wrapper.
+func (k *Knowledge) InsertDenseMD(attrs []int, box query.Box, tuples []types.Tuple) {
+	sorted := append([]int(nil), attrs...)
+	sort.Ints(sorted)
+	k.mdIndexFor(sorted).Insert(box, tuples)
+	if p := k.persist.Load(); p != nil {
+		p.recordDenseMD(sorted, box, tuples)
+	}
 }
 
 // mdExport is one attribute subset's crawled regions, as captured for a

@@ -1,0 +1,376 @@
+// Incremental knowledge persistence: the engine side of the segment store.
+//
+// A Persister turns the engine's accumulated knowledge into a stream of
+// checkpoint deltas (segment.Delta) committed through a segment.Store, and
+// replays a store's committed deltas back into a fresh engine at startup.
+// Unlike SaveSnapshot — which rewrites ALL knowledge at drain time — a
+// checkpoint commits only what changed since the previous one, so it runs
+// concurrently with serving and a crash loses at most one checkpoint
+// interval of knowledge.
+//
+// # What a delta contains, and how it stays cheap
+//
+// History needs no per-insert hook: the store's append-only columnar arena
+// gives every tuple a monotone row number, so "what is new since the last
+// checkpoint" is simply the contiguous row range [histLo, Rows()). Dense
+// region inserts and probe-cache admissions are recorded as logical
+// operations (attribute/box/key plus tuple IDs) by thin wrappers on the live
+// insert paths; replay pushes them back through those same live paths, so a
+// rebuilt engine's index structures are bit-identical to the saved engine's
+// — the same property the snapshot loader asserts.
+//
+// Operations reference tuples by ID. A referenced tuple is normally covered
+// by the committed history prefix (sessions add probe pages to history
+// before inserting regions built from them); when it is not — DisableHistory,
+// or a probe recorded in the window before its leader's history insert — the
+// payload is inlined into the delta's Tuples section, so every committed
+// delta is self-contained given its committed predecessors.
+//
+// # Failure handling
+//
+// A failed append re-queues the captured operations ahead of anything
+// recorded meanwhile and keeps the history watermark, so the next checkpoint
+// retries the same knowledge; the store itself rolls the journal back to its
+// last committed record. Nothing is ever dropped silently — the last error
+// is surfaced through Stats.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/segment"
+	"repro/internal/types"
+)
+
+// PersistOptions tune AttachPersistence.
+type PersistOptions struct {
+	// Interval is the background checkpoint period; 0 disables the
+	// background loop (checkpoints then happen only via Checkpoint/Close).
+	Interval time.Duration
+	// Logf, when set, receives background checkpoint failures.
+	Logf func(format string, args ...any)
+}
+
+// Persister incrementally checkpoints an engine's knowledge into a
+// segment.Store. It is safe for concurrent use with serving sessions: the
+// recording hooks take a short mutex, and checkpoint capture holds it only
+// long enough to swap the pending-operation queue.
+type Persister struct {
+	e     *Engine
+	store *segment.Store
+	logf  func(format string, args ...any)
+
+	mu      sync.Mutex
+	histLo  int         // next history arena row not yet committed
+	ops     []pendingOp // dense/probe mutations since the last capture
+	lastErr error
+
+	stop chan struct{} // closes to stop the background loop (nil when none)
+	done chan struct{}
+	once sync.Once
+}
+
+type opKind int
+
+const (
+	opDense1 opKind = iota
+	opDenseMD
+	opProbe
+)
+
+// pendingOp is one recorded knowledge mutation awaiting checkpoint. The
+// tuple slice is shared with the engine (engine-wide immutable), not copied.
+type pendingOp struct {
+	kind   opKind
+	attr   int            // opDense1
+	iv     types.Interval // opDense1
+	attrs  []int          // opDenseMD, canonical sorted order
+	box    query.Box      // opDenseMD
+	key    string         // opProbe
+	tuples []types.Tuple
+}
+
+// PersistFingerprint identifies this engine's upstream deployment for the
+// segment store — the same identity the snapshot format guards probe and
+// dense-region restores with.
+func (e *Engine) PersistFingerprint() segment.Fingerprint {
+	return segment.Fingerprint{
+		Schema:         e.db.Schema().Names(),
+		UpstreamK:      e.db.K(),
+		UpstreamRanker: upstreamRankerName(e.db),
+	}
+}
+
+// AttachPersistence replays the store's committed knowledge into the engine,
+// then installs the recording hooks and (when opts.Interval > 0) starts the
+// background checkpoint loop. Attach before loading any -state snapshot:
+// replay must see the engine exactly as the recorded operations left it, and
+// a snapshot loaded afterwards flows through the recording hooks so its
+// knowledge is persisted too.
+//
+// The returned Persister owns the store: Close checkpoints once more and
+// closes it. At most one Persister may be attached to an engine.
+func (e *Engine) AttachPersistence(store *segment.Store, opts PersistOptions) (*Persister, error) {
+	if e.know.persist.Load() != nil {
+		return nil, fmt.Errorf("core: persistence already attached")
+	}
+	if err := store.Replay(func(d *segment.Delta) error { return e.applyDelta(d) }); err != nil {
+		return nil, fmt.Errorf("core: segment replay: %w", err)
+	}
+	p := &Persister{
+		e:      e,
+		store:  store,
+		logf:   opts.Logf,
+		histLo: e.know.hist.Rows(),
+	}
+	e.know.persist.Store(p)
+	e.probes.persist.Store(p)
+	if opts.Interval > 0 {
+		p.stop = make(chan struct{})
+		p.done = make(chan struct{})
+		go p.loop(opts.Interval)
+	}
+	return p, nil
+}
+
+// Persister returns the attached persister, or nil.
+func (e *Engine) Persister() *Persister { return e.know.persist.Load() }
+
+// applyDelta replays one committed delta through the engine's live insert
+// paths. Tuple IDs resolve from the delta itself (its Hist range and inline
+// Tuples) or from history committed by earlier deltas; an unresolvable ID
+// means the store's invariants are broken and the error makes Replay
+// quarantine from this record on.
+func (e *Engine) applyDelta(d *segment.Delta) error {
+	byID := make(map[int]types.Tuple, len(d.Hist)+len(d.Tuples))
+	for _, st := range append(append([]segment.Tuple(nil), d.Hist...), d.Tuples...) {
+		byID[st.ID] = types.Tuple{ID: st.ID, Ord: st.Ord, Cat: st.Cat}
+	}
+	if len(d.Hist) > 0 {
+		batch := make([]types.Tuple, 0, len(d.Hist))
+		for _, st := range d.Hist {
+			batch = append(batch, byID[st.ID])
+		}
+		e.know.hist.Add(batch...)
+	}
+	resolve := func(ids []int) ([]types.Tuple, error) {
+		tuples := make([]types.Tuple, 0, len(ids))
+		for _, id := range ids {
+			t, ok := byID[id]
+			if !ok {
+				if t, ok = e.know.hist.Get(id); !ok {
+					return nil, fmt.Errorf("core: delta references unknown tuple %d", id)
+				}
+			}
+			tuples = append(tuples, t)
+		}
+		return tuples, nil
+	}
+	for _, op := range d.Dense1 {
+		tuples, err := resolve(op.IDs)
+		if err != nil {
+			return err
+		}
+		e.know.dense1.Insert(op.Attr, coreInterval(op.Dim), tuples)
+	}
+	for _, op := range d.DenseMD {
+		if len(op.Attrs) == 0 || len(op.Dims) != len(op.Attrs) {
+			return fmt.Errorf("core: delta MD region has %d dims for %d attributes", len(op.Dims), len(op.Attrs))
+		}
+		tuples, err := resolve(op.IDs)
+		if err != nil {
+			return err
+		}
+		box := query.Box{Dims: make([]types.Interval, len(op.Dims))}
+		for i, dim := range op.Dims {
+			box.Dims[i] = coreInterval(dim)
+		}
+		e.know.mdIndexFor(op.Attrs).Insert(box, tuples)
+	}
+	for _, op := range d.Probes {
+		tuples, err := resolve(op.IDs)
+		if err != nil {
+			return err
+		}
+		e.probes.seed(op.Key, hidden.Result{Tuples: tuples})
+	}
+	// d.Queries is informational (lifetime counter at capture time) and not
+	// restored, matching LoadSnapshot: a restarted engine's counter measures
+	// cost paid by THIS process.
+	return nil
+}
+
+// recordDense1 queues a 1D dense-region insert for the next checkpoint.
+func (p *Persister) recordDense1(attr int, iv types.Interval, tuples []types.Tuple) {
+	p.mu.Lock()
+	p.ops = append(p.ops, pendingOp{kind: opDense1, attr: attr, iv: iv, tuples: tuples})
+	p.mu.Unlock()
+}
+
+// recordDenseMD queues an MD dense-region insert for the next checkpoint.
+// attrs must already be in canonical sorted order (Knowledge.InsertDenseMD
+// guarantees this).
+func (p *Persister) recordDenseMD(attrs []int, box query.Box, tuples []types.Tuple) {
+	p.mu.Lock()
+	p.ops = append(p.ops, pendingOp{kind: opDenseMD, attrs: attrs, box: box, tuples: tuples})
+	p.mu.Unlock()
+}
+
+// recordProbe queues a cached complete probe answer for the next checkpoint.
+func (p *Persister) recordProbe(key string, res hidden.Result) {
+	p.mu.Lock()
+	p.ops = append(p.ops, pendingOp{kind: opProbe, key: key, tuples: res.Tuples})
+	p.mu.Unlock()
+}
+
+// Checkpoint captures everything recorded since the last successful
+// checkpoint and commits it as one delta. Concurrent sessions keep serving
+// (and recording) throughout: capture is a queue swap under a short mutex,
+// and the delta is built and written entirely off-lock. An empty capture
+// writes nothing. On append failure the captured work is re-queued and the
+// error is also surfaced via Stats.
+func (p *Persister) Checkpoint() error {
+	p.mu.Lock()
+	ops := p.ops
+	p.ops = nil
+	histLo := p.histLo
+	p.mu.Unlock()
+
+	// The watermark is read AFTER the queue swap: any tuple a captured op
+	// references that reached history before the op was recorded is below
+	// this histHi, so it commits by reference in this very delta.
+	histHi := p.e.know.hist.Rows()
+	d := p.buildDelta(histLo, histHi, ops)
+	if d.Empty() {
+		return nil
+	}
+	if err := p.store.Append(d); err != nil {
+		p.mu.Lock()
+		p.ops = append(ops, p.ops...) // retry before anything recorded since
+		p.lastErr = err
+		p.mu.Unlock()
+		return err
+	}
+	p.mu.Lock()
+	p.histLo = histHi
+	p.lastErr = nil
+	p.mu.Unlock()
+	return nil
+}
+
+// buildDelta assembles one checkpoint delta: the new history row range plus
+// the captured operations, inlining payloads for any referenced tuple not
+// covered by the committed history prefix.
+func (p *Persister) buildDelta(histLo, histHi int, ops []pendingOp) *segment.Delta {
+	d := &segment.Delta{HistLo: histLo, HistHi: histHi, Queries: p.e.know.queries.Load()}
+	hist := p.e.know.hist
+	for _, t := range hist.ExportRows(histLo, histHi) {
+		d.Hist = append(d.Hist, segTuple(t))
+	}
+	inlined := make(map[int]bool)
+	resolve := func(tuples []types.Tuple) []int {
+		ids := make([]int, 0, len(tuples))
+		for _, t := range tuples {
+			ids = append(ids, t.ID)
+			if row, ok := hist.RowOf(t.ID); ok && row < histHi {
+				continue // committed by this delta's Hist range or earlier
+			}
+			if !inlined[t.ID] {
+				inlined[t.ID] = true
+				d.Tuples = append(d.Tuples, segTuple(t))
+			}
+		}
+		return ids
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case opDense1:
+			d.Dense1 = append(d.Dense1, segment.Dense1Op{Attr: op.attr, Dim: segDim(op.iv), IDs: resolve(op.tuples)})
+		case opDenseMD:
+			md := segment.MDOp{Attrs: op.attrs, Dims: make([]segment.Dim, len(op.box.Dims)), IDs: resolve(op.tuples)}
+			for i, iv := range op.box.Dims {
+				md.Dims[i] = segDim(iv)
+			}
+			d.DenseMD = append(d.DenseMD, md)
+		case opProbe:
+			d.Probes = append(d.Probes, segment.ProbeOp{Key: op.key, IDs: resolve(op.tuples)})
+		}
+	}
+	return d
+}
+
+// loop runs background checkpoints until Close.
+func (p *Persister) loop(interval time.Duration) {
+	defer close(p.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			if err := p.Checkpoint(); err != nil && p.logf != nil {
+				p.logf("checkpoint failed (will retry): %v", err)
+			}
+		}
+	}
+}
+
+// Close stops the background loop, takes one final checkpoint, detaches the
+// recording hooks, and closes the store. Safe to call more than once.
+func (p *Persister) Close() error {
+	var err error
+	p.once.Do(func() {
+		if p.stop != nil {
+			close(p.stop)
+			<-p.done
+		}
+		err = p.Checkpoint()
+		p.e.know.persist.CompareAndSwap(p, nil)
+		p.e.probes.persist.CompareAndSwap(p, nil)
+		if cerr := p.store.Close(); err == nil {
+			err = cerr
+		}
+	})
+	return err
+}
+
+// PersistStats describes the persister's progress for observability.
+type PersistStats struct {
+	// Store mirrors the underlying segment store's counters.
+	Store segment.Stats
+	// PendingOps is the number of recorded operations awaiting checkpoint.
+	PendingOps int
+	// HistLo is the history row watermark: rows below it are committed.
+	HistLo int
+	// LastError is the most recent checkpoint failure ("" when healthy).
+	LastError string
+}
+
+// Stats returns the persister's current counters.
+func (p *Persister) Stats() PersistStats {
+	p.mu.Lock()
+	st := PersistStats{PendingOps: len(p.ops), HistLo: p.histLo}
+	if p.lastErr != nil {
+		st.LastError = p.lastErr.Error()
+	}
+	p.mu.Unlock()
+	st.Store = p.store.Stats()
+	return st
+}
+
+func segTuple(t types.Tuple) segment.Tuple {
+	return segment.Tuple{ID: t.ID, Ord: t.Ord, Cat: t.Cat}
+}
+
+func segDim(iv types.Interval) segment.Dim {
+	return segment.Dim{Lo: iv.Lo, Hi: iv.Hi, LoOpen: iv.LoOpen, HiOpen: iv.HiOpen}
+}
+
+func coreInterval(d segment.Dim) types.Interval {
+	return types.Interval{Lo: d.Lo, Hi: d.Hi, LoOpen: d.LoOpen, HiOpen: d.HiOpen}
+}

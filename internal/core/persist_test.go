@@ -1,0 +1,389 @@
+// Engine-level tests for incremental segment/journal persistence: warm
+// restart with zero upstream re-spend, crash mid-checkpoint recovering to
+// the last committed journal entry, inline payloads under DisableHistory,
+// and checkpointing running concurrently with serving.
+
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/segment"
+	"repro/internal/types"
+)
+
+// persistTestWorld builds a deterministic corpus and engine for persistence
+// tests: 400 tuples, k=10, no system ranker.
+func persistTestWorld(t *testing.T, seed int64) (*hidden.DB, []types.Tuple, *Engine) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	schema := testSchema(2)
+	tuples := genTuples(rng, schema, 400, false)
+	db := hidden.MustDB(schema, tuples, hidden.Options{K: 10})
+	return db, tuples, NewEngine(db, Options{N: 400})
+}
+
+// openStore opens a segment store for e's upstream in dir.
+func openStore(t *testing.T, e *Engine, dir string, opts segment.Options) *segment.Store {
+	t.Helper()
+	opts.Fingerprint = e.PersistFingerprint()
+	st, err := segment.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// persistProbes is a fixed set of narrow queries with complete answers —
+// cacheable, hence persistable.
+func persistProbes() []query.Query {
+	return []query.Query{
+		query.New().WithRange(0, types.ClosedInterval(10, 12)).WithCat("cat", "x"),
+		query.New().WithRange(1, types.ClosedInterval(40, 41)),
+		query.New().WithRange(0, types.ClosedInterval(200, 300)), // underflow
+	}
+}
+
+// runPersistWorkload warms e: issues the probe set (filling history and the
+// probe LRU) and inserts 1D and MD dense regions through the recording
+// wrappers, exactly as live crawls do.
+func runPersistWorkload(t *testing.T, e *Engine, tuples []types.Tuple) {
+	t.Helper()
+	sess := e.NewSession()
+	for i, q := range persistProbes() {
+		res, err := sess.issue(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Overflow {
+			t.Fatalf("precondition: probe %d (%s) overflowed; pick a narrower query", i, q)
+		}
+	}
+	inside1 := func(lo, hi float64) []types.Tuple {
+		var out []types.Tuple
+		for _, tt := range tuples {
+			if tt.Ord[0] >= lo && tt.Ord[0] <= hi {
+				out = append(out, tt)
+			}
+		}
+		return out
+	}
+	e.know.InsertDense1(0, types.Interval{Lo: 3, Hi: 5, HiOpen: true}, inside1(3, 5))
+	e.know.InsertDense1(0, types.Interval{Lo: 5, Hi: 8, LoOpen: true}, inside1(5, 8))
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 12; i++ {
+		b := query.Box{Dims: []types.Interval{
+			{Lo: rng.Float64() * 95, Hi: 0}, {Lo: rng.Float64() * 95, Hi: 0},
+		}}
+		b.Dims[0].Hi = b.Dims[0].Lo + 0.5 + rng.Float64()
+		b.Dims[1].Hi = b.Dims[1].Lo + 0.5 + rng.Float64()
+		var in []types.Tuple
+		for _, tt := range tuples {
+			if b.Contains([]float64{tt.Ord[0], tt.Ord[1]}) {
+				in = append(in, tt)
+			}
+		}
+		e.know.InsertDenseMD([]int{0, 1}, b, in)
+	}
+}
+
+// assertSameKnowledge checks that got's rebuilt knowledge equals want's:
+// history size, 1D region array, MD region set (boxes + IDs + grid shape),
+// and probe-cache entry count.
+func assertSameKnowledge(t *testing.T, got, want *Engine) {
+	t.Helper()
+	if got.History().Size() != want.History().Size() {
+		t.Fatalf("history size %d, want %d", got.History().Size(), want.History().Size())
+	}
+	r1, r2 := want.know.dense1.Export(0), got.know.dense1.Export(0)
+	if len(r2) != len(r1) {
+		t.Fatalf("restored %d 1D regions, want %d", len(r2), len(r1))
+	}
+	for i := range r1 {
+		if r2[i].Range != r1[i].Range || len(r2[i].Tuples) != len(r1[i].Tuples) {
+			t.Fatalf("1D region %d: %v (%d tuples), want %v (%d tuples)",
+				i, r2[i].Range, len(r2[i].Tuples), r1[i].Range, len(r1[i].Tuples))
+		}
+	}
+	m1, m2 := want.know.mdIndexFor([]int{0, 1}), got.know.mdIndexFor([]int{0, 1})
+	e1, e2 := m1.Export(), m2.Export()
+	if len(e2) != len(e1) {
+		t.Fatalf("restored %d MD regions, want %d", len(e2), len(e1))
+	}
+	for i := range e1 {
+		if e2[i].Box.String() != e1[i].Box.String() || len(e2[i].Tuples) != len(e1[i].Tuples) {
+			t.Fatalf("MD region %d: %v (%d tuples), want %v (%d tuples)",
+				i, e2[i].Box, len(e2[i].Tuples), e1[i].Box, len(e1[i].Tuples))
+		}
+	}
+	if s1, s2 := m1.Stats(), m2.Stats(); s2 != s1 {
+		t.Fatalf("MD grid stats after restore %+v, want %+v", s2, s1)
+	}
+	if got.ProbeCacheEntries() != want.ProbeCacheEntries() {
+		t.Fatalf("probe cache holds %d entries, want %d", got.ProbeCacheEntries(), want.ProbeCacheEntries())
+	}
+}
+
+// TestPersistWarmRestartZeroRespend: knowledge checkpointed to a segment
+// store restarts warm — the rebuilt indexes are bit-identical to the saved
+// engine's, and the replay itself plus every committed probe costs zero
+// upstream queries.
+func TestPersistWarmRestartZeroRespend(t *testing.T) {
+	dir := t.TempDir()
+	db, tuples, e1 := persistTestWorld(t, 71)
+	p1, err := e1.AttachPersistence(openStore(t, e1, dir, segment.Options{}), PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPersistWorkload(t, e1, tuples)
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p1.Stats(); st.Store.Checkpoints == 0 {
+		t.Fatalf("no checkpoint committed: %+v", st)
+	}
+
+	db.ResetCounter()
+	e2 := NewEngine(db, Options{N: 400})
+	p2, err := e2.AttachPersistence(openStore(t, e2, dir, segment.Options{}), PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if n := db.QueryCount(); n != 0 {
+		t.Fatalf("segment replay spent %d upstream queries, want 0", n)
+	}
+	assertSameKnowledge(t, e2, e1)
+	sess := e2.NewSession()
+	for _, q := range persistProbes() {
+		if _, err := sess.issue(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := sess.Queries(); n != 0 {
+		t.Fatalf("committed probes re-spent %d upstream queries after restart, want 0", n)
+	}
+	if _, ok := e2.know.dense1.Lookup(0, types.Interval{Lo: 3.5, Hi: 4.5}); !ok {
+		t.Fatal("committed 1D dense region not answerable after restart")
+	}
+}
+
+// TestPersistCrashMidCheckpointRecoversToLastCommitted: an injected writer
+// failure kills the second checkpoint mid-commit; the process "dies" without
+// a clean close. Recovery replays exactly the first (committed) checkpoint:
+// its probes cost zero upstream queries, and the uncommitted one is cold.
+func TestPersistCrashMidCheckpointRecoversToLastCommitted(t *testing.T) {
+	for _, stage := range []string{"journal-write", "journal-sync"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			db, tuples, e1 := persistTestWorld(t, 73)
+			var failing atomic.Bool
+			st1 := openStore(t, e1, dir, segment.Options{
+				Failpoint: func(s string) error {
+					if failing.Load() && s == stage {
+						return errors.New("injected writer failure")
+					}
+					return nil
+				},
+			})
+			p1, err := e1.AttachPersistence(st1, PersistOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runPersistWorkload(t, e1, tuples)
+			if err := p1.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			committedHist := e1.History().Size()
+			committedProbes := e1.ProbeCacheEntries()
+
+			// More knowledge arrives, then the checkpoint trying to commit
+			// it dies mid-write.
+			extra := query.New().WithRange(1, types.ClosedInterval(70, 71))
+			sess := e1.NewSession()
+			if _, err := sess.issue(extra); err != nil {
+				t.Fatal(err)
+			}
+			failing.Store(true)
+			if err := p1.Checkpoint(); err == nil {
+				t.Fatal("checkpoint with injected writer failure succeeded")
+			}
+			if ps := p1.Stats(); ps.LastError == "" || ps.PendingOps == 0 {
+				t.Fatalf("failed checkpoint not re-queued: %+v", ps)
+			}
+			st1.Close() // crash: no drain, no final checkpoint
+
+			db.ResetCounter()
+			e2 := NewEngine(db, Options{N: 400})
+			p2, err := e2.AttachPersistence(openStore(t, e2, dir, segment.Options{}), PersistOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p2.Close()
+			if st := p2.Stats(); st.Store.ReplayedDeltas != 1 || st.Store.DroppedRecords != 0 {
+				t.Fatalf("recovery replayed %+v, want exactly the 1 committed delta", st.Store)
+			}
+			// Everything the committed checkpoint covered is warm — and
+			// nothing past it: the recovered engine holds exactly the state
+			// as of the last committed journal entry.
+			if e2.History().Size() != committedHist {
+				t.Fatalf("recovered history size %d, want committed %d", e2.History().Size(), committedHist)
+			}
+			if e2.ProbeCacheEntries() != committedProbes {
+				t.Fatalf("recovered probe cache holds %d entries, want committed %d", e2.ProbeCacheEntries(), committedProbes)
+			}
+			sess2 := e2.NewSession()
+			for _, q := range persistProbes() {
+				if _, err := sess2.issue(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := sess2.Queries(); n != 0 {
+				t.Fatalf("committed knowledge re-spent %d upstream queries, want 0", n)
+			}
+			// ...and the uncommitted probe is cold (it costs again).
+			if _, err := sess2.issue(extra); err != nil {
+				t.Fatal(err)
+			}
+			if n := sess2.Queries(); n == 0 {
+				t.Fatal("uncommitted probe answered for free; it cannot have been recovered")
+			}
+		})
+	}
+}
+
+// TestPersistInlinesUncommittedTuples: under DisableHistory, recorded probe
+// answers reference tuples that never enter the history arena. Their
+// payloads must travel inline in the delta, keeping the store self-contained.
+func TestPersistInlinesUncommittedTuples(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(77))
+	db, _ := newTestDB(t, rng, 2, 400, 10, false, nil)
+	e1 := NewEngine(db, Options{N: 400, DisableHistory: true})
+	p1, err := e1.AttachPersistence(openStore(t, e1, dir, segment.Options{}), PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.New().WithRange(0, types.ClosedInterval(10, 12)).WithCat("cat", "x")
+	sess := e1.NewSession()
+	res, err := sess.issue(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overflow || len(res.Tuples) == 0 {
+		t.Fatalf("precondition: want a non-empty complete answer, got %d tuples overflow=%v", len(res.Tuples), res.Overflow)
+	}
+	if e1.History().Size() != 0 {
+		t.Fatal("precondition: DisableHistory engine stored history")
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine(db, Options{N: 400, DisableHistory: true})
+	p2, err := e2.AttachPersistence(openStore(t, e2, dir, segment.Options{}), PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	db.ResetCounter()
+	sess2 := e2.NewSession()
+	res2, err := sess2.issue(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess2.Queries() != 0 {
+		t.Fatalf("inlined probe re-spent %d upstream queries, want 0", sess2.Queries())
+	}
+	if len(res2.Tuples) != len(res.Tuples) {
+		t.Fatalf("restored answer has %d tuples, want %d", len(res2.Tuples), len(res.Tuples))
+	}
+	for i := range res.Tuples {
+		if res2.Tuples[i].ID != res.Tuples[i].ID {
+			t.Fatalf("restored answer tuple %d: ID %d, want %d", i, res2.Tuples[i].ID, res.Tuples[i].ID)
+		}
+	}
+}
+
+// TestPersistCheckpointDoesNotBlockServing stretches a checkpoint's commit
+// window with a slow injected fsync and issues live probes through it: the
+// probes must complete while the checkpoint is still in flight (capture is a
+// queue swap, the write happens off-lock), and knowledge recorded during the
+// window commits in the next checkpoint. Run under -race in CI, this also
+// proves the recording hooks and capture are race-clean.
+func TestPersistCheckpointDoesNotBlockServing(t *testing.T) {
+	dir := t.TempDir()
+	db, tuples, e1 := persistTestWorld(t, 79)
+	slow := make(chan struct{})  // closed when the slow checkpoint enters its sync
+	var inCheckpoint atomic.Bool // true while the stretched commit is in flight
+	var slowOnce, armed atomic.Bool
+	st1 := openStore(t, e1, dir, segment.Options{
+		Failpoint: func(s string) error {
+			if s == "journal-sync" && armed.Load() && slowOnce.CompareAndSwap(false, true) {
+				close(slow)
+				time.Sleep(300 * time.Millisecond)
+			}
+			return nil
+		},
+	})
+	p1, err := e1.AttachPersistence(st1, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPersistWorkload(t, e1, tuples)
+
+	armed.Store(true)
+	inCheckpoint.Store(true)
+	ckptDone := make(chan error, 1)
+	go func() {
+		err := p1.Checkpoint()
+		inCheckpoint.Store(false)
+		ckptDone <- err
+	}()
+	<-slow // the checkpoint is inside its stretched fsync now
+
+	// Serve during the commit: distinct new probes, issued concurrently.
+	var wg sync.WaitGroup
+	servedDuring := int64(0)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := e1.NewSession()
+			q := query.New().WithRange(1, types.ClosedInterval(float64(20+w), float64(20+w)+0.5))
+			if _, err := sess.issue(q); err != nil {
+				t.Error(err)
+				return
+			}
+			if inCheckpoint.Load() {
+				atomic.AddInt64(&servedDuring, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if servedDuring == 0 {
+		t.Fatal("no request completed while the checkpoint was in flight: serving blocked on persistence")
+	}
+	if err := <-ckptDone; err != nil {
+		t.Fatal(err)
+	}
+	// The knowledge recorded mid-commit lands in the next checkpoint.
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine(db, Options{N: 400})
+	p2, err := e2.AttachPersistence(openStore(t, e2, dir, segment.Options{}), PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	assertSameKnowledge(t, e2, e1)
+}

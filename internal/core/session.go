@@ -194,7 +194,7 @@ func (s *Session) crawlDense1(attr int, iv types.Interval) error {
 		if err != nil {
 			return hidden.Result{}, err
 		}
-		s.e.know.dense1.Insert(attr, iv, tuples)
+		s.e.know.InsertDense1(attr, iv, tuples)
 		return hidden.Result{}, nil
 	})
 	return err
@@ -218,7 +218,7 @@ func (s *Session) crawlDenseMD(sorted []int, realBox query.Box) error {
 		if err != nil {
 			return hidden.Result{}, err
 		}
-		idx.Insert(realBox, tuples)
+		s.e.know.InsertDenseMD(sorted, realBox, tuples)
 		return hidden.Result{}, nil
 	})
 	return err

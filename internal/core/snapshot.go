@@ -276,7 +276,7 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 			}
 			tuples = append(tuples, t)
 		}
-		e.know.dense1.Insert(si.Attr, types.Interval{
+		e.know.InsertDense1(si.Attr, types.Interval{
 			Lo: si.Lo, Hi: si.Hi, LoOpen: si.LoOpen, HiOpen: si.HiOpen,
 		}, tuples)
 	}
@@ -310,7 +310,7 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 			}
 			tuples = append(tuples, t)
 		}
-		e.know.mdIndexFor(sr.Attrs).Insert(box, tuples)
+		e.know.InsertDenseMD(sr.Attrs, box, tuples)
 	}
 	// Probe-cache warm restart (v2+). Entries are stored least recently
 	// used first, so replaying them in order reproduces the LRU state.

@@ -186,6 +186,26 @@ func (s *Store) Add(tuples ...types.Tuple) int {
 	return len(news)
 }
 
+// Rows returns the arena row watermark: rows [0, Rows()) are stored and,
+// because the arena is append-only, will never change or move. Persistence
+// uses contiguous row ranges below this watermark as its incremental unit.
+func (s *Store) Rows() int { return s.arena.Len() }
+
+// RowOf returns the arena row number of the tuple with the given ID.
+func (s *Store) RowOf(id int) (int, bool) {
+	s.mu.RLock()
+	row, ok := s.byID[id]
+	s.mu.RUnlock()
+	return int(row), ok
+}
+
+// ExportRows materializes the tuples in arena rows [lo, hi), clamped to the
+// currently published rows. Row order is insertion order, so replaying
+// exported ranges through Add reproduces identical row numbers.
+func (s *Store) ExportRows(lo, hi int) []types.Tuple {
+	return s.arena.View().TupleRange(lo, hi)
+}
+
 // Size returns the number of distinct tuples stored.
 func (s *Store) Size() int {
 	s.mu.RLock()

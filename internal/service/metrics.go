@@ -58,4 +58,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("rerank_storage_dict_entries", "Interned categorical symbols in the shared dictionary.", int64(st.StorageDictEntries))
 	gauge("rerank_storage_resident_tuples", "Rows resident in the columnar arena.", int64(st.StorageResidentTuples))
 	gauge("rerank_storage_approx_bytes", "Approximate resident bytes of columnar storage plus cached probe answers.", st.StorageApproxBytes)
+
+	enabled := int64(0)
+	if st.PersistEnabled {
+		enabled = 1
+	}
+	gauge("rerank_persist_enabled", "1 when a segment/journal data dir is open.", enabled)
+	if st.PersistEnabled {
+		gauge("rerank_persist_seq", "Committed journal sequence number.", st.PersistSeq)
+		counter("rerank_persist_checkpoints_total", "Successful checkpoint commits since start.", st.PersistCheckpoints)
+		counter("rerank_persist_compactions_total", "Journal compactions since start.", st.PersistCompactions)
+		gauge("rerank_persist_journal_records", "Committed records in the live journal.", int64(st.PersistJournalRecords))
+		gauge("rerank_persist_segment_files", "Live immutable segment files.", int64(st.PersistSegmentFiles))
+		gauge("rerank_persist_pending_ops", "Operations recorded since the last checkpoint (at-risk knowledge).", int64(st.PersistPendingOps))
+		gauge("rerank_persist_replayed_deltas", "Committed deltas replayed at startup.", int64(st.PersistReplayedDeltas))
+		counter("rerank_persist_bytes_appended_total", "Bytes durably written to journal and segments since start.", st.PersistBytesAppended)
+		failing := int64(0)
+		if st.PersistLastError != "" {
+			failing = 1
+		}
+		gauge("rerank_persist_checkpoint_failing", "1 while the most recent checkpoint attempt failed.", failing)
+	}
 }

@@ -1,0 +1,120 @@
+// Service-level persistence wiring: the segment/journal data directory as
+// the primary persistence path (incremental, crash-safe), with the legacy
+// -state snapshot kept as a portable export/import format on top.
+//
+// Boot order matters: OpenDataDir replays committed knowledge BEFORE any
+// snapshot import, so the engine rebuilds exactly the state the recorded
+// operations describe; a snapshot loaded afterwards flows through the
+// recording hooks and is itself persisted by the next checkpoint.
+
+package service
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/segment"
+)
+
+// PersistConfig configures the service's segment-store persistence.
+type PersistConfig struct {
+	// CheckpointInterval is the background checkpoint period; 0 disables
+	// background checkpointing (knowledge then commits only at drain).
+	CheckpointInterval time.Duration
+	// Logf receives recovery warnings and background checkpoint failures
+	// (nil silences them).
+	Logf func(format string, args ...any)
+}
+
+// OpenDataDir opens (or initializes) the segment store in dir, replays its
+// committed knowledge into the engine, and starts incremental checkpointing.
+// Recovery is automatic: torn journal tails are truncated, corrupt segment
+// files quarantined, and a store fingerprinted for a different upstream is
+// quarantined wholesale — in every case the service boots with whatever
+// knowledge was committed and intact, never refusing to start over bad
+// state. Call before LoadState and before serving.
+func (s *Server) OpenDataDir(dir string, cfg PersistConfig) error {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.persist != nil {
+		return fmt.Errorf("service: data dir already open")
+	}
+	st, err := segment.Open(dir, segment.Options{
+		Fingerprint: s.engine.PersistFingerprint(),
+		Logf:        cfg.Logf,
+	})
+	if err != nil {
+		return fmt.Errorf("service: open data dir: %w", err)
+	}
+	p, err := s.engine.AttachPersistence(st, core.PersistOptions{
+		Interval: cfg.CheckpointInterval,
+		Logf:     cfg.Logf,
+	})
+	if err != nil {
+		st.Close()
+		return fmt.Errorf("service: attach persistence: %w", err)
+	}
+	s.persist = p
+	return nil
+}
+
+// Checkpoint commits all knowledge accumulated since the last checkpoint to
+// the data directory. A no-op success when no data dir is open.
+func (s *Server) Checkpoint() error {
+	if p := s.persist; p != nil {
+		return p.Checkpoint()
+	}
+	return nil
+}
+
+// ClosePersistence takes a final checkpoint and closes the data directory.
+// Call after the HTTP drain, when no more requests mutate the engine. Safe
+// to call without an open data dir (no-op) and safe to call twice.
+func (s *Server) ClosePersistence() error {
+	if p := s.persist; p != nil {
+		return p.Close()
+	}
+	return nil
+}
+
+// PersistStats returns the persister's counters and whether persistence is
+// enabled at all.
+func (s *Server) PersistStats() (core.PersistStats, bool) {
+	if p := s.persist; p != nil {
+		return p.Stats(), true
+	}
+	return core.PersistStats{}, false
+}
+
+// LoadStateFile restores a -state snapshot with corrupt-file fallback: a
+// missing file is a normal cold start, and an unreadable or corrupt snapshot
+// is quarantined (renamed to path + ".corrupt") with a logged warning so the
+// service boots cold instead of crash-looping on a bad file. warm reports
+// whether the snapshot actually loaded; the returned error is reserved for
+// real I/O failures (e.g. permissions), which should abort startup.
+func (s *Server) LoadStateFile(path string, logf func(format string, args ...any)) (warm bool, err error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	loadErr := s.LoadState(f)
+	f.Close()
+	if loadErr == nil {
+		return true, nil
+	}
+	quarantine := path + ".corrupt"
+	if rerr := os.Rename(path, quarantine); rerr != nil {
+		logf("state file %s unreadable (%v); quarantine failed too (%v), starting cold", path, loadErr, rerr)
+		return false, nil
+	}
+	logf("state file %s unreadable (%v); quarantined to %s, starting cold", path, loadErr, quarantine)
+	return false, nil
+}

@@ -1,0 +1,255 @@
+// Service-level persistence tests: the data-dir lifecycle through the
+// Server API (open → serve → checkpoint → close → reopen warm), the
+// corrupt-snapshot quarantine fallback at boot, and the persist gauges on
+// /v1/stats and /metrics.
+
+package service
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/segment"
+)
+
+func denseMDRequest() RerankRequest {
+	lo, hi := 50.0, 50.3
+	return RerankRequest{
+		Ranges: []RangeSpec{
+			{Attr: "A0", Min: &lo, Max: &hi},
+			{Attr: "A1", Min: &lo, Max: &hi},
+		},
+		Ranking: RankingSpec{Kind: "linear", Attrs: []string{"A0", "A1"}, Weights: []float64{1, 1}},
+		H:       5,
+	}
+}
+
+// TestServiceDataDirWarmRestart is the service-level crash-safety
+// acceptance path: knowledge committed to the data dir (here by the final
+// checkpoint ClosePersistence takes, the drain path) makes the next process
+// answer the same request for zero upstream queries — no -state snapshot
+// involved.
+func TestServiceDataDirWarmRestart(t *testing.T) {
+	db := clusteredDB(t)
+	dir := t.TempDir()
+	req := denseMDRequest()
+
+	srv1 := NewServerWith(db, core.Options{N: 1200})
+	if err := srv1.OpenDataDir(dir, PersistConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	resp1, _, err := srv1.Rerank(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp1.QueriesIssued == 0 {
+		t.Fatal("precondition: cold request cost 0 upstream queries")
+	}
+	st1 := srv1.Stats()
+	if !st1.PersistEnabled {
+		t.Fatal("PersistEnabled false with an open data dir")
+	}
+	if st1.PersistPendingOps == 0 {
+		t.Fatal("no pending ops recorded by a crawling request")
+	}
+	if err := srv1.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.ClosePersistence(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	db.ResetCounter()
+	srv2 := NewServerWith(db, core.Options{N: 1200})
+	if err := srv2.OpenDataDir(dir, PersistConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.ClosePersistence()
+	st2 := srv2.Stats()
+	if st2.PersistReplayedDeltas == 0 {
+		t.Fatal("restart replayed no deltas")
+	}
+	if st2.MDDenseRegions != st1.MDDenseRegions {
+		t.Fatalf("restored %d MD dense regions, want %d", st2.MDDenseRegions, st1.MDDenseRegions)
+	}
+	if st2.HistoryTuples != st1.HistoryTuples {
+		t.Fatalf("restored %d history tuples, want %d", st2.HistoryTuples, st1.HistoryTuples)
+	}
+	resp2, _, err := srv2.Rerank(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.QueriesIssued != 0 {
+		t.Errorf("warm request charged %d upstream queries, want 0", resp2.QueriesIssued)
+	}
+	if n := db.QueryCount(); n != 0 {
+		t.Errorf("warm request reached the upstream %d times, want 0", n)
+	}
+	if len(resp2.Tuples) != len(resp1.Tuples) {
+		t.Fatalf("warm request returned %d tuples, want %d", len(resp2.Tuples), len(resp1.Tuples))
+	}
+	for i := range resp2.Tuples {
+		if resp2.Tuples[i].ID != resp1.Tuples[i].ID {
+			t.Fatalf("rank %d: warm ID %d, cold ID %d", i, resp2.Tuples[i].ID, resp1.Tuples[i].ID)
+		}
+	}
+}
+
+// TestSnapshotLoadedAfterDataDirIsPersisted pins the boot-order contract:
+// a -state snapshot imported AFTER OpenDataDir flows through the recording
+// hooks, so a later restart from the data dir ALONE carries the snapshot's
+// knowledge.
+func TestSnapshotLoadedAfterDataDirIsPersisted(t *testing.T) {
+	db := clusteredDB(t)
+	req := denseMDRequest()
+
+	// Source of the snapshot: a plain server, no data dir.
+	srv0 := NewServerWith(db, core.Options{N: 1200})
+	if _, _, err := srv0.Rerank(req); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := srv0.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	srv1 := NewServerWith(db, core.Options{N: 1200})
+	if err := srv1.OpenDataDir(dir, PersistConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.LoadState(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+
+	db.ResetCounter()
+	srv2 := NewServerWith(db, core.Options{N: 1200})
+	if err := srv2.OpenDataDir(dir, PersistConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.ClosePersistence()
+	resp, _, err := srv2.Rerank(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.QueriesIssued != 0 || db.QueryCount() != 0 {
+		t.Errorf("snapshot knowledge did not survive via the data dir: %d request queries, %d upstream calls",
+			resp.QueriesIssued, db.QueryCount())
+	}
+}
+
+// TestLoadStateFileQuarantinesCorrupt covers the satellite-3 boot behavior:
+// missing file = cold start, valid file = warm start, corrupt or truncated
+// file = quarantine + cold start instead of a fatal boot error.
+func TestLoadStateFileQuarantinesCorrupt(t *testing.T) {
+	db := clusteredDB(t)
+	dir := t.TempDir()
+	path := dir + "/state.json"
+
+	srv := NewServerWith(db, core.Options{N: 1200})
+	if warm, err := srv.LoadStateFile(path, t.Logf); err != nil || warm {
+		t.Fatalf("missing file: warm=%v err=%v, want cold start", warm, err)
+	}
+
+	// A valid snapshot loads warm.
+	src := NewServerWith(db, core.Options{N: 1200})
+	if _, _, err := src.Rerank(denseMDRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if err := segment.WriteFileAtomic(path, func(f *os.File) error { return src.SaveState(f) }); err != nil {
+		t.Fatal(err)
+	}
+	if warm, err := srv.LoadStateFile(path, t.Logf); err != nil || !warm {
+		t.Fatalf("valid file: warm=%v err=%v, want warm start", warm, err)
+	}
+
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"garbage":   func([]byte) []byte { return []byte("{not json") },
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			good, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer os.WriteFile(path, good, 0o644) // restore for the next subtest
+			if err := os.WriteFile(path, corrupt(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fresh := NewServerWith(db, core.Options{N: 1200})
+			warned := false
+			warm, err := fresh.LoadStateFile(path, func(format string, args ...any) {
+				warned = true
+				t.Logf(format, args...)
+			})
+			if err != nil || warm {
+				t.Fatalf("corrupt file: warm=%v err=%v, want quarantined cold start", warm, err)
+			}
+			if !warned {
+				t.Error("no warning logged for a quarantined state file")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt file still at %s; not quarantined", path)
+			}
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Errorf("quarantined copy missing: %v", err)
+			}
+			os.Remove(path + ".corrupt")
+		})
+	}
+}
+
+// TestMetricsExposePersistSeries checks the persist gauges surface on
+// /metrics (and stay absent without a data dir, except the enabled flag).
+func TestMetricsExposePersistSeries(t *testing.T) {
+	db := clusteredDB(t)
+
+	scrape := func(srv *Server) string {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		return rec.Body.String()
+	}
+
+	plain := NewServerWith(db, core.Options{N: 1200})
+	body := scrape(plain)
+	if !strings.Contains(body, "rerank_persist_enabled 0") {
+		t.Errorf("no-data-dir scrape missing rerank_persist_enabled 0:\n%s", body)
+	}
+	if strings.Contains(body, "rerank_persist_seq") {
+		t.Error("no-data-dir scrape exposes rerank_persist_seq")
+	}
+
+	srv := NewServerWith(db, core.Options{N: 1200})
+	if err := srv.OpenDataDir(t.TempDir(), PersistConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.ClosePersistence()
+	if _, _, err := srv.Rerank(denseMDRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	body = scrape(srv)
+	for _, want := range []string{
+		"rerank_persist_enabled 1",
+		"rerank_persist_seq 1",
+		"rerank_persist_checkpoints_total 1",
+		"rerank_persist_pending_ops 0",
+		"rerank_persist_checkpoint_failing 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}

@@ -150,6 +150,21 @@ type Stats struct {
 	StorageDictEntries    int   `json:"storageDictEntries"`
 	StorageResidentTuples int   `json:"storageResidentTuples"`
 	StorageApproxBytes    int64 `json:"storageApproxBytes"`
+	// Segment/journal persistence gauges (zero-valued unless a data dir is
+	// open; see docs/persistence.md). PersistSeq is the committed journal
+	// sequence number, PersistPendingOps the operations recorded since the
+	// last checkpoint (knowledge at risk if the process dies right now), and
+	// PersistLastError the most recent checkpoint failure ("" when healthy).
+	PersistEnabled        bool   `json:"persistEnabled"`
+	PersistSeq            int64  `json:"persistSeq,omitempty"`
+	PersistCheckpoints    int64  `json:"persistCheckpoints,omitempty"`
+	PersistCompactions    int64  `json:"persistCompactions,omitempty"`
+	PersistJournalRecords int    `json:"persistJournalRecords,omitempty"`
+	PersistSegmentFiles   int    `json:"persistSegmentFiles,omitempty"`
+	PersistPendingOps     int    `json:"persistPendingOps,omitempty"`
+	PersistReplayedDeltas int    `json:"persistReplayedDeltas,omitempty"`
+	PersistBytesAppended  int64  `json:"persistBytesAppended,omitempty"`
+	PersistLastError      string `json:"persistLastError,omitempty"`
 }
 
 // Server is the reranking service. Requests are handled concurrently: the
@@ -177,7 +192,11 @@ type Server struct {
 
 	n int
 
-	stateMu sync.Mutex // serializes SaveState/LoadState
+	stateMu sync.Mutex // serializes SaveState/LoadState/OpenDataDir
+
+	// persist is the engine's incremental checkpointer, set by OpenDataDir
+	// before serving starts (nil when running without a data dir).
+	persist *core.Persister
 }
 
 // NewServer builds a service over the given upstream database. n is the
@@ -304,6 +323,18 @@ func (s *Server) Stats() Stats {
 	st.StorageApproxBytes = ss.ApproxBytes + s.engine.ProbeCacheBytes()
 	if hdb, ok := s.db.(*hidden.DB); ok {
 		st.UpstreamRanker = hdb.RankerName()
+	}
+	if ps, ok := s.PersistStats(); ok {
+		st.PersistEnabled = true
+		st.PersistSeq = int64(ps.Store.Seq)
+		st.PersistCheckpoints = ps.Store.Checkpoints
+		st.PersistCompactions = ps.Store.Compactions
+		st.PersistJournalRecords = ps.Store.JournalRecords
+		st.PersistSegmentFiles = ps.Store.SegmentFiles
+		st.PersistPendingOps = ps.PendingOps
+		st.PersistReplayedDeltas = ps.Store.ReplayedDeltas
+		st.PersistBytesAppended = ps.Store.BytesAppended
+		st.PersistLastError = ps.LastError
 	}
 	return st
 }
