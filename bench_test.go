@@ -662,7 +662,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	db.ResetCounter()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
-		client := service.NewClient(api.URL, api.Client())
+		client := service.NewClientWith(api.URL, service.WithHTTPClient(api.Client()))
 		for pb.Next() {
 			i := next.Add(1)
 			var err error

@@ -22,6 +22,10 @@
 //	loadgen -url http://localhost:8080 -clients 8 -duration 10s \
 //	        -mix "1d=4,md=3,batch=2,stream=1" -report report.json
 //
+// Against a federated rerankd, -upstream targets one namespace (its schema,
+// its routes); without it the traffic goes to the server's default
+// namespace over the legacy un-namespaced routes.
+//
 // Exit status: 0 when every request either succeeded or was shed; 1 when
 // hard errors occurred (or the optional -min-ops floor was missed).
 package main
@@ -66,6 +70,7 @@ type sample struct {
 func main() {
 	var (
 		url       = flag.String("url", "http://localhost:8080", "rerankd base URL")
+		upstream  = flag.String("upstream", "", "upstream namespace to target ('' = the server's default namespace via the legacy routes)")
 		clients   = flag.Int("clients", 8, "concurrent closed-loop workers")
 		duration  = flag.Duration("duration", 10*time.Second, "run length")
 		mixSpec   = flag.String("mix", "1d=4,md=3,batch=2,stream=1", "weighted operation mix (kind=weight,...)")
@@ -81,7 +86,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
-	schema, err := fetchSchema(*url)
+	schema, err := service.NewClientWith(*url, service.WithUpstream(*upstream)).Schema()
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
@@ -102,8 +107,10 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
-			client := service.NewClient(*url, &http.Client{Timeout: 2 * time.Minute})
-			client.ClientID = fmt.Sprintf("loadgen-%d", w)
+			client := service.NewClientWith(*url,
+				service.WithUpstream(*upstream),
+				service.WithTimeout(2*time.Minute),
+				service.WithClientID(fmt.Sprintf("loadgen-%d", w)))
 			var local []sample
 			for time.Now().Before(deadline) {
 				local = append(local, runOp(client, rng, mix.pick(rng), ordinals, *h, *batchSize))
@@ -117,6 +124,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	rep := buildReport(samples, elapsed, *clients, *mixSpec)
+	rep.Upstream = *upstream
 	printReport(rep)
 	if *report != "" {
 		raw, err := json.MarshalIndent(rep, "", "  ")
@@ -268,22 +276,6 @@ func (m *weightedMix) pick(rng *rand.Rand) opKind {
 	return m.kinds[len(m.kinds)-1]
 }
 
-func fetchSchema(baseURL string) (*service.SchemaResponse, error) {
-	resp, err := http.Get(baseURL + "/v1/schema")
-	if err != nil {
-		return nil, fmt.Errorf("fetch schema: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("fetch schema: status %s", resp.Status)
-	}
-	var sr service.SchemaResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, fmt.Errorf("decode schema: %w", err)
-	}
-	return &sr, nil
-}
-
 func ordinalAttrs(sr *service.SchemaResponse) []service.AttrSpec {
 	var out []service.AttrSpec
 	for _, a := range sr.Attrs {
@@ -316,8 +308,10 @@ type OpStats struct {
 
 // Report is the loadgen JSON output.
 type Report struct {
-	Clients         int                `json:"clients"`
-	Mix             string             `json:"mix"`
+	Clients int    `json:"clients"`
+	Mix     string `json:"mix"`
+	// Upstream is the namespace the run targeted ("" = the default).
+	Upstream        string             `json:"upstream,omitempty"`
 	DurationSeconds float64            `json:"durationSeconds"`
 	Total           OpStats            `json:"total"`
 	PerKind         map[string]OpStats `json:"perKind"`

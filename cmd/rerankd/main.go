@@ -1,34 +1,40 @@
 // Command rerankd runs the query reranking service: a third-party HTTP
 // daemon that answers user queries under arbitrary monotone ranking
-// functions using nothing but an upstream top-k search interface.
+// functions using nothing but upstream top-k search interfaces.
 //
-// The upstream can be a remote hiddendb instance (-upstream URL) or an
-// in-process synthetic dataset (-dataset, for demos without a second
-// process).
-//
-// Usage:
+// One process federates any number of upstreams, each as an isolated
+// knowledge namespace. -upstream is repeatable and takes either a bare URL
+// (registered as the "default" namespace) or name=URL:
 //
 //	rerankd -upstream http://localhost:8081 -addr :8080
+//	rerankd -upstream diamonds=http://localhost:8081 \
+//	        -upstream autos=http://localhost:8082 -addr :8080
 //	rerankd -dataset bluenile -n 20000 -addr :8080
 //
-// Then:
+// The first -upstream becomes the default namespace, served by the legacy
+// un-namespaced routes; every namespace is also served at
+// /v1/upstreams/{name}/..., and more can be registered at runtime via
+// POST /v1/upstreams. Then:
 //
-//	curl -s localhost:8080/v1/rerank -d '{
+//	curl -s localhost:8080/v1/upstreams
+//	curl -s localhost:8080/v1/upstreams/diamonds/rerank -d '{
 //	  "ranking": {"kind":"ratio","attrs":["Price","Carat"]},
 //	  "filters": {"Shape":"Round"},
 //	  "h": 5}'
 //
-// Production knobs: -max-sessions bounds in-flight sessions (excess gets
-// 429 + Retry-After), -client-budget/-client-budget-window meter upstream
-// queries per X-Client-ID, and SIGTERM/SIGINT triggers a graceful drain —
-// admission stops (healthz flips to 503), in-flight requests finish within
-// -drain-timeout, and with -state set the engine's knowledge is
-// snapshotted so the next start is warm. See docs/operations.md.
+// Production knobs: -max-sessions bounds in-flight sessions across all
+// namespaces (excess gets 429 + Retry-After), -client-budget/
+// -client-budget-window meter upstream queries per X-Client-ID, and
+// SIGTERM/SIGINT triggers a graceful drain — admission stops (healthz flips
+// to 503), in-flight requests finish within -drain-timeout, and with -state
+// set the default namespace's knowledge is snapshotted so the next start is
+// warm. See docs/operations.md and docs/api.md.
 //
-// Crash safety: -data-dir enables segment/journal persistence — knowledge
-// is checkpointed incrementally every -checkpoint-interval while serving,
-// so even a kill -9 restarts warm up to the last committed checkpoint. The
-// -state snapshot remains as a portable export/import on top; see
+// Crash safety: -data-dir enables segment/journal persistence — every
+// namespace checkpoints incrementally into its own data-dir/<name>/ store
+// every -checkpoint-interval while serving, so even a kill -9 restarts warm
+// up to the last committed checkpoint. The -state snapshot remains as a
+// portable export/import of the default namespace on top; see
 // docs/persistence.md.
 package main
 
@@ -41,31 +47,66 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/hidden"
 	"repro/internal/segment"
 	"repro/internal/service"
 )
 
+// upstreamFlag accumulates repeated -upstream values, each "URL" or
+// "name=URL".
+type upstreamFlag []service.UpstreamConfig
+
+func (u *upstreamFlag) String() string {
+	parts := make([]string, len(*u))
+	for i, cfg := range *u {
+		parts[i] = cfg.Name + "=" + cfg.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (u *upstreamFlag) Set(v string) error {
+	name, url := service.DefaultUpstream, v
+	// "name=URL" form: only when the part before the first '=' looks like a
+	// name, not a URL fragment (bare URLs may carry '=' in their query).
+	if i := strings.Index(v, "="); i >= 0 && !strings.ContainsAny(v[:i], ":/") {
+		name, url = v[:i], v[i+1:]
+	}
+	if url == "" {
+		return fmt.Errorf("empty upstream URL in %q", v)
+	}
+	if err := core.ValidateNamespaceName(name); err != nil {
+		return err
+	}
+	for _, cfg := range *u {
+		if cfg.Name == name {
+			return fmt.Errorf("duplicate upstream name %q", name)
+		}
+	}
+	*u = append(*u, service.UpstreamConfig{Name: name, URL: url})
+	return nil
+}
+
 func main() {
+	var upstreams upstreamFlag
+	flag.Var(&upstreams, "upstream", "upstream hiddendb search endpoint, URL or name=URL (repeatable; the first becomes the default namespace)")
 	var (
-		upstream     = flag.String("upstream", "", "URL of the upstream hiddendb search endpoint")
 		name         = flag.String("dataset", "", "in-process dataset instead of -upstream: dot, bluenile, yahooautos")
 		n            = flag.Int("n", 20000, "tuples for the in-process dataset")
 		seed         = flag.Int64("seed", 160205100, "generator seed for the in-process dataset")
 		sizeHint     = flag.Int("size-hint", 0, "upstream size estimate for dense-index thresholds (0 = n)")
 		addr         = flag.String("addr", ":8080", "listen address")
-		state        = flag.String("state", "", "snapshot file: loaded at startup, saved after the SIGINT/SIGTERM drain")
-		dataDir      = flag.String("data-dir", "", "segment/journal persistence directory: replayed at startup, checkpointed in the background, finalized on drain (crash-safe, unlike -state)")
+		state        = flag.String("state", "", "snapshot file for the default namespace: loaded at startup, saved after the SIGINT/SIGTERM drain")
+		dataDir      = flag.String("data-dir", "", "segment/journal persistence directory: each namespace replays and checkpoints its own <dir>/<name>/ store (crash-safe, unlike -state)")
 		ckptInterval = flag.Duration("checkpoint-interval", 15*time.Second, "background checkpoint period for -data-dir (0 = checkpoint only at drain)")
-		cache        = flag.Int("probe-cache", 0, "probe-result LRU entries (0 = default 1024, negative disables the cache)")
+		cache        = flag.Int("probe-cache", 0, "probe-result LRU entries per namespace (0 = default 1024, negative disables the cache)")
 		noCoal       = flag.Bool("no-coalesce", false, "disable probe coalescing (for upstreams whose corpus changes mid-run)")
 		width        = flag.Int("search-parallelism", 1, "speculative probe width W of the MD search: up to W frontier probes in flight per request (1 = sequential; raise against high-latency upstreams)")
-		maxSessions  = flag.Int("max-sessions", 0, "max in-flight sessions before requests are shed with 429 (0 = unlimited; a batch of N counts N)")
+		maxSessions  = flag.Int("max-sessions", 0, "max in-flight sessions across all namespaces before requests are shed with 429 (0 = unlimited; a batch of N counts N)")
 		clientBudget = flag.Int64("client-budget", 0, "upstream queries each client (X-Client-ID header) may cost per budget window (0 = unmetered)")
 		budgetWindow = flag.Duration("client-budget-window", time.Minute, "length of the per-client budget window")
 		maxBody      = flag.Int64("max-body-bytes", 1<<20, "request body size limit in bytes")
@@ -74,39 +115,15 @@ func main() {
 	)
 	flag.Parse()
 
-	var db hidden.Database
-	switch {
-	case *upstream != "":
-		rdb, err := service.DialRemote(*upstream, nil)
-		if err != nil {
-			log.Fatalf("rerankd: %v", err)
-		}
-		db = rdb
-		log.Printf("rerankd: upstream %s (k=%d, %d attributes)", *upstream, rdb.K(), rdb.Schema().Len())
-	case *name != "":
-		var ds *dataset.Dataset
-		switch *name {
-		case "dot":
-			ds = dataset.DOT(*seed, *n)
-		case "bluenile":
-			ds = dataset.BlueNile(*seed, *n)
-		case "yahooautos":
-			ds = dataset.YahooAutos(*seed, *n)
-		default:
-			fmt.Fprintf(os.Stderr, "rerankd: unknown dataset %q\n", *name)
-			os.Exit(2)
-		}
-		db = ds.DB()
-		log.Printf("rerankd: in-process %s (n=%d, k=%d)", ds.Name, *n, db.K())
-	default:
-		fmt.Fprintln(os.Stderr, "rerankd: need -upstream URL or -dataset name")
+	if len(upstreams) == 0 && *name == "" {
+		fmt.Fprintln(os.Stderr, "rerankd: need at least one -upstream URL or a -dataset name")
 		os.Exit(2)
 	}
 	hint := *sizeHint
 	if hint == 0 {
 		hint = *n
 	}
-	srv := service.NewServerWithOptions(db, service.Options{
+	srv := service.NewFederatedServer(service.Options{
 		Core: core.Options{
 			N:                     hint,
 			ProbeCacheSize:        *cache,
@@ -119,6 +136,44 @@ func main() {
 		ClientBudgetWindow: *budgetWindow,
 		StreamWriteTimeout: *streamWrite,
 	})
+	for _, cfg := range upstreams {
+		cfg.N = hint
+		info, err := srv.RegisterUpstream(cfg)
+		if err != nil {
+			log.Fatalf("rerankd: %v", err)
+		}
+		role := ""
+		if info.Default {
+			role = ", default"
+		}
+		log.Printf("rerankd: upstream %s = %s (k=%d, %d attributes%s)",
+			cfg.Name, cfg.URL, info.Schema.K, len(info.Schema.Attrs), role)
+	}
+	if *name != "" {
+		var ds *dataset.Dataset
+		switch *name {
+		case "dot":
+			ds = dataset.DOT(*seed, *n)
+		case "bluenile":
+			ds = dataset.BlueNile(*seed, *n)
+		case "yahooautos":
+			ds = dataset.YahooAutos(*seed, *n)
+		default:
+			fmt.Fprintf(os.Stderr, "rerankd: unknown dataset %q\n", *name)
+			os.Exit(2)
+		}
+		db := ds.DB()
+		// The dataset namespace carries the dataset's name unless it is the
+		// only upstream, in which case it is the default namespace.
+		nsName := service.DefaultUpstream
+		if len(upstreams) > 0 {
+			nsName = strings.ToLower(ds.Name)
+		}
+		if _, err := srv.RegisterUpstreamDB(service.UpstreamConfig{Name: nsName, N: *n}, db); err != nil {
+			log.Fatalf("rerankd: %v", err)
+		}
+		log.Printf("rerankd: in-process %s as namespace %q (n=%d, k=%d)", ds.Name, nsName, *n, db.K())
+	}
 	log.Printf("rerankd: search parallelism %d (speculative probe width per request)", *width)
 	if *maxSessions > 0 {
 		log.Printf("rerankd: admission bound %d in-flight sessions", *maxSessions)
@@ -126,7 +181,7 @@ func main() {
 	if *clientBudget > 0 {
 		log.Printf("rerankd: per-client budget %d upstream queries / %s", *clientBudget, *budgetWindow)
 	}
-	// Persistence boot order: replay the data dir's committed knowledge
+	// Persistence boot order: replay each namespace's committed knowledge
 	// first, then import the -state snapshot on top. A snapshot loaded after
 	// AttachPersistence flows through the recording hooks, so its contents
 	// are committed to the data dir by the next checkpoint.
@@ -202,7 +257,7 @@ func main() {
 	}
 	if *dataDir != "" {
 		// Final checkpoint: commit everything learned since the last
-		// background checkpoint, then close the store.
+		// background checkpoint, then close every namespace's store.
 		if err := srv.ClosePersistence(); err != nil {
 			log.Printf("rerankd: final checkpoint: %v", err)
 		} else {

@@ -1,7 +1,9 @@
 // Full service pipeline in one process: a hiddendb HTTP server (playing the
 // role of a real web database), a rerankd HTTP service dialed to it over the
 // network, and a client issuing reranked queries — the complete third-party
-// deployment of the paper's title.
+// deployment of the paper's title. The last act federates a second web
+// database into the same service as its own knowledge namespace via the
+// registry API.
 //
 //	go run ./examples/service
 package main
@@ -33,7 +35,7 @@ func main() {
 	fmt.Printf("rerankd proxying it at %s\n\n", api.URL)
 
 	// 3. A user with a preference the site does not support.
-	client := service.NewClient(api.URL, api.Client())
+	client := service.NewClientWith(api.URL, service.WithHTTPClient(api.Client()))
 	resp, err := client.Rerank(service.RerankRequest{
 		Filters: map[string]string{"Shape": "Princess"},
 		Ranking: service.RankingSpec{
@@ -73,6 +75,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("service stats: %d requests, %d lifetime upstream queries, %d cached tuples\n",
+	fmt.Printf("service stats: %d requests, %d lifetime upstream queries, %d cached tuples\n\n",
 		st.Requests, st.EngineQueries, st.HistoryTuples)
+
+	// 5. Federation: a second web database joins the SAME service as its own
+	//    namespace — isolated ledger, history and caches — via the registry
+	//    API, no restart involved.
+	autos := dataset.YahooAutos(7, 10000)
+	upstream2 := httptest.NewServer(service.HiddenDBHandler(autos.DB()))
+	defer upstream2.Close()
+	info, err := client.RegisterUpstream(service.UpstreamConfig{
+		Name: "autos", URL: upstream2.URL, N: len(autos.Tuples),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered namespace %q (k=%d, %d attributes)\n", info.Name, info.Schema.K, len(info.Schema.Attrs))
+
+	autosClient := service.NewClientWith(api.URL,
+		service.WithHTTPClient(api.Client()), service.WithUpstream("autos"))
+	resp3, err := autosClient.Rerank(service.RerankRequest{
+		Ranking: service.RankingSpec{Kind: "single", Attrs: []string{"Mileage"}},
+		H:       3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-3 cars by lowest mileage, from the federated namespace:")
+	for i, t := range resp3.Tuples {
+		fmt.Printf("  %d. #%-6d mileage=%.0f $%.0f\n", i+1, t.ID, t.Ord["Mileage"], t.Ord["Price"])
+	}
+	ups, err := client.Upstreams()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("namespaces now served: %d (default %q)\n", len(ups.Upstreams), ups.Default)
 }

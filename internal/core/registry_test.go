@@ -1,0 +1,209 @@
+// Registry unit tests: naming, default semantics, shared weighted
+// admission, and cross-namespace knowledge isolation at the engine level.
+
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hidden"
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/types"
+)
+
+func registryDB(t *testing.T, seed int64) *hidden.DB {
+	t.Helper()
+	schema, err := types.NewSchema([]types.Attribute{
+		{Name: "A0", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 500
+	tuples := make([]types.Tuple, n)
+	rng := seed
+	for i := range tuples {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := float64(uint64(rng)%10_000) / 100
+		tuples[i] = types.Tuple{ID: i, Ord: []float64{v}}
+	}
+	return hidden.MustDB(schema, tuples, hidden.Options{K: 10})
+}
+
+func TestRegistryRegisterResolveDeregister(t *testing.T) {
+	r := NewRegistry(RegistryOptions{})
+	if r.Default() != nil || r.Len() != 0 {
+		t.Fatal("fresh registry not empty")
+	}
+	a, err := r.Register("alpha", registryDB(t, 1), NamespaceConfig{Engine: Options{N: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Register("beta", registryDB(t, 2), NamespaceConfig{Engine: Options{N: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("alpha", registryDB(t, 3), NamespaceConfig{}); !errors.Is(err, ErrNamespaceExists) {
+		t.Fatalf("duplicate register: %v, want ErrNamespaceExists", err)
+	}
+
+	// First registered is the default, and the empty name resolves to it.
+	if r.Default() != a {
+		t.Fatal("default is not the first registered namespace")
+	}
+	if ns, ok := r.Resolve(""); !ok || ns != a {
+		t.Fatal("empty name did not resolve to the default")
+	}
+	if ns, ok := r.Resolve("beta"); !ok || ns != b {
+		t.Fatal("beta did not resolve")
+	}
+	if _, ok := r.Resolve("gamma"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if got := r.List(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("List() = %v, want [alpha beta]", got)
+	}
+
+	// The default is pinned while other namespaces remain.
+	if _, err := r.Deregister("alpha"); !errors.Is(err, ErrNamespaceDefault) {
+		t.Fatalf("deregister default: %v, want ErrNamespaceDefault", err)
+	}
+	if _, err := r.Deregister("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Deregister("beta"); !errors.Is(err, ErrNamespaceUnknown) {
+		t.Fatalf("double deregister: %v, want ErrNamespaceUnknown", err)
+	}
+	if _, err := r.Deregister("alpha"); err != nil { // last one may go
+		t.Fatal(err)
+	}
+	if r.Default() != nil || r.Len() != 0 {
+		t.Fatal("registry not empty after removing every namespace")
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	r := NewRegistry(RegistryOptions{})
+	for _, bad := range []string{"", "UPPER", "has space", "a/b", "../evil", ".hidden", "-lead", "_lead",
+		"tooooooooooooooooooooooooooooooooooooooooooooooooooooooooooo-long"} {
+		if _, err := r.Register(bad, registryDB(t, 1), NamespaceConfig{}); err == nil {
+			t.Errorf("Register(%q) accepted an invalid name", bad)
+		}
+	}
+	for _, good := range []string{"a", "diamonds", "yahoo-autos", "v2.corpus", "shard_07"} {
+		if _, err := r.Register(good, registryDB(t, 1), NamespaceConfig{}); err != nil {
+			t.Errorf("Register(%q): %v", good, err)
+		}
+	}
+}
+
+func TestRegistrySharedWeightedAdmission(t *testing.T) {
+	r := NewRegistry(RegistryOptions{MaxConcurrentSessions: 6})
+	light, err := r.Register("light", registryDB(t, 1), NamespaceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := r.Register("heavy", registryDB(t, 2), NamespaceConfig{AdmissionWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.SessionCapacity(); got != 6 {
+		t.Fatalf("SessionCapacity() = %d, want 6", got)
+	}
+
+	// One heavy session draws 3 of the 6 shared slots.
+	relH, ok := r.TryAdmit(heavy, 1)
+	if !ok {
+		t.Fatal("heavy admission rejected with free capacity")
+	}
+	if got := r.SessionsInFlight(); got != 3 {
+		t.Fatalf("in-flight weight %d after one heavy session, want 3", got)
+	}
+	// Three light sessions fill the rest; the fourth is shed.
+	var rels []func()
+	for i := 0; i < 3; i++ {
+		rel, ok := r.TryAdmit(light, 1)
+		if !ok {
+			t.Fatalf("light session %d rejected with free capacity", i)
+		}
+		rels = append(rels, rel)
+	}
+	if _, ok := r.TryAdmit(light, 1); ok {
+		t.Fatal("admission exceeded the shared capacity")
+	}
+	// Releasing the heavy session frees room for a weight-3 batch, and
+	// release is idempotent.
+	relH()
+	relH()
+	if got := r.SessionsInFlight(); got != 3 {
+		t.Fatalf("in-flight weight %d after heavy release, want 3", got)
+	}
+	relB, ok := r.TryAdmit(light, 3)
+	if !ok {
+		t.Fatal("weight-3 batch rejected with exactly enough capacity")
+	}
+	relB()
+	for _, rel := range rels {
+		rel()
+	}
+	if got := r.SessionsInFlight(); got != 0 {
+		t.Fatalf("in-flight weight %d after releasing everything, want 0", got)
+	}
+}
+
+// TestRegistryNamespaceIsolation pins the core isolation property: queries
+// against one namespace never touch another's knowledge, ledgers, or
+// upstream.
+func TestRegistryNamespaceIsolation(t *testing.T) {
+	r := NewRegistry(RegistryOptions{})
+	dbA, dbB := registryDB(t, 11), registryDB(t, 22)
+	a, err := r.Register("a", dbA, NamespaceConfig{Engine: Options{N: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Register("b", dbB, NamespaceConfig{Engine: Options{N: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := query.New().WithRange(0, types.Interval{Lo: 20, Hi: 80})
+	rk := ranking.NewSingle("price", 0, ranking.Asc)
+	cur, err := a.Engine().NewCursor(q, rk, Rerank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TopH(cur, 5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Engine().Queries() == 0 {
+		t.Fatal("precondition: namespace a issued no upstream queries")
+	}
+	if got := b.Engine().Queries(); got != 0 {
+		t.Fatalf("namespace b's ledger moved (%d) from a's traffic", got)
+	}
+	if got := dbB.QueryCount(); got != 0 {
+		t.Fatalf("namespace b's upstream saw %d queries from a's traffic", got)
+	}
+	if got := b.Engine().History().Size(); got != 0 {
+		t.Fatalf("namespace b's history gained %d tuples from a's traffic", got)
+	}
+	if got := b.Engine().ProbeCacheEntries(); got != 0 {
+		t.Fatalf("namespace b's probe cache gained %d entries from a's traffic", got)
+	}
+
+	// The same probe against b is a cold miss there: isolation means no
+	// cross-namespace cache hits even for identical queries.
+	before := b.Engine().Queries()
+	cur, err = b.Engine().NewCursor(q, rk, Rerank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TopH(cur, 5); err != nil {
+		t.Fatal(err)
+	}
+	if b.Engine().Queries() == before {
+		t.Fatal("identical query on namespace b cost nothing: knowledge leaked across namespaces")
+	}
+}

@@ -1,12 +1,14 @@
-// Serving-tier admission: the request-shedding layer in front of the engine.
+// Serving-tier admission: the request-shedding layer in front of the
+// engines.
 //
-// The engine's session gate (core.Engine.TryAdmit) bounds in-flight work;
-// this file adds the HTTP semantics around it — 429 + Retry-After on
-// overload, an optional per-client upstream-query budget window (the
-// paper's cost ledger turned into a QoS primitive: every response already
-// reports queriesIssued, here the same number is charged against a
-// header-keyed allowance), and the draining state a graceful shutdown uses
-// to stop admitting while in-flight requests finish.
+// The registry's shared session gate (core.Registry.TryAdmit) bounds
+// in-flight work across all namespaces; this file adds the HTTP semantics
+// around it — 429 + Retry-After on overload, an optional per-client
+// upstream-query budget window (the paper's cost ledger turned into a QoS
+// primitive: every response already reports queriesIssued, here the same
+// number is charged against a header-keyed allowance, pooled across
+// namespaces), and the draining state a graceful shutdown uses to stop
+// admitting while in-flight requests finish.
 
 package service
 
@@ -19,10 +21,12 @@ import (
 	"repro/internal/core"
 )
 
-// Options configure the serving tier around a core engine.
+// Options configure the serving tier around the namespace registry.
 type Options struct {
-	// Core configures the underlying reranking engine, including the
-	// session admission bound (Core.MaxConcurrentSessions).
+	// Core seeds every namespace's engine options. Core.MaxConcurrentSessions
+	// is the SHARED session admission bound across all namespaces (scaled
+	// per-namespace by UpstreamConfig.AdmissionWeight); Core.N is the
+	// default size estimate, overridable per namespace.
 	Core core.Options
 	// MaxBodyBytes bounds request bodies (default 1 MiB). Oversized
 	// bodies get 413.
@@ -157,17 +161,17 @@ func (l *budgetLedger) fetch(key string, now time.Time) *budgetWindow {
 }
 
 // admit runs the full admission pipeline for a request that will create
-// weight sessions: drain check, per-client budget check, engine capacity
-// reservation. On rejection it writes the HTTP error (503 draining, or 429
-// with Retry-After) and returns ok=false. On success the caller must invoke
-// both returned functions when the request finishes: release frees the
-// session slots (idempotent) and charge books the request's actual upstream
-// cost against the client's budget window.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, weight int) (release func(), charge func(issued int64), ok bool) {
+// weight sessions against tenant t: drain check, per-client budget check,
+// shared capacity reservation (scaled by the namespace's admission weight).
+// On rejection it writes the error envelope (503 draining, or 429 with
+// Retry-After) and returns ok=false. On success the caller must invoke both
+// returned functions when the request finishes: release frees the session
+// slots (idempotent) and charge books the request's actual upstream cost
+// against the client's budget window.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, t *tenant, weight int) (release func(), charge func(issued int64), ok bool) {
 	if s.draining.Load() {
 		s.rejectedDraining.Add(1)
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, errDraining)
+		httpErrorRetry(w, http.StatusServiceUnavailable, ErrCodeDraining, errDraining, time.Second)
 		return nil, nil, false
 	}
 	var settle func(int64)
@@ -176,23 +180,23 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, weight int) (rele
 		allowed, retry, fn := s.budgets.begin(clientKey)
 		if !allowed {
 			s.rejectedBudget.Add(1)
-			w.Header().Set("Retry-After", retryAfterSeconds(retry))
-			httpError(w, http.StatusTooManyRequests,
-				fmt.Errorf("client %q over upstream-query budget (retry in %s)", clientKey, retry.Round(time.Second)))
+			httpErrorRetry(w, http.StatusTooManyRequests, ErrCodeBudget,
+				fmt.Errorf("client %q over upstream-query budget (retry in %s)", clientKey, retry.Round(time.Second)),
+				retry)
 			return nil, nil, false
 		}
 		settle = fn
 	}
-	rel, admitted := s.engine.TryAdmit(weight)
+	rel, admitted := s.registry.TryAdmit(t.ns, weight)
 	if !admitted {
 		if settle != nil {
 			settle(0) // return the budget reservation
 		}
 		s.rejectedCapacity.Add(1)
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests,
-			fmt.Errorf("server at capacity (%d in-flight sessions, limit %d)",
-				s.engine.SessionsInFlight(), s.engine.SessionCapacity()))
+		httpErrorRetry(w, http.StatusTooManyRequests, ErrCodeCapacity,
+			fmt.Errorf("server at capacity (%d in-flight session weight, limit %d)",
+				s.registry.SessionsInFlight(), s.registry.SessionCapacity()),
+			time.Second)
 		return nil, nil, false
 	}
 	charge = func(issued int64) {

@@ -1,17 +1,19 @@
-// Batched reranking: POST /v1/rerank/batch.
+// Batched reranking: POST /v1/rerank/batch and its namespace-scoped form
+// POST /v1/upstreams/{ns}/rerank/batch.
 //
 // A batch carries N independent rerank requests in one HTTP round trip and
-// runs them concurrently against the shared engine. Because every item's
-// probes route through the engine's coalescing layer, overlapping queries
-// inside one batch (and across concurrent batches) deduplicate at probe
-// granularity: identical in-flight probes are issued once and charged to
-// the item that issued them, so a batch of near-duplicate queries costs far
-// less upstream than the same requests issued serially by cold clients.
+// runs them concurrently against one namespace's engine. Because every
+// item's probes route through that engine's coalescing layer, overlapping
+// queries inside one batch (and across concurrent batches) deduplicate at
+// probe granularity: identical in-flight probes are issued once and charged
+// to the item that issued them, so a batch of near-duplicate queries costs
+// far less upstream than the same requests issued serially by cold clients.
 //
 // Admission is atomic and weighted: a batch of N reserves N session slots
-// or is rejected whole with 429 — it can never be half-admitted past
-// MaxConcurrentSessions. Items fail independently: each BatchItem carries
-// its own status code and error, and one bad item does not poison the rest.
+// (scaled by the namespace's admission weight) or is rejected whole with
+// 429 — it can never be half-admitted past the shared bound. Items fail
+// independently: each BatchItem carries its own status code and error
+// envelope, and one bad item does not poison the rest.
 
 package service
 
@@ -23,8 +25,12 @@ import (
 	"sync/atomic"
 )
 
-// BatchRequest is the /v1/rerank/batch request body.
+// BatchRequest is the /v1/rerank/batch request body. The whole batch runs
+// against one namespace: Upstream on the legacy route ("" = default), the
+// {ns} path wildcard on the namespace-scoped route. Per-item Upstream
+// fields are ignored.
 type BatchRequest struct {
+	Upstream string          `json:"upstream,omitempty"`
 	Requests []RerankRequest `json:"requests"`
 }
 
@@ -32,8 +38,9 @@ type BatchRequest struct {
 type BatchItem struct {
 	// Status is the item's HTTP-equivalent status code (200 on success).
 	Status int `json:"status"`
-	// Error describes the failure when Status != 200.
-	Error string `json:"error,omitempty"`
+	// Error describes the failure when Status != 200, in the service's
+	// standard error envelope shape.
+	Error *ErrorInfo `json:"error,omitempty"`
 	// Response is the item's result when Status == 200.
 	Response *RerankResponse `json:"response,omitempty"`
 }
@@ -44,7 +51,7 @@ type BatchResponse struct {
 	// QueriesIssued is the whole batch's upstream cost: the sum of the
 	// items' ledgers. Probes deduplicated across items count once.
 	QueriesIssued int64 `json:"queriesIssued"`
-	// EngineQueries is the engine's lifetime upstream query count.
+	// EngineQueries is the namespace engine's lifetime upstream query count.
 	EngineQueries int64 `json:"engineQueries"`
 }
 
@@ -53,32 +60,50 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	t, ok := s.resolveTenant(w, r, req.Upstream)
+	if !ok {
+		return
+	}
 	if len(req.Requests) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, errors.New("empty batch"))
 		return
 	}
 	if len(req.Requests) > s.opts.MaxBatchItems {
-		httpError(w, http.StatusBadRequest,
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest,
 			fmt.Errorf("batch of %d exceeds the %d-item limit", len(req.Requests), s.opts.MaxBatchItems))
 		return
 	}
-	release, charge, ok := s.admit(w, r, len(req.Requests))
+	release, charge, ok := s.admit(w, r, t, len(req.Requests))
 	if !ok {
 		return
 	}
 	defer release()
 
-	resp := s.RerankBatch(req)
+	resp := s.rerankBatch(t, req)
 	charge(resp.QueriesIssued)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// RerankBatch runs every request of the batch concurrently and returns the
-// per-item outcomes in request order. Exported for in-process callers; like
-// Rerank it bypasses the HTTP edge's admission control.
+// RerankBatch runs every request of the batch concurrently against the
+// namespace req.Upstream addresses ("" = default) and returns the per-item
+// outcomes in request order. Exported for in-process callers; like Rerank
+// it bypasses the HTTP edge's admission control.
 func (s *Server) RerankBatch(req BatchRequest) *BatchResponse {
-	s.batchRequests.Add(1)
-	s.batchItems.Add(int64(len(req.Requests)))
+	t, ok := s.tenantFor(req.Upstream)
+	if !ok {
+		resp := &BatchResponse{Items: make([]BatchItem, len(req.Requests))}
+		info := errorInfo(http.StatusNotFound, ErrCodeUnknownUpstream, unknownUpstreamErr(req.Upstream))
+		for i := range resp.Items {
+			resp.Items[i] = BatchItem{Status: http.StatusNotFound, Error: info}
+		}
+		return resp
+	}
+	return s.rerankBatch(t, req)
+}
+
+func (s *Server) rerankBatch(t *tenant, req BatchRequest) *BatchResponse {
+	t.batchRequests.Add(1)
+	t.batchItems.Add(int64(len(req.Requests)))
 	resp := &BatchResponse{Items: make([]BatchItem, len(req.Requests))}
 	var wg sync.WaitGroup
 	var issued atomic.Int64
@@ -86,10 +111,10 @@ func (s *Server) RerankBatch(req BatchRequest) *BatchResponse {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, cost, code, err := s.rerank(req.Requests[i])
+			r, cost, status, code, err := s.rerank(t, req.Requests[i])
 			issued.Add(cost)
 			if err != nil {
-				resp.Items[i] = BatchItem{Status: code, Error: err.Error()}
+				resp.Items[i] = BatchItem{Status: status, Error: errorInfo(status, code, err)}
 				return
 			}
 			resp.Items[i] = BatchItem{Status: http.StatusOK, Response: r}
@@ -97,6 +122,6 @@ func (s *Server) RerankBatch(req BatchRequest) *BatchResponse {
 	}
 	wg.Wait()
 	resp.QueriesIssued = issued.Load()
-	resp.EngineQueries = s.engine.Queries()
+	resp.EngineQueries = t.engine().Queries()
 	return resp
 }

@@ -1,4 +1,15 @@
 // Client is the Go client for the reranking service API.
+//
+// A Client is configured with functional options and optionally pinned to
+// one upstream namespace:
+//
+//	c := service.NewClientWith(baseURL,
+//		service.WithUpstream("autos"),
+//		service.WithClientID("crawler-7"),
+//		service.WithTimeout(2*time.Minute))
+//
+// Without WithUpstream the client speaks the legacy un-namespaced routes,
+// which the server resolves to its default namespace.
 
 package service
 
@@ -8,53 +19,151 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 )
 
 // Client talks to a rerankd instance.
 type Client struct {
-	baseURL string
-	http    *http.Client
+	baseURL  string
+	http     *http.Client
+	timeout  time.Duration
+	upstream string
 	// ClientID, when set, is sent as the X-Client-ID header so the
 	// server's per-client budget windows attribute cost to this client.
+	// Prefer WithClientID; the field stays exported for back-compat.
 	ClientID string
 }
 
-// NewClient builds a client for the service at baseURL.
-func NewClient(baseURL string, hc *http.Client) *Client {
-	if hc == nil {
-		hc = &http.Client{Timeout: 60 * time.Second}
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient uses hc for requests (nil is ignored). Combine with
+// WithTimeout to bound requests without building an *http.Client yourself.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) {
+		if hc != nil {
+			c.http = hc
+		}
 	}
-	return &Client{baseURL: baseURL, http: hc}
 }
 
-// StatusError is a non-200 service answer. Shed requests (429/503) carry
+// WithTimeout bounds every request (default 60s). Applied to a copy of the
+// configured HTTP client, so a shared client passed via WithHTTPClient is
+// not mutated.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithClientID attributes this client's upstream cost to id via the
+// X-Client-ID header (the server's per-client budget key).
+func WithClientID(id string) ClientOption {
+	return func(c *Client) { c.ClientID = id }
+}
+
+// WithUpstream pins the client to one upstream namespace: requests use the
+// /v1/upstreams/{ns}/... routes instead of the legacy un-namespaced ones.
+func WithUpstream(namespace string) ClientOption {
+	return func(c *Client) { c.upstream = namespace }
+}
+
+// NewClientWith builds a client for the service at baseURL.
+func NewClientWith(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{baseURL: baseURL}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.http == nil {
+		c.http = &http.Client{Timeout: 60 * time.Second}
+	}
+	if c.timeout > 0 {
+		hc := *c.http
+		hc.Timeout = c.timeout
+		c.http = &hc
+	}
+	return c
+}
+
+// NewClient builds a client for the service at baseURL.
+//
+// Deprecated: use NewClientWith with WithHTTPClient / WithTimeout options.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	return NewClientWith(baseURL, WithHTTPClient(hc))
+}
+
+// Upstream returns the namespace the client is pinned to ("" = default via
+// the legacy routes).
+func (c *Client) Upstream() string { return c.upstream }
+
+// apiPath builds the request path for suffix ("/rerank", "/schema", ...),
+// namespace-scoped when the client is pinned to an upstream.
+func (c *Client) apiPath(suffix string) string {
+	if c.upstream == "" {
+		return "/v1" + suffix
+	}
+	return "/v1/upstreams/" + url.PathEscape(c.upstream) + suffix
+}
+
+// StatusError is a non-200 service answer: the parsed error envelope
+// ({"error":{code,message,retryAfterSec}}). Shed requests (429/503) carry
 // RetryAfter, the server's requested backoff.
 type StatusError struct {
-	Status     int
+	Status int
+	// Code is the envelope's machine-readable error code (see ErrCode*).
+	Code       string
 	Msg        string
 	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
-	if e.Msg != "" {
+	switch {
+	case e.Code != "" && e.Msg != "":
+		return fmt.Sprintf("status %d (%s): %s", e.Status, e.Code, e.Msg)
+	case e.Msg != "":
 		return fmt.Sprintf("status %d: %s", e.Status, e.Msg)
+	case e.Code != "":
+		return fmt.Sprintf("status %d (%s)", e.Status, e.Code)
+	default:
+		return fmt.Sprintf("status %d", e.Status)
 	}
-	return fmt.Sprintf("status %d", e.Status)
 }
 
 // statusError drains a non-200 response into a *StatusError.
 func statusError(resp *http.Response) *StatusError {
-	var e struct {
-		Error string `json:"error"`
+	var env errorEnvelope
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	se := &StatusError{Status: resp.StatusCode}
+	if env.Error != nil {
+		se.Code, se.Msg = env.Error.Code, env.Error.Message
+		se.RetryAfter = time.Duration(env.Error.RetryAfterSec) * time.Second
 	}
-	_ = json.NewDecoder(resp.Body).Decode(&e)
-	se := &StatusError{Status: resp.StatusCode, Msg: e.Error}
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
 		se.RetryAfter = time.Duration(secs) * time.Second
 	}
 	return se
+}
+
+// streamStatusError lifts a final stream event's in-band error envelope
+// into the same typed error a non-200 response produces.
+func streamStatusError(ev *StreamEvent) *StatusError {
+	status := ev.Status
+	if status == 0 {
+		status = http.StatusBadGateway
+	}
+	se := &StatusError{Status: status}
+	if ev.Error != nil {
+		se.Code, se.Msg = ev.Error.Code, ev.Error.Message
+		se.RetryAfter = time.Duration(ev.Error.RetryAfterSec) * time.Second
+	}
+	return se
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	if c.ClientID != "" {
+		req.Header.Set(ClientIDHeader, c.ClientID)
+	}
+	return c.http.Do(req)
 }
 
 func (c *Client) post(path string, v any) (*http.Response, error) {
@@ -67,15 +176,33 @@ func (c *Client) post(path string, v any) (*http.Response, error) {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if c.ClientID != "" {
-		req.Header.Set(ClientIDHeader, c.ClientID)
-	}
-	return c.http.Do(req)
+	return c.do(req)
 }
 
-// Rerank submits one reranking request.
+// getJSON fetches path and decodes a 200 answer into out.
+func (c *Client) getJSON(path string, what string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return fmt.Errorf("%s request: %w", what, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s request: %w", what, statusError(resp))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode %s: %w", what, err)
+	}
+	return nil
+}
+
+// Rerank submits one reranking request (against the pinned namespace when
+// WithUpstream was used).
 func (c *Client) Rerank(req RerankRequest) (*RerankResponse, error) {
-	resp, err := c.post("/v1/rerank", req)
+	resp, err := c.post(c.apiPath("/rerank"), req)
 	if err != nil {
 		return nil, fmt.Errorf("rerank request: %w", err)
 	}
@@ -94,7 +221,7 @@ func (c *Client) Rerank(req RerankRequest) (*RerankResponse, error) {
 // response carries per-item outcomes in request order; an error is only
 // returned when the batch itself was rejected (bad request, 429, 503).
 func (c *Client) RerankBatch(req BatchRequest) (*BatchResponse, error) {
-	resp, err := c.post("/v1/rerank/batch", req)
+	resp, err := c.post(c.apiPath("/rerank/batch"), req)
 	if err != nil {
 		return nil, fmt.Errorf("batch request: %w", err)
 	}
@@ -114,7 +241,7 @@ func (c *Client) RerankBatch(req BatchRequest) (*BatchResponse, error) {
 // reading and disconnects (the server releases the session at the next
 // tuple boundary). The final event is also returned for convenience.
 func (c *Client) RerankStream(req RerankRequest, fn func(StreamEvent) bool) (*StreamEvent, error) {
-	resp, err := c.post("/v1/rerank/stream", req)
+	resp, err := c.post(c.apiPath("/rerank/stream"), req)
 	if err != nil {
 		return nil, fmt.Errorf("stream request: %w", err)
 	}
@@ -133,14 +260,10 @@ func (c *Client) RerankStream(req RerankRequest, fn func(StreamEvent) bool) (*St
 		if ev.Done {
 			// The final event's error outranks fn's stop signal — a
 			// failed stream must never return a nil error.
-			if ev.Error != "" {
+			if ev.Error != nil {
 				// In-band failure: surface it with the same typed
 				// status a one-shot request would have returned.
-				status := ev.Status
-				if status == 0 {
-					status = http.StatusBadGateway
-				}
-				return &ev, fmt.Errorf("stream failed: %w", &StatusError{Status: status, Msg: ev.Error})
+				return &ev, fmt.Errorf("stream failed: %w", streamStatusError(&ev))
 			}
 			return &ev, nil
 		}
@@ -154,19 +277,76 @@ func (c *Client) RerankStream(req RerankRequest, fn func(StreamEvent) bool) (*St
 	return nil, fmt.Errorf("stream ended without a final event")
 }
 
-// Stats fetches engine statistics.
+// Stats fetches the service-wide statistics (all namespaces, with the
+// per-upstream breakdown in Upstreams).
 func (c *Client) Stats() (*Stats, error) {
-	resp, err := c.http.Get(c.baseURL + "/v1/stats")
-	if err != nil {
-		return nil, fmt.Errorf("stats request: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("stats request: status %s", resp.Status)
-	}
 	var out Stats
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("decode stats: %w", err)
+	if err := c.getJSON("/v1/stats", "stats", &out); err != nil {
+		return nil, err
 	}
 	return &out, nil
+}
+
+// Schema fetches the upstream search schema of the pinned namespace (the
+// default namespace without WithUpstream). Unknown namespaces yield a
+// *StatusError with Status 404.
+func (c *Client) Schema() (*SchemaResponse, error) {
+	var out SchemaResponse
+	if err := c.getJSON(c.apiPath("/schema"), "schema", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Upstreams lists the registered upstream namespaces.
+func (c *Client) Upstreams() (*UpstreamsResponse, error) {
+	var out UpstreamsResponse
+	if err := c.getJSON("/v1/upstreams", "upstreams", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Upstream fetches one registered upstream's descriptor.
+func (c *Client) UpstreamInfo(name string) (*UpstreamInfo, error) {
+	var out UpstreamInfo
+	if err := c.getJSON("/v1/upstreams/"+url.PathEscape(name), "upstream", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RegisterUpstream registers a new upstream namespace on the server (POST
+// /v1/upstreams): the server dials cfg.URL and builds a fresh engine for it.
+func (c *Client) RegisterUpstream(cfg UpstreamConfig) (*UpstreamInfo, error) {
+	resp, err := c.post("/v1/upstreams", cfg)
+	if err != nil {
+		return nil, fmt.Errorf("register upstream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("register upstream: %w", statusError(resp))
+	}
+	var out UpstreamInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode upstream info: %w", err)
+	}
+	return &out, nil
+}
+
+// DeregisterUpstream removes an upstream namespace from the server.
+func (c *Client) DeregisterUpstream(name string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.baseURL+"/v1/upstreams/"+url.PathEscape(name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return fmt.Errorf("deregister upstream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("deregister upstream: %w", statusError(resp))
+	}
+	return nil
 }

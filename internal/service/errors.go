@@ -1,0 +1,109 @@
+// The service's unified JSON error envelope. Every non-2xx response body
+// (and every in-band failure: batch items, stream final events) carries the
+// same shape:
+//
+//	{"error": {"code": "...", "message": "...", "retryAfterSec": N}}
+//
+// Code is a stable machine-readable string from the ErrCode* set; Message
+// is human-readable; RetryAfterSec mirrors the Retry-After header on shed
+// requests (429/503) so NDJSON in-band errors — where headers are already
+// sent — can carry the backoff too. client.StatusError parses exactly this
+// envelope.
+
+package service
+
+import (
+	"net/http"
+	"time"
+)
+
+// Error codes of the service's error envelope.
+const (
+	// ErrCodeBadRequest: the request body failed validation (400).
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodePayloadTooLarge: the body exceeded MaxBodyBytes (413).
+	ErrCodePayloadTooLarge = "payload_too_large"
+	// ErrCodeUnknownUpstream: the namespace is not registered (404).
+	ErrCodeUnknownUpstream = "unknown_upstream"
+	// ErrCodeUpstreamExists: POST /v1/upstreams with a taken name (409).
+	ErrCodeUpstreamExists = "upstream_exists"
+	// ErrCodeDefaultUpstream: DELETE of the default namespace (409).
+	ErrCodeDefaultUpstream = "default_upstream"
+	// ErrCodeCapacity: shed at the shared session-admission gate (429).
+	ErrCodeCapacity = "capacity"
+	// ErrCodeBudget: the client is over its upstream-query budget (429).
+	ErrCodeBudget = "budget"
+	// ErrCodeUpstreamRateLimited: the upstream itself answered 429.
+	ErrCodeUpstreamRateLimited = "upstream_rate_limited"
+	// ErrCodeUpstreamFailed: the upstream search failed (502).
+	ErrCodeUpstreamFailed = "upstream_failed"
+	// ErrCodeDraining: the instance is draining for shutdown (503).
+	ErrCodeDraining = "draining"
+)
+
+// ErrorInfo is the payload of the service's error envelope; see the file
+// comment for the wire shape.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterSec is the server's requested backoff in seconds, set on
+	// shed requests (mirrors the Retry-After header).
+	RetryAfterSec int64 `json:"retryAfterSec,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error *ErrorInfo `json:"error"`
+}
+
+// errorInfo builds an ErrorInfo from a failure, defaulting the code from
+// the HTTP status when the caller has nothing more specific.
+func errorInfo(status int, code string, err error) *ErrorInfo {
+	if code == "" {
+		code = codeForStatus(status)
+	}
+	return &ErrorInfo{Code: code, Message: err.Error()}
+}
+
+// codeForStatus maps an HTTP-equivalent status to the envelope code used
+// when no more specific code applies (batch items, stream events).
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return ErrCodeBadRequest
+	case http.StatusNotFound:
+		return ErrCodeUnknownUpstream
+	case http.StatusRequestEntityTooLarge:
+		return ErrCodePayloadTooLarge
+	case http.StatusTooManyRequests:
+		return ErrCodeUpstreamRateLimited
+	case http.StatusServiceUnavailable:
+		return ErrCodeDraining
+	default:
+		return ErrCodeUpstreamFailed
+	}
+}
+
+// httpError writes the standard error envelope.
+func httpError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorEnvelope{Error: errorInfo(status, code, err)})
+}
+
+// httpErrorRetry writes the envelope for a shed request, advertising the
+// backoff both as the Retry-After header and in-envelope.
+func httpErrorRetry(w http.ResponseWriter, status int, code string, err error, retryAfter time.Duration) {
+	secs := ceilSeconds(retryAfter)
+	w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+	info := errorInfo(status, code, err)
+	info.RetryAfterSec = secs
+	writeJSON(w, status, errorEnvelope{Error: info})
+}
+
+// ceilSeconds rounds a backoff up to whole seconds, minimum 1 — clients
+// must never retry before the advertised window actually resets.
+func ceilSeconds(d time.Duration) int64 {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -10,6 +10,7 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"sort"
 )
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -78,5 +79,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			failing = 1
 		}
 		gauge("rerank_persist_checkpoint_failing", "1 while the most recent checkpoint attempt failed.", failing)
+	}
+
+	// Per-namespace breakdown: one labeled series per registered upstream.
+	// The unlabeled series above stay the cross-namespace totals, so
+	// single-upstream dashboards keep working unchanged.
+	names := make([]string, 0, len(st.Upstreams))
+	for name := range st.Upstreams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	labeled := func(name, help, kind string, v func(UpstreamStats) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, ns := range names {
+			fmt.Fprintf(w, "%s{upstream=%q} %d\n", name, ns, v(st.Upstreams[ns]))
+		}
+	}
+	if len(names) > 0 {
+		labeled("rerank_upstream_requests_total", "Single rerank requests started, per upstream namespace.", "counter",
+			func(u UpstreamStats) int64 { return u.Requests })
+		labeled("rerank_upstream_batch_requests_total", "Batch requests accepted, per upstream namespace.", "counter",
+			func(u UpstreamStats) int64 { return u.BatchRequests })
+		labeled("rerank_upstream_batch_items_total", "Sub-requests inside accepted batches, per upstream namespace.", "counter",
+			func(u UpstreamStats) int64 { return u.BatchItems })
+		labeled("rerank_upstream_stream_requests_total", "Stream requests admitted, per upstream namespace.", "counter",
+			func(u UpstreamStats) int64 { return u.StreamRequests })
+		labeled("rerank_upstream_stream_tuples_total", "NDJSON tuple lines emitted, per upstream namespace.", "counter",
+			func(u UpstreamStats) int64 { return u.StreamTuples })
+		labeled("rerank_upstream_engine_queries_total", "Lifetime upstream queries issued, per upstream namespace.", "counter",
+			func(u UpstreamStats) int64 { return u.EngineQueries })
+		labeled("rerank_upstream_history_tuples", "Tuples in the cross-query answer history, per upstream namespace.", "gauge",
+			func(u UpstreamStats) int64 { return int64(u.HistoryTuples) })
+		labeled("rerank_upstream_probe_cache_entries", "Complete probe answers in the coalescing LRU, per upstream namespace.", "gauge",
+			func(u UpstreamStats) int64 { return int64(u.ProbeCacheEntries) })
+		labeled("rerank_upstream_md_dense_regions", "Crawled MD dense regions, per upstream namespace.", "gauge",
+			func(u UpstreamStats) int64 { return int64(u.MDDenseRegions) })
+		labeled("rerank_upstream_admission_weight", "Per-session multiplier on the shared admission capacity.", "gauge",
+			func(u UpstreamStats) int64 { return int64(u.AdmissionWeight) })
+		labeled("rerank_upstream_persist_enabled", "1 when the namespace has an open segment store.", "gauge",
+			func(u UpstreamStats) int64 {
+				if u.PersistEnabled {
+					return 1
+				}
+				return 0
+			})
+		labeled("rerank_upstream_persist_pending_ops", "Operations recorded since the namespace's last checkpoint.", "gauge",
+			func(u UpstreamStats) int64 { return int64(u.PersistPendingOps) })
 	}
 }

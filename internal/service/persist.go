@@ -2,8 +2,16 @@
 // the primary persistence path (incremental, crash-safe), with the legacy
 // -state snapshot kept as a portable export/import format on top.
 //
+// Federation layout: every namespace persists into its OWN segment store
+// under data-dir/<namespace>/, guarded by its own fingerprint — cross-tenant
+// knowledge can never mix on disk, and a namespace registered while the
+// data dir is open gets its store immediately. (Pre-federation data dirs
+// wrote the journal at the data-dir root; those are simply ignored — move
+// the journal/segments into a "default/" subdirectory to migrate. See
+// docs/persistence.md.)
+//
 // Boot order matters: OpenDataDir replays committed knowledge BEFORE any
-// snapshot import, so the engine rebuilds exactly the state the recorded
+// snapshot import, so each engine rebuilds exactly the state the recorded
 // operations describe; a snapshot loaded afterwards flows through the
 // recording hooks and is itself persisted by the next checkpoint.
 
@@ -12,6 +20,7 @@ package service
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -24,76 +33,136 @@ type PersistConfig struct {
 	// background checkpointing (knowledge then commits only at drain).
 	CheckpointInterval time.Duration
 	// Logf receives recovery warnings and background checkpoint failures
-	// (nil silences them).
+	// (nil silences them). Messages are prefixed with the namespace.
 	Logf func(format string, args ...any)
 }
 
-// OpenDataDir opens (or initializes) the segment store in dir, replays its
-// committed knowledge into the engine, and starts incremental checkpointing.
+// OpenDataDir opens (or initializes) one segment store per registered
+// namespace under dir/<namespace>/, replays each store's committed
+// knowledge into its engine, and starts incremental checkpointing.
+// Namespaces registered later get their store at registration time.
 // Recovery is automatic: torn journal tails are truncated, corrupt segment
 // files quarantined, and a store fingerprinted for a different upstream is
 // quarantined wholesale — in every case the service boots with whatever
 // knowledge was committed and intact, never refusing to start over bad
-// state. Call before LoadState and before serving.
+// state. Call before LoadState and before serving. An error leaves already-
+// attached namespaces persisting; treat it as fatal and discard the server.
 func (s *Server) OpenDataDir(dir string, cfg PersistConfig) error {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
-	if s.persist != nil {
+	if s.dataDir != "" {
 		return fmt.Errorf("service: data dir already open")
 	}
-	st, err := segment.Open(dir, segment.Options{
-		Fingerprint: s.engine.PersistFingerprint(),
-		Logf:        cfg.Logf,
-	})
-	if err != nil {
-		return fmt.Errorf("service: open data dir: %w", err)
+	s.dataDir, s.persistCfg = dir, cfg
+	for _, t := range s.tenantList() {
+		if err := s.attachTenant(t); err != nil {
+			return err
+		}
 	}
-	p, err := s.engine.AttachPersistence(st, core.PersistOptions{
-		Interval: cfg.CheckpointInterval,
-		Logf:     cfg.Logf,
+	return nil
+}
+
+// attachTenant opens one namespace's segment store under
+// dataDir/<namespace>/ and attaches its engine's persister. No-op when the
+// engine already persists. Caller holds stateMu.
+func (s *Server) attachTenant(t *tenant) error {
+	eng := t.engine()
+	if eng.Persister() != nil {
+		return nil
+	}
+	name := t.ns.Name()
+	logf := s.persistCfg.Logf
+	if logf != nil {
+		base := logf
+		logf = func(format string, args ...any) {
+			base("["+name+"] "+format, args...)
+		}
+	}
+	st, err := segment.Open(filepath.Join(s.dataDir, name), segment.Options{
+		Fingerprint: eng.PersistFingerprint(),
+		Logf:        logf,
 	})
 	if err != nil {
+		return fmt.Errorf("service: open data dir for %q: %w", name, err)
+	}
+	if _, err := eng.AttachPersistence(st, core.PersistOptions{
+		Interval: s.persistCfg.CheckpointInterval,
+		Logf:     logf,
+	}); err != nil {
 		st.Close()
-		return fmt.Errorf("service: attach persistence: %w", err)
+		return fmt.Errorf("service: attach persistence for %q: %w", name, err)
 	}
-	s.persist = p
 	return nil
 }
 
-// Checkpoint commits all knowledge accumulated since the last checkpoint to
-// the data directory. A no-op success when no data dir is open.
+// Checkpoint commits every namespace's knowledge accumulated since its last
+// checkpoint to the data directory. A no-op success when no data dir is
+// open; on failure every namespace is still attempted and the first error
+// is returned.
 func (s *Server) Checkpoint() error {
-	if p := s.persist; p != nil {
-		return p.Checkpoint()
+	var first error
+	for _, t := range s.tenantList() {
+		if p := t.engine().Persister(); p != nil {
+			if err := p.Checkpoint(); err != nil && first == nil {
+				first = fmt.Errorf("service: checkpoint %q: %w", t.ns.Name(), err)
+			}
+		}
 	}
-	return nil
+	return first
 }
 
-// ClosePersistence takes a final checkpoint and closes the data directory.
-// Call after the HTTP drain, when no more requests mutate the engine. Safe
-// to call without an open data dir (no-op) and safe to call twice.
+// ClosePersistence takes a final checkpoint of every namespace and closes
+// their stores. Call after the HTTP drain, when no more requests mutate the
+// engines. Safe to call without an open data dir (no-op) and safe to call
+// twice.
 func (s *Server) ClosePersistence() error {
-	if p := s.persist; p != nil {
-		return p.Close()
+	var first error
+	for _, t := range s.tenantList() {
+		if p := t.engine().Persister(); p != nil {
+			if err := p.Close(); err != nil && first == nil {
+				first = fmt.Errorf("service: close persistence %q: %w", t.ns.Name(), err)
+			}
+		}
 	}
-	return nil
+	return first
 }
 
-// PersistStats returns the persister's counters and whether persistence is
-// enabled at all.
+// PersistStats returns the persistence counters summed across namespaces
+// and whether persistence is enabled for any of them (per-namespace figures
+// are on Stats().Upstreams). LastError is the first failing namespace's.
 func (s *Server) PersistStats() (core.PersistStats, bool) {
-	if p := s.persist; p != nil {
-		return p.Stats(), true
+	var agg core.PersistStats
+	any := false
+	for _, t := range s.tenantList() {
+		p := t.engine().Persister()
+		if p == nil {
+			continue
+		}
+		any = true
+		ps := p.Stats()
+		agg.Store.Seq += ps.Store.Seq
+		agg.Store.Checkpoints += ps.Store.Checkpoints
+		agg.Store.Compactions += ps.Store.Compactions
+		agg.Store.JournalRecords += ps.Store.JournalRecords
+		agg.Store.SegmentFiles += ps.Store.SegmentFiles
+		agg.Store.ReplayedDeltas += ps.Store.ReplayedDeltas
+		agg.Store.BytesAppended += ps.Store.BytesAppended
+		agg.PendingOps += ps.PendingOps
+		agg.HistLo += ps.HistLo
+		if agg.LastError == "" {
+			agg.LastError = ps.LastError
+		}
 	}
-	return core.PersistStats{}, false
+	return agg, any
 }
 
-// LoadStateFile restores a -state snapshot with corrupt-file fallback: a
-// missing file is a normal cold start, and an unreadable or corrupt snapshot
-// is quarantined (renamed to path + ".corrupt") with a logged warning so the
-// service boots cold instead of crash-looping on a bad file. warm reports
-// whether the snapshot actually loaded; the returned error is reserved for
-// real I/O failures (e.g. permissions), which should abort startup.
+// LoadStateFile restores a -state snapshot (into the default namespace)
+// with corrupt-file fallback: a missing file is a normal cold start, and an
+// unreadable or corrupt snapshot is quarantined (renamed to path +
+// ".corrupt") with a logged warning so the service boots cold instead of
+// crash-looping on a bad file. warm reports whether the snapshot actually
+// loaded; the returned error is reserved for real I/O failures (e.g.
+// permissions), which should abort startup.
 func (s *Server) LoadStateFile(path string, logf func(format string, args ...any)) (warm bool, err error) {
 	if logf == nil {
 		logf = func(string, ...any) {}

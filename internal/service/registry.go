@@ -1,0 +1,234 @@
+// The upstream registry API: programmatic registration of upstream
+// namespaces and the /v1/upstreams HTTP surface.
+//
+//	GET    /v1/upstreams       list registered upstreams
+//	POST   /v1/upstreams       dial {url} and register it as namespace {name}
+//	GET    /v1/upstreams/{ns}  one upstream's descriptor
+//	DELETE /v1/upstreams/{ns}  deregister (finalizes the namespace's persistence)
+//
+// Each descriptor carries the namespace name, upstream URL, the engine's
+// persistence fingerprint (schema + k + system ranker — the identity that
+// guards data-dir reuse), the upstream schema, and the namespace's slice of
+// the service counters.
+
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hidden"
+	"repro/internal/segment"
+)
+
+// UpstreamConfig describes one upstream to register: the POST /v1/upstreams
+// body and the argument of the programmatic registration calls.
+type UpstreamConfig struct {
+	// Name is the namespace name ([a-z0-9][a-z0-9._-]*, ≤64 bytes);
+	// defaults to DefaultUpstream when empty.
+	Name string `json:"name"`
+	// URL is the upstream hiddendb endpoint to dial (required over HTTP;
+	// ignored by RegisterUpstreamDB, which brings its own database).
+	URL string `json:"url,omitempty"`
+	// N overrides the server-wide Core.N size estimate for this
+	// namespace's dense-index thresholds (0 = inherit).
+	N int `json:"n,omitempty"`
+	// AdmissionWeight scales what one session against this namespace
+	// draws from the shared admission capacity (default 1).
+	AdmissionWeight int `json:"admissionWeight,omitempty"`
+}
+
+// UpstreamInfo is one registered upstream's descriptor.
+type UpstreamInfo struct {
+	Name string `json:"name"`
+	URL  string `json:"url,omitempty"`
+	// Default marks the namespace un-namespaced legacy requests hit.
+	Default         bool `json:"default,omitempty"`
+	AdmissionWeight int  `json:"admissionWeight"`
+	// Fingerprint is the namespace's persistence identity (schema, k,
+	// system ranker); a data dir recorded under a different fingerprint is
+	// quarantined rather than replayed.
+	Fingerprint segment.Fingerprint `json:"fingerprint"`
+	Schema      SchemaResponse      `json:"schema"`
+	Stats       UpstreamStats       `json:"stats"`
+}
+
+// UpstreamsResponse is the GET /v1/upstreams body.
+type UpstreamsResponse struct {
+	// Default names the namespace un-namespaced requests resolve to.
+	Default   string         `json:"default,omitempty"`
+	Upstreams []UpstreamInfo `json:"upstreams"`
+}
+
+// RegisterUpstreamDB registers a namespace over an in-process database
+// handle. The first registered namespace becomes the default. If a data dir
+// is open, the namespace immediately gets its own segment store under
+// data-dir/<name>/.
+func (s *Server) RegisterUpstreamDB(cfg UpstreamConfig, db hidden.Database) (*UpstreamInfo, error) {
+	if cfg.Name == "" {
+		cfg.Name = DefaultUpstream
+	}
+	engOpts := s.opts.Core
+	if cfg.N > 0 {
+		engOpts.N = cfg.N
+	}
+	s.tmu.Lock()
+	ns, err := s.registry.Register(cfg.Name, db, core.NamespaceConfig{
+		Engine:          engOpts,
+		AdmissionWeight: cfg.AdmissionWeight,
+	})
+	if err != nil {
+		s.tmu.Unlock()
+		return nil, err
+	}
+	t := &tenant{ns: ns, db: db, url: cfg.URL}
+	s.tenants[cfg.Name] = t
+	s.tmu.Unlock()
+
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.dataDir != "" {
+		if err := s.attachTenant(t); err != nil {
+			// Roll the registration back: a namespace that cannot open its
+			// store must not serve with persistence silently disabled.
+			s.tmu.Lock()
+			delete(s.tenants, cfg.Name)
+			s.tmu.Unlock()
+			_, _ = s.registry.Deregister(cfg.Name)
+			return nil, err
+		}
+	}
+	info := s.upstreamInfo(t)
+	return &info, nil
+}
+
+// RegisterUpstream dials a remote hiddendb endpoint and registers it as a
+// namespace (the programmatic form of POST /v1/upstreams).
+func (s *Server) RegisterUpstream(cfg UpstreamConfig) (*UpstreamInfo, error) {
+	if cfg.URL == "" {
+		return nil, errors.New("service: upstream url required")
+	}
+	rdb, err := DialRemote(cfg.URL, nil)
+	if err != nil {
+		return nil, &dialError{fmt.Errorf("service: dial upstream %q: %w", cfg.URL, err)}
+	}
+	return s.RegisterUpstreamDB(cfg, rdb)
+}
+
+// DeregisterUpstream removes a namespace and finalizes its persistence with
+// a last checkpoint. The default namespace can only be removed once it is
+// the last one left.
+func (s *Server) DeregisterUpstream(name string) error {
+	s.tmu.Lock()
+	ns, err := s.registry.Deregister(name)
+	if err != nil {
+		s.tmu.Unlock()
+		return err
+	}
+	delete(s.tenants, name)
+	s.tmu.Unlock()
+	// Final checkpoint outside the locks: in-flight requests that resolved
+	// the tenant before removal drain on their own; their knowledge past
+	// this point is simply not persisted.
+	if p := ns.Engine().Persister(); p != nil {
+		if err := p.Close(); err != nil {
+			return fmt.Errorf("service: finalize persistence for %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// upstreamInfo renders one tenant's registry descriptor.
+func (s *Server) upstreamInfo(t *tenant) UpstreamInfo {
+	return UpstreamInfo{
+		Name:            t.ns.Name(),
+		URL:             t.url,
+		Default:         s.registry.Default() == t.ns,
+		AdmissionWeight: t.ns.AdmissionWeight(),
+		Fingerprint:     t.engine().PersistFingerprint(),
+		Schema:          schemaResponse(t.db.Schema(), t.db.K()),
+		Stats:           s.tenantStats(t),
+	}
+}
+
+func (s *Server) handleListUpstreams(w http.ResponseWriter, _ *http.Request) {
+	resp := UpstreamsResponse{Upstreams: []UpstreamInfo{}}
+	if def := s.registry.Default(); def != nil {
+		resp.Default = def.Name()
+	}
+	for _, t := range s.tenantList() {
+		resp.Upstreams = append(resp.Upstreams, s.upstreamInfo(t))
+	}
+	sort.Slice(resp.Upstreams, func(i, j int) bool { return resp.Upstreams[i].Name < resp.Upstreams[j].Name })
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetUpstream(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.resolveTenant(w, r, "")
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.upstreamInfo(t))
+}
+
+func (s *Server) handleRegisterUpstream(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.rejectedDraining.Add(1)
+		httpErrorRetry(w, http.StatusServiceUnavailable, ErrCodeDraining, errDraining, time.Second)
+		return
+	}
+	var cfg UpstreamConfig
+	if !s.decodeBody(w, r, &cfg) {
+		return
+	}
+	if cfg.URL == "" {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, errors.New("upstream url required"))
+		return
+	}
+	info, err := s.RegisterUpstream(cfg)
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrNamespaceExists):
+			httpError(w, http.StatusConflict, ErrCodeUpstreamExists, err)
+		case isDialError(err):
+			httpError(w, http.StatusBadGateway, ErrCodeUpstreamFailed, err)
+		default:
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleDeregisterUpstream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("ns")
+	if err := s.DeregisterUpstream(name); err != nil {
+		switch {
+		case errors.Is(err, core.ErrNamespaceUnknown):
+			httpError(w, http.StatusNotFound, ErrCodeUnknownUpstream, err)
+		case errors.Is(err, core.ErrNamespaceDefault):
+			httpError(w, http.StatusConflict, ErrCodeDefaultUpstream, err)
+		default:
+			httpError(w, http.StatusInternalServerError, ErrCodeUpstreamFailed, err)
+		}
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// dialError marks a RegisterUpstream failure that happened talking to the
+// upstream (as opposed to failing local validation), so the HTTP handler
+// can answer 502 instead of 400.
+type dialError struct{ err error }
+
+func (e *dialError) Error() string { return e.err.Error() }
+func (e *dialError) Unwrap() error { return e.err }
+
+func isDialError(err error) bool {
+	var de *dialError
+	return errors.As(err, &de)
+}

@@ -201,14 +201,14 @@ func HiddenDBHandler(db *hidden.DB) http.Handler {
 	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
 		var req SearchRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decode search: %w", err))
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("decode search: %w", err))
 			return
 		}
 		q := query.New()
 		for _, rs := range req.Ranges {
 			idx := schema.Index(rs.Attr)
 			if idx < 0 || schema.Attr(idx).Kind != types.Ordinal {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("unknown ordinal attribute %q", rs.Attr))
+				httpError(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("unknown ordinal attribute %q", rs.Attr))
 				return
 			}
 			iv := types.FullInterval()
@@ -225,11 +225,11 @@ func HiddenDBHandler(db *hidden.DB) http.Handler {
 		}
 		res, err := db.TopK(q)
 		if err == hidden.ErrRateLimited {
-			httpError(w, http.StatusTooManyRequests, err)
+			httpError(w, http.StatusTooManyRequests, ErrCodeUpstreamRateLimited, err)
 			return
 		}
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, http.StatusInternalServerError, ErrCodeUpstreamFailed, err)
 			return
 		}
 		out := SearchResponse{Overflow: res.Overflow}

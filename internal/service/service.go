@@ -1,24 +1,37 @@
 // Package service implements "query reranking as a service" over HTTP: the
-// third-party deployment the paper's title promises. A Server wraps one
-// reranking engine per upstream database, keeps the cross-query history and
-// dense indexes alive across requests, and exposes the serving API:
+// third-party deployment the paper's title promises. A Server fronts a
+// registry of upstream namespaces — one isolated reranking engine per
+// registered hidden database — and exposes the federated serving API:
 //
-//	POST /v1/rerank         {query, ranking, h, algorithm} -> ranked tuples + cost
-//	POST /v1/rerank/batch   {requests:[...]}               -> per-item results, probes deduped across the batch
-//	POST /v1/rerank/stream  same body as /v1/rerank        -> NDJSON, one tuple per line as the search produces them
-//	GET  /v1/stats                                         -> engine statistics (JSON)
-//	GET  /v1/schema                                        -> upstream schema + k (for clients/load generators)
-//	GET  /metrics                                          -> the same counters in Prometheus text format
-//	GET  /healthz                                          -> liveness (503 once draining)
+//	GET    /v1/upstreams                          -> registered upstreams (name, url, fingerprint, schema, stats)
+//	POST   /v1/upstreams                          {name, url} -> dial + register a new upstream namespace
+//	GET    /v1/upstreams/{ns}                     -> one upstream's descriptor
+//	DELETE /v1/upstreams/{ns}                     -> deregister (finalizes its persistence)
+//	POST   /v1/upstreams/{ns}/rerank{,/batch,/stream}  -> namespace-scoped reranking
+//	GET    /v1/upstreams/{ns}/stats               -> one namespace's counters
+//	GET    /v1/upstreams/{ns}/schema              -> one namespace's upstream schema
+//	GET    /v1/stats                              -> service-wide counters + per-upstream breakdown
+//	GET    /metrics                               -> the same counters in Prometheus text format
+//	GET    /healthz                               -> liveness (503 once draining)
 //
-// The serving tier is production-shaped: Core.MaxConcurrentSessions bounds
-// in-flight sessions through a weighted admission gate (excess requests get
-// 429 + Retry-After; a batch of N weighs N), Options.ClientBudget turns the
-// per-request cost ledger into a per-client QoS allowance, request bodies
-// are size-capped, and BeginDrain stops admission for graceful shutdown
-// while in-flight requests finish. See docs/operations.md.
+// The pre-federation un-namespaced routes remain as deprecated aliases for
+// the DEFAULT namespace (the first registered upstream): POST /v1/rerank
+// {,/batch,/stream} and GET /v1/schema behave exactly as before on a
+// single-upstream server, and their bodies accept an "upstream" field to
+// address a namespace without the new paths. See docs/api.md.
 //
-// The upstream database can be in-process (a *hidden.DB) or remote — see
+// Isolation model: each namespace owns its history, dense indexes, probe
+// cache, coalescer, query-cost ledger, and (with a data dir) its own
+// segment store under data-dir/<ns>/. Admission capacity is the one shared
+// resource — Core.MaxConcurrentSessions bounds in-flight sessions across
+// all namespaces through a weighted registry gate (excess requests get 429
+// + Retry-After; a batch of N weighs N, scaled by the namespace's
+// admission weight). Options.ClientBudget meters upstream queries per
+// client across namespaces, request bodies are size-capped, and BeginDrain
+// stops admission for graceful shutdown. Every non-2xx response carries
+// the {"error":{code,message,retryAfterSec}} envelope (see errors.go).
+//
+// Upstream databases can be in-process (a *hidden.DB) or remote — see
 // remote.go for the adapter that speaks to any HTTP top-k search endpoint
 // such as cmd/hiddendb.
 package service
@@ -38,6 +51,10 @@ import (
 	"repro/internal/ranking"
 	"repro/internal/types"
 )
+
+// DefaultUpstream is the namespace name the single-upstream constructors
+// register, and the implicit target of un-namespaced requests.
+const DefaultUpstream = "default"
 
 // RankingSpec describes a user ranking function over the wire.
 type RankingSpec struct {
@@ -62,6 +79,10 @@ type RangeSpec struct {
 
 // RerankRequest is the /v1/rerank request body.
 type RerankRequest struct {
+	// Upstream addresses a registered namespace from the legacy
+	// un-namespaced routes ("" = the default namespace). On the
+	// namespace-scoped routes it must be empty or match the path.
+	Upstream  string            `json:"upstream,omitempty"`
 	Ranges    []RangeSpec       `json:"ranges,omitempty"`
 	Filters   map[string]string `json:"filters,omitempty"`
 	Ranking   RankingSpec       `json:"ranking"`
@@ -87,74 +108,46 @@ type RerankResponse struct {
 	// in-flight request or a recent complete answer) cost nothing and are
 	// charged once, to the request that actually issued them.
 	QueriesIssued int64 `json:"queriesIssued"`
-	// EngineQueries is the engine's lifetime upstream query count.
+	// EngineQueries is the namespace engine's lifetime upstream query count.
 	EngineQueries int64 `json:"engineQueries"`
 }
 
-// Stats is the /v1/stats response body.
-type Stats struct {
-	EngineQueries int64 `json:"engineQueries"`
-	HistoryTuples int   `json:"historyTuples"`
-	// ProbeCacheEntries is the number of complete probe answers the
-	// coalescing LRU currently holds — the probes the service can answer
-	// for zero upstream cost (persisted across restarts by snapshots).
-	ProbeCacheEntries int `json:"probeCacheEntries"`
-	// MDDenseRegions is the number of crawled MD dense regions across all
-	// ranked-attribute subsets — the boxes MD-RERANK answers locally for
-	// zero upstream cost (persisted across restarts since snapshot v3).
-	MDDenseRegions int `json:"mdDenseRegions"`
-	// DenseMDBuckets / DenseMDMaxBucket describe the MD dense indexes'
-	// centroid-grid shape: occupied grid cells and the largest cell
-	// population. MaxBucket staying small as MDDenseRegions grows is the
-	// sub-linear-lookup property holding in production.
-	DenseMDBuckets   int `json:"denseMDBuckets"`
-	DenseMDMaxBucket int `json:"denseMDMaxBucket"`
-	// SearchParallelism is the MD search's effective speculative probe
-	// width W (1 when unset or when a per-op budget forces sequential);
-	// SpecProbesIssued / SpecProbesWasted count speculative probes issued
-	// (round slots beyond the first) and the subset invalidated by a
-	// threshold improvement. Wasted probes' answers still seed the shared
-	// caches, so their upstream cost is paid at most once.
-	SearchParallelism int   `json:"searchParallelism"`
-	SpecProbesIssued  int64 `json:"specProbesIssued"`
-	SpecProbesWasted  int64 `json:"specProbesWasted"`
-	// Requests counts single /v1/rerank requests; BatchRequests and
-	// StreamRequests count the batch/stream endpoints (BatchItems is the
-	// total of sub-requests inside batches, StreamTuples the total NDJSON
-	// tuple lines emitted).
-	Requests       int64 `json:"requests"`
-	BatchRequests  int64 `json:"batchRequests"`
-	BatchItems     int64 `json:"batchItems"`
-	StreamRequests int64 `json:"streamRequests"`
-	StreamTuples   int64 `json:"streamTuples"`
-	// SessionsInFlight / MaxSessions describe the admission gate:
-	// currently-admitted session weight and the configured bound
-	// (0 = unlimited). Rejected* count requests shed at the edge, by
-	// cause: engine capacity, per-client budget, draining shutdown.
-	SessionsInFlight int   `json:"sessionsInFlight"`
-	MaxSessions      int   `json:"maxSessions"`
-	RejectedCapacity int64 `json:"rejectedCapacity"`
-	RejectedBudget   int64 `json:"rejectedBudget"`
-	RejectedDraining int64 `json:"rejectedDraining"`
-	// Draining is true once BeginDrain was called (shutdown in progress).
-	Draining       bool   `json:"draining"`
-	UpstreamK      int    `json:"upstreamK"`
-	UpstreamRanker string `json:"upstreamRanker,omitempty"`
-	// Columnar storage gauges (see internal/colstore and docs/storage.md):
-	// StorageBlocks is the number of sealed column blocks in the history
-	// arena, StorageDictEntries the interned categorical symbol count,
-	// StorageResidentTuples the arena row count (equals HistoryTuples), and
-	// StorageApproxBytes the approximate resident footprint of the columnar
-	// store plus the columnar-encoded probe-cache answers.
+// UpstreamStats is one namespace's slice of the service counters, served
+// under /v1/stats (the Upstreams map), /v1/upstreams listings, and
+// /v1/upstreams/{ns}/stats.
+type UpstreamStats struct {
+	// URL is the upstream's endpoint ("" for an in-process database).
+	URL string `json:"url,omitempty"`
+	// Default marks the namespace legacy un-namespaced requests hit.
+	Default bool `json:"default,omitempty"`
+	// AdmissionWeight is the per-session multiplier this namespace applies
+	// to the shared admission capacity.
+	AdmissionWeight int `json:"admissionWeight"`
+
+	EngineQueries     int64  `json:"engineQueries"`
+	HistoryTuples     int    `json:"historyTuples"`
+	ProbeCacheEntries int    `json:"probeCacheEntries"`
+	MDDenseRegions    int    `json:"mdDenseRegions"`
+	DenseMDBuckets    int    `json:"denseMDBuckets"`
+	DenseMDMaxBucket  int    `json:"denseMDMaxBucket"`
+	SearchParallelism int    `json:"searchParallelism"`
+	SpecProbesIssued  int64  `json:"specProbesIssued"`
+	SpecProbesWasted  int64  `json:"specProbesWasted"`
+	Requests          int64  `json:"requests"`
+	BatchRequests     int64  `json:"batchRequests"`
+	BatchItems        int64  `json:"batchItems"`
+	StreamRequests    int64  `json:"streamRequests"`
+	StreamTuples      int64  `json:"streamTuples"`
+	UpstreamK         int    `json:"upstreamK"`
+	UpstreamRanker    string `json:"upstreamRanker,omitempty"`
+
 	StorageBlocks         int   `json:"storageBlocks"`
 	StorageDictEntries    int   `json:"storageDictEntries"`
 	StorageResidentTuples int   `json:"storageResidentTuples"`
 	StorageApproxBytes    int64 `json:"storageApproxBytes"`
-	// Segment/journal persistence gauges (zero-valued unless a data dir is
-	// open; see docs/persistence.md). PersistSeq is the committed journal
-	// sequence number, PersistPendingOps the operations recorded since the
-	// last checkpoint (knowledge at risk if the process dies right now), and
-	// PersistLastError the most recent checkpoint failure ("" when healthy).
+
+	// Per-namespace persistence gauges (the namespace's own segment store
+	// under data-dir/<ns>/).
 	PersistEnabled        bool   `json:"persistEnabled"`
 	PersistSeq            int64  `json:"persistSeq,omitempty"`
 	PersistCheckpoints    int64  `json:"persistCheckpoints,omitempty"`
@@ -167,96 +160,306 @@ type Stats struct {
 	PersistLastError      string `json:"persistLastError,omitempty"`
 }
 
-// Server is the reranking service. Requests are handled concurrently: the
-// engine's shared knowledge (history, dense indexes, probe coalescing) is
-// internally synchronized, and each request runs in its own engine session.
-// The only server-level lock serializes snapshot save/load against each
-// other; snapshots are safe to take while requests are in flight.
-type Server struct {
-	db     hidden.Database
-	engine *core.Engine
-	opts   Options
+// Stats is the /v1/stats response body: the service-wide counters, with the
+// engine-level fields summed across namespaces, plus the per-namespace
+// breakdown in Upstreams. On a single-upstream server the flat fields read
+// exactly as they did before federation.
+type Stats struct {
+	EngineQueries int64 `json:"engineQueries"`
+	HistoryTuples int   `json:"historyTuples"`
+	// ProbeCacheEntries is the number of complete probe answers the
+	// coalescing LRUs currently hold — the probes the service can answer
+	// for zero upstream cost (persisted across restarts by snapshots).
+	ProbeCacheEntries int `json:"probeCacheEntries"`
+	// MDDenseRegions is the number of crawled MD dense regions across all
+	// ranked-attribute subsets — the boxes MD-RERANK answers locally for
+	// zero upstream cost (persisted across restarts since snapshot v3).
+	MDDenseRegions int `json:"mdDenseRegions"`
+	// DenseMDBuckets / DenseMDMaxBucket describe the MD dense indexes'
+	// centroid-grid shape: occupied grid cells and the largest cell
+	// population. MaxBucket staying small as MDDenseRegions grows is the
+	// sub-linear-lookup property holding in production.
+	DenseMDBuckets   int `json:"denseMDBuckets"`
+	DenseMDMaxBucket int `json:"denseMDMaxBucket"`
+	// SearchParallelism is the default namespace's effective speculative
+	// probe width W; SpecProbesIssued / SpecProbesWasted sum speculative
+	// probes issued and wasted across namespaces.
+	SearchParallelism int   `json:"searchParallelism"`
+	SpecProbesIssued  int64 `json:"specProbesIssued"`
+	SpecProbesWasted  int64 `json:"specProbesWasted"`
+	// Requests counts single rerank requests; BatchRequests and
+	// StreamRequests count the batch/stream endpoints (BatchItems is the
+	// total of sub-requests inside batches, StreamTuples the total NDJSON
+	// tuple lines emitted). All summed across namespaces.
+	Requests       int64 `json:"requests"`
+	BatchRequests  int64 `json:"batchRequests"`
+	BatchItems     int64 `json:"batchItems"`
+	StreamRequests int64 `json:"streamRequests"`
+	StreamTuples   int64 `json:"streamTuples"`
+	// SessionsInFlight / MaxSessions describe the shared admission gate:
+	// currently-admitted session weight and the configured bound
+	// (0 = unlimited). Rejected* count requests shed at the edge, by
+	// cause: capacity, per-client budget, draining shutdown.
+	SessionsInFlight int   `json:"sessionsInFlight"`
+	MaxSessions      int   `json:"maxSessions"`
+	RejectedCapacity int64 `json:"rejectedCapacity"`
+	RejectedBudget   int64 `json:"rejectedBudget"`
+	RejectedDraining int64 `json:"rejectedDraining"`
+	// Draining is true once BeginDrain was called (shutdown in progress).
+	Draining bool `json:"draining"`
+	// UpstreamK / UpstreamRanker describe the default namespace's upstream
+	// interface.
+	UpstreamK      int    `json:"upstreamK"`
+	UpstreamRanker string `json:"upstreamRanker,omitempty"`
+	// Columnar storage gauges, summed across namespaces (see
+	// internal/colstore and docs/storage.md).
+	StorageBlocks         int   `json:"storageBlocks"`
+	StorageDictEntries    int   `json:"storageDictEntries"`
+	StorageResidentTuples int   `json:"storageResidentTuples"`
+	StorageApproxBytes    int64 `json:"storageApproxBytes"`
+	// Segment/journal persistence gauges, summed across namespaces
+	// (zero-valued unless a data dir is open; see docs/persistence.md).
+	// PersistLastError is the first failing namespace's most recent
+	// checkpoint error ("" when all healthy).
+	PersistEnabled        bool   `json:"persistEnabled"`
+	PersistSeq            int64  `json:"persistSeq,omitempty"`
+	PersistCheckpoints    int64  `json:"persistCheckpoints,omitempty"`
+	PersistCompactions    int64  `json:"persistCompactions,omitempty"`
+	PersistJournalRecords int    `json:"persistJournalRecords,omitempty"`
+	PersistSegmentFiles   int    `json:"persistSegmentFiles,omitempty"`
+	PersistPendingOps     int    `json:"persistPendingOps,omitempty"`
+	PersistReplayedDeltas int    `json:"persistReplayedDeltas,omitempty"`
+	PersistBytesAppended  int64  `json:"persistBytesAppended,omitempty"`
+	PersistLastError      string `json:"persistLastError,omitempty"`
+	// DefaultUpstream names the namespace un-namespaced requests hit;
+	// Upstreams is the per-namespace breakdown.
+	DefaultUpstream string                   `json:"defaultUpstream,omitempty"`
+	Upstreams       map[string]UpstreamStats `json:"upstreams,omitempty"`
+}
+
+// tenant is one registered namespace's serving-tier state: the namespace
+// (isolated engine), its database handle, and the per-namespace HTTP
+// counters.
+type tenant struct {
+	ns  *core.Namespace
+	db  hidden.Database
+	url string // upstream endpoint; "" for in-process databases
 
 	requests       atomic.Int64
 	batchRequests  atomic.Int64
 	batchItems     atomic.Int64
 	streamRequests atomic.Int64
 	streamTuples   atomic.Int64
+}
 
-	// Admission/shedding state (see admission.go).
+func (t *tenant) engine() *core.Engine { return t.ns.Engine() }
+
+// Server is the reranking service: a registry of upstream namespaces behind
+// one HTTP surface. Requests are handled concurrently; each namespace's
+// shared knowledge is internally synchronized and each request runs in its
+// own engine session. The only server-level lock serializes snapshot
+// save/load and persistence lifecycle against each other; snapshots are
+// safe to take while requests are in flight.
+type Server struct {
+	registry *core.Registry
+	opts     Options
+
+	tmu     sync.RWMutex
+	tenants map[string]*tenant
+
+	// Admission/shedding state (see admission.go). Shared across
+	// namespaces: sessions compete for process resources no matter which
+	// upstream they probe.
 	draining         atomic.Bool
 	rejectedCapacity atomic.Int64
 	rejectedBudget   atomic.Int64
 	rejectedDraining atomic.Int64
 	budgets          *budgetLedger // nil when ClientBudget is unset
 
-	n int
-
 	stateMu sync.Mutex // serializes SaveState/LoadState/OpenDataDir
-
-	// persist is the engine's incremental checkpointer, set by OpenDataDir
-	// before serving starts (nil when running without a data dir).
-	persist *core.Persister
+	// dataDir, once set by OpenDataDir, makes every namespace (including
+	// later registrations) persist under dataDir/<ns>/.
+	dataDir    string
+	persistCfg PersistConfig
 }
 
-// NewServer builds a service over the given upstream database. n is the
-// (estimated) upstream size used for dense-index thresholds.
+// NewFederatedServer builds a service with no upstreams registered yet; add
+// them with RegisterUpstream / RegisterUpstreamDB (the first becomes the
+// default namespace). opts.Core seeds every namespace's engine options;
+// opts.Core.MaxConcurrentSessions is the SHARED admission bound across all
+// namespaces.
+func NewFederatedServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		registry: core.NewRegistry(core.RegistryOptions{
+			MaxConcurrentSessions: opts.Core.MaxConcurrentSessions,
+		}),
+		opts:    opts,
+		tenants: make(map[string]*tenant),
+		budgets: newBudgetLedger(opts.ClientBudget, opts.ClientBudgetWindow, nil),
+	}
+}
+
+// NewServer builds a single-upstream service over the given database,
+// registered as the default namespace. n is the (estimated) upstream size
+// used for dense-index thresholds.
 func NewServer(db hidden.Database, n int) *Server {
 	return NewServerWith(db, core.Options{N: n})
 }
 
-// NewServerWith builds a service with explicit engine options (opts.N is the
-// upstream size estimate; coalescing, cache sizing and the session admission
-// bound are also set here) and default serving options.
+// NewServerWith builds a single-upstream service with explicit engine
+// options (opts.N is the upstream size estimate; coalescing, cache sizing
+// and the session admission bound are also set here) and default serving
+// options.
 func NewServerWith(db hidden.Database, opts core.Options) *Server {
 	return NewServerWithOptions(db, Options{Core: opts})
 }
 
-// NewServerWithOptions builds a service with full serving-tier options.
+// NewServerWithOptions builds a single-upstream service with full
+// serving-tier options; db is registered as the default namespace.
 func NewServerWithOptions(db hidden.Database, opts Options) *Server {
-	opts = opts.withDefaults()
-	return &Server{
-		db:      db,
-		engine:  core.NewEngine(db, opts.Core),
-		opts:    opts,
-		budgets: newBudgetLedger(opts.ClientBudget, opts.ClientBudgetWindow, nil),
-		n:       opts.Core.N,
+	s := NewFederatedServer(opts)
+	if _, err := s.RegisterUpstreamDB(UpstreamConfig{Name: DefaultUpstream}, db); err != nil {
+		// Unreachable: the name is valid and the registry is empty.
+		panic(fmt.Sprintf("service: register default upstream: %v", err))
 	}
+	return s
 }
 
-// Engine exposes the server's underlying engine (admission gauges, tests).
-func (s *Server) Engine() *core.Engine { return s.engine }
+// Registry exposes the server's namespace registry.
+func (s *Server) Registry() *core.Registry { return s.registry }
 
-// SaveState serializes the engine's accumulated knowledge (answer history
-// and dense indexes) so a restarted service stays warm. Safe to call while
-// requests are being served.
+// Engine exposes the DEFAULT namespace's engine (single-upstream tests and
+// tools; nil when no upstream is registered).
+func (s *Server) Engine() *core.Engine {
+	if t, ok := s.tenantFor(""); ok {
+		return t.engine()
+	}
+	return nil
+}
+
+// SessionsInFlight reports the admitted session weight currently in flight
+// across all namespaces.
+func (s *Server) SessionsInFlight() int { return s.registry.SessionsInFlight() }
+
+// SessionCapacity returns the shared MaxConcurrentSessions bound
+// (0 = unlimited).
+func (s *Server) SessionCapacity() int { return s.registry.SessionCapacity() }
+
+// tenantFor resolves a namespace name to its tenant; the empty name
+// resolves to the default namespace.
+func (s *Server) tenantFor(name string) (*tenant, bool) {
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	if name == "" {
+		ns := s.registry.Default()
+		if ns == nil {
+			return nil, false
+		}
+		name = ns.Name()
+	}
+	t, ok := s.tenants[name]
+	return t, ok
+}
+
+// tenantList snapshots the registered tenants in namespace order.
+func (s *Server) tenantList() []*tenant {
+	nss := s.registry.List()
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	out := make([]*tenant, 0, len(nss))
+	for _, ns := range nss {
+		if t, ok := s.tenants[ns.Name()]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// resolveTenant picks the namespace a request addresses: the {ns} path
+// wildcard when present, else the body's upstream field, else the default.
+// A path/body mismatch is a 400; an unknown namespace is a 404. The error
+// envelope is already written when ok is false.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request, bodyUpstream string) (*tenant, bool) {
+	name := r.PathValue("ns")
+	if name != "" && bodyUpstream != "" && name != bodyUpstream {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			fmt.Errorf("path namespace %q conflicts with body upstream %q", name, bodyUpstream))
+		return nil, false
+	}
+	if name == "" {
+		name = bodyUpstream
+	}
+	t, ok := s.tenantFor(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrCodeUnknownUpstream, unknownUpstreamErr(name))
+		return nil, false
+	}
+	return t, true
+}
+
+func unknownUpstreamErr(name string) error {
+	if name == "" {
+		return errors.New("no upstreams registered")
+	}
+	return fmt.Errorf("unknown upstream %q", name)
+}
+
+// SaveState serializes the default namespace's accumulated knowledge
+// (answer history and dense indexes) so a restarted service stays warm.
+// Safe to call while requests are being served. Snapshots are per-namespace:
+// in a federated deployment prefer a data dir, which persists every
+// namespace under its own subdirectory.
 func (s *Server) SaveState(w io.Writer) error {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
-	return s.engine.SaveSnapshot(w)
+	t, ok := s.tenantFor("")
+	if !ok {
+		return errors.New("service: no upstreams registered")
+	}
+	return t.engine().SaveSnapshot(w)
 }
 
-// LoadState restores knowledge saved by SaveState. Call before serving.
+// LoadState restores knowledge saved by SaveState into the default
+// namespace. Call before serving.
 func (s *Server) LoadState(r io.Reader) error {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
-	return s.engine.LoadSnapshot(r)
+	t, ok := s.tenantFor("")
+	if !ok {
+		return errors.New("service: no upstreams registered")
+	}
+	return t.engine().LoadSnapshot(r)
 }
 
 // Handler returns the HTTP handler for the service API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// Registry API.
+	mux.HandleFunc("GET /v1/upstreams", s.handleListUpstreams)
+	mux.HandleFunc("POST /v1/upstreams", s.handleRegisterUpstream)
+	mux.HandleFunc("GET /v1/upstreams/{ns}", s.handleGetUpstream)
+	mux.HandleFunc("DELETE /v1/upstreams/{ns}", s.handleDeregisterUpstream)
+	// Namespace-scoped serving surface.
+	mux.HandleFunc("POST /v1/upstreams/{ns}/rerank", s.handleRerank)
+	mux.HandleFunc("POST /v1/upstreams/{ns}/rerank/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/upstreams/{ns}/rerank/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/upstreams/{ns}/stats", s.handleUpstreamStats)
+	mux.HandleFunc("GET /v1/upstreams/{ns}/schema", s.handleSchema)
+	// Deprecated un-namespaced aliases for the default namespace (bodies
+	// may carry an "upstream" field; /v1/schema takes ?upstream=).
 	mux.HandleFunc("POST /v1/rerank", s.handleRerank)
 	mux.HandleFunc("POST /v1/rerank/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/rerank/stream", s.handleStream)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	// Service-wide.
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		// Draining instances fail liveness so load balancers stop
 		// routing to them while in-flight requests finish.
 		if s.draining.Load() {
-			httpError(w, http.StatusServiceUnavailable, errDraining)
+			httpError(w, http.StatusServiceUnavailable, ErrCodeDraining, errDraining)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
@@ -265,11 +468,22 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// handleSchema republishes the upstream search schema (the same wire shape
-// hiddendb serves), so service clients and load generators can build
-// requests without a side channel to the upstream.
-func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, schemaResponse(s.db.Schema(), s.db.K()))
+// handleSchema republishes a namespace's upstream search schema (the same
+// wire shape hiddendb serves), so service clients and load generators can
+// build requests without a side channel to the upstream. An unknown
+// namespace — path wildcard or ?upstream= — is a 404, never silently the
+// default's schema.
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("ns")
+	if name == "" {
+		name = r.URL.Query().Get("upstream")
+	}
+	t, ok := s.tenantFor(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrCodeUnknownUpstream, unknownUpstreamErr(name))
+		return
+	}
+	writeJSON(w, http.StatusOK, schemaResponse(t.db.Schema(), t.db.K()))
 }
 
 // decodeBody decodes a size-capped JSON request body. The error is already
@@ -279,62 +493,123 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			httpError(w, http.StatusRequestEntityTooLarge, ErrCodePayloadTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
 			return false
 		}
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("decode request: %w", err))
 		return false
 	}
 	return true
 }
 
-// Stats reports the service's current counters (also served at /v1/stats).
-func (s *Server) Stats() Stats {
-	gs := s.engine.MDBucketStats()
-	specIssued, specWasted := s.engine.SpeculationStats()
-	st := Stats{
-		EngineQueries:     s.engine.Queries(),
-		HistoryTuples:     s.engine.History().Size(),
-		ProbeCacheEntries: s.engine.ProbeCacheEntries(),
-		MDDenseRegions:    s.engine.MDDenseRegions(),
+// tenantStats snapshots one namespace's counters.
+func (s *Server) tenantStats(t *tenant) UpstreamStats {
+	eng := t.engine()
+	gs := eng.MDBucketStats()
+	specIssued, specWasted := eng.SpeculationStats()
+	us := UpstreamStats{
+		URL:               t.url,
+		Default:           s.registry.Default() == t.ns,
+		AdmissionWeight:   t.ns.AdmissionWeight(),
+		EngineQueries:     eng.Queries(),
+		HistoryTuples:     eng.History().Size(),
+		ProbeCacheEntries: eng.ProbeCacheEntries(),
+		MDDenseRegions:    eng.MDDenseRegions(),
 		DenseMDBuckets:    gs.Buckets,
 		DenseMDMaxBucket:  gs.MaxBucket,
-		SearchParallelism: s.engine.SearchParallelism(),
+		SearchParallelism: eng.SearchParallelism(),
 		SpecProbesIssued:  specIssued,
 		SpecProbesWasted:  specWasted,
-		Requests:          s.requests.Load(),
-		BatchRequests:     s.batchRequests.Load(),
-		BatchItems:        s.batchItems.Load(),
-		StreamRequests:    s.streamRequests.Load(),
-		StreamTuples:      s.streamTuples.Load(),
-		SessionsInFlight:  s.engine.SessionsInFlight(),
-		MaxSessions:       s.engine.SessionCapacity(),
-		RejectedCapacity:  s.rejectedCapacity.Load(),
-		RejectedBudget:    s.rejectedBudget.Load(),
-		RejectedDraining:  s.rejectedDraining.Load(),
-		Draining:          s.draining.Load(),
-		UpstreamK:         s.db.K(),
+		Requests:          t.requests.Load(),
+		BatchRequests:     t.batchRequests.Load(),
+		BatchItems:        t.batchItems.Load(),
+		StreamRequests:    t.streamRequests.Load(),
+		StreamTuples:      t.streamTuples.Load(),
+		UpstreamK:         t.db.K(),
 	}
-	ss := s.engine.StorageStats()
-	st.StorageBlocks = ss.Blocks
-	st.StorageDictEntries = ss.DictEntries
-	st.StorageResidentTuples = ss.Tuples
-	st.StorageApproxBytes = ss.ApproxBytes + s.engine.ProbeCacheBytes()
-	if hdb, ok := s.db.(*hidden.DB); ok {
-		st.UpstreamRanker = hdb.RankerName()
+	ss := eng.StorageStats()
+	us.StorageBlocks = ss.Blocks
+	us.StorageDictEntries = ss.DictEntries
+	us.StorageResidentTuples = ss.Tuples
+	us.StorageApproxBytes = ss.ApproxBytes + eng.ProbeCacheBytes()
+	if hdb, ok := t.db.(*hidden.DB); ok {
+		us.UpstreamRanker = hdb.RankerName()
 	}
-	if ps, ok := s.PersistStats(); ok {
-		st.PersistEnabled = true
-		st.PersistSeq = int64(ps.Store.Seq)
-		st.PersistCheckpoints = ps.Store.Checkpoints
-		st.PersistCompactions = ps.Store.Compactions
-		st.PersistJournalRecords = ps.Store.JournalRecords
-		st.PersistSegmentFiles = ps.Store.SegmentFiles
-		st.PersistPendingOps = ps.PendingOps
-		st.PersistReplayedDeltas = ps.Store.ReplayedDeltas
-		st.PersistBytesAppended = ps.Store.BytesAppended
-		st.PersistLastError = ps.LastError
+	if p := eng.Persister(); p != nil {
+		ps := p.Stats()
+		us.PersistEnabled = true
+		us.PersistSeq = int64(ps.Store.Seq)
+		us.PersistCheckpoints = ps.Store.Checkpoints
+		us.PersistCompactions = ps.Store.Compactions
+		us.PersistJournalRecords = ps.Store.JournalRecords
+		us.PersistSegmentFiles = ps.Store.SegmentFiles
+		us.PersistPendingOps = ps.PendingOps
+		us.PersistReplayedDeltas = ps.Store.ReplayedDeltas
+		us.PersistBytesAppended = ps.Store.BytesAppended
+		us.PersistLastError = ps.LastError
+	}
+	return us
+}
+
+// Stats reports the service's current counters (also served at /v1/stats):
+// engine-level fields summed across namespaces plus the per-namespace
+// breakdown.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		SessionsInFlight: s.registry.SessionsInFlight(),
+		MaxSessions:      s.registry.SessionCapacity(),
+		RejectedCapacity: s.rejectedCapacity.Load(),
+		RejectedBudget:   s.rejectedBudget.Load(),
+		RejectedDraining: s.rejectedDraining.Load(),
+		Draining:         s.draining.Load(),
+		Upstreams:        make(map[string]UpstreamStats),
+	}
+	if def := s.registry.Default(); def != nil {
+		st.DefaultUpstream = def.Name()
+	}
+	for _, t := range s.tenantList() {
+		us := s.tenantStats(t)
+		st.Upstreams[t.ns.Name()] = us
+
+		st.EngineQueries += us.EngineQueries
+		st.HistoryTuples += us.HistoryTuples
+		st.ProbeCacheEntries += us.ProbeCacheEntries
+		st.MDDenseRegions += us.MDDenseRegions
+		st.DenseMDBuckets += us.DenseMDBuckets
+		if us.DenseMDMaxBucket > st.DenseMDMaxBucket {
+			st.DenseMDMaxBucket = us.DenseMDMaxBucket
+		}
+		st.SpecProbesIssued += us.SpecProbesIssued
+		st.SpecProbesWasted += us.SpecProbesWasted
+		st.Requests += us.Requests
+		st.BatchRequests += us.BatchRequests
+		st.BatchItems += us.BatchItems
+		st.StreamRequests += us.StreamRequests
+		st.StreamTuples += us.StreamTuples
+		st.StorageBlocks += us.StorageBlocks
+		st.StorageDictEntries += us.StorageDictEntries
+		st.StorageResidentTuples += us.StorageResidentTuples
+		st.StorageApproxBytes += us.StorageApproxBytes
+		if us.PersistEnabled {
+			st.PersistEnabled = true
+			st.PersistSeq += us.PersistSeq
+			st.PersistCheckpoints += us.PersistCheckpoints
+			st.PersistCompactions += us.PersistCompactions
+			st.PersistJournalRecords += us.PersistJournalRecords
+			st.PersistSegmentFiles += us.PersistSegmentFiles
+			st.PersistPendingOps += us.PersistPendingOps
+			st.PersistReplayedDeltas += us.PersistReplayedDeltas
+			st.PersistBytesAppended += us.PersistBytesAppended
+			if st.PersistLastError == "" {
+				st.PersistLastError = us.PersistLastError
+			}
+		}
+		if us.Default {
+			st.SearchParallelism = us.SearchParallelism
+			st.UpstreamK = us.UpstreamK
+			st.UpstreamRanker = us.UpstreamRanker
+		}
 	}
 	return st
 }
@@ -343,81 +618,99 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+func (s *Server) handleUpstreamStats(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.resolveTenant(w, r, "")
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tenantStats(t))
+}
+
 func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	var req RerankRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	// Validate before admitting: invalid requests must not compete with
-	// real traffic for session slots or budget.
-	q, rk, variant, err := buildRequest(s.db.Schema(), &req)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	t, ok := s.resolveTenant(w, r, req.Upstream)
+	if !ok {
 		return
 	}
-	release, charge, ok := s.admit(w, r, 1)
+	// Validate before admitting: invalid requests must not compete with
+	// real traffic for session slots or budget.
+	q, rk, variant, err := buildRequest(t.db.Schema(), &req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+		return
+	}
+	release, charge, ok := s.admit(w, r, t, 1)
 	if !ok {
 		return
 	}
 	defer release()
 	// Counted here, not in the shared core: batch sub-items have their own
 	// BatchItems counter and must not inflate the single-request rate.
-	s.requests.Add(1)
-	resp, issued, code, err := s.run(q, rk, variant, req.H)
+	t.requests.Add(1)
+	resp, issued, status, code, err := s.run(t, q, rk, variant, req.H)
 	charge(issued)
 	if err != nil {
-		httpError(w, code, err)
+		httpError(w, status, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// Rerank executes one reranking request. It is exported so in-process
-// callers (tests, examples) can skip HTTP; it bypasses admission control
-// and budgets, which live at the HTTP edge.
+// Rerank executes one reranking request against the namespace its Upstream
+// field addresses ("" = default). It is exported so in-process callers
+// (tests, examples) can skip HTTP; it bypasses admission control and
+// budgets, which live at the HTTP edge.
 func (s *Server) Rerank(req RerankRequest) (*RerankResponse, int, error) {
-	s.requests.Add(1)
-	resp, _, code, err := s.rerank(req)
-	return resp, code, err
+	t, ok := s.tenantFor(req.Upstream)
+	if !ok {
+		return nil, http.StatusNotFound, unknownUpstreamErr(req.Upstream)
+	}
+	t.requests.Add(1)
+	resp, _, status, _, err := s.rerank(t, req)
+	return resp, status, err
 }
 
 // rerank validates and runs one request, reporting the upstream queries it
 // cost even when it failed mid-search — the number the HTTP edge charges
 // against the client's budget window.
-func (s *Server) rerank(req RerankRequest) (_ *RerankResponse, issued int64, code int, err error) {
-	q, rk, variant, err := buildRequest(s.db.Schema(), &req)
+func (s *Server) rerank(t *tenant, req RerankRequest) (_ *RerankResponse, issued int64, status int, code string, err error) {
+	q, rk, variant, err := buildRequest(t.db.Schema(), &req)
 	if err != nil {
-		return nil, 0, http.StatusBadRequest, err
+		return nil, 0, http.StatusBadRequest, ErrCodeBadRequest, err
 	}
-	return s.run(q, rk, variant, req.H)
+	return s.run(t, q, rk, variant, req.H)
 }
 
-// run executes one compiled request in a fresh session.
-func (s *Server) run(q query.Query, rk ranking.Ranker, variant core.Variant, h int) (_ *RerankResponse, issued int64, code int, err error) {
+// run executes one compiled request in a fresh session on t's engine.
+func (s *Server) run(t *tenant, q query.Query, rk ranking.Ranker, variant core.Variant, h int) (_ *RerankResponse, issued int64, status int, code string, err error) {
 	// One session per request: its ledger is the request's upstream cost
 	// (exact under concurrency, unlike a before/after diff of the engine
 	// counter, which would absorb other requests' probes).
-	sess := s.engine.NewSession()
+	eng := t.engine()
+	sess := eng.NewSession()
 	cur, err := sess.NewCursor(q, rk, variant)
 	if err != nil {
-		return nil, sess.Queries(), http.StatusBadRequest, err
+		return nil, sess.Queries(), http.StatusBadRequest, ErrCodeBadRequest, err
 	}
 	tuples, err := core.TopH(cur, h)
 	if err != nil {
 		if errors.Is(err, hidden.ErrRateLimited) {
-			return nil, sess.Queries(), http.StatusTooManyRequests, err
+			return nil, sess.Queries(), http.StatusTooManyRequests, ErrCodeUpstreamRateLimited, err
 		}
-		return nil, sess.Queries(), http.StatusBadGateway, fmt.Errorf("upstream search failed: %w", err)
+		return nil, sess.Queries(), http.StatusBadGateway, ErrCodeUpstreamFailed, fmt.Errorf("upstream search failed: %w", err)
 	}
 	resp := &RerankResponse{
 		Exhausted:     len(tuples) < h,
 		QueriesIssued: sess.Queries(),
-		EngineQueries: s.engine.Queries(),
+		EngineQueries: eng.Queries(),
 	}
-	for _, t := range tuples {
-		resp.Tuples = append(resp.Tuples, toJSON(s.db.Schema(), rk, t))
+	for _, tp := range tuples {
+		resp.Tuples = append(resp.Tuples, toJSON(t.db.Schema(), rk, tp))
 	}
-	return resp, resp.QueriesIssued, http.StatusOK, nil
+	return resp, resp.QueriesIssued, http.StatusOK, "", nil
 }
 
 // buildRequest validates and compiles one wire request into its engine
@@ -553,8 +846,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

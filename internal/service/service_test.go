@@ -35,7 +35,7 @@ func pipeline(t *testing.T, n int, budget int64) (*Client, *dataset.Dataset) {
 	srv := NewServer(remote, n)
 	api := httptest.NewServer(srv.Handler())
 	t.Cleanup(api.Close)
-	return NewClient(api.URL, api.Client()), ds
+	return NewClientWith(api.URL, WithHTTPClient(api.Client())), ds
 }
 
 func TestEndToEndRerank(t *testing.T) {

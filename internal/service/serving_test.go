@@ -75,7 +75,7 @@ func servingPipeline(t *testing.T, db hidden.Database, opts Options) (*Server, *
 	srv := NewServerWithOptions(db, opts)
 	api := httptest.NewServer(srv.Handler())
 	t.Cleanup(api.Close)
-	return srv, api, NewClient(api.URL, api.Client())
+	return srv, api, NewClientWith(api.URL, WithHTTPClient(api.Client()))
 }
 
 func bnDB(t *testing.T, n int) *hidden.DB {
@@ -126,7 +126,7 @@ func TestAdmissionSaturation(t *testing.T) {
 			// Distinct ranges so no two requests coalesce upstream.
 			lo := 50.0 + float64(i)
 			_, err := client.Rerank(mdRequest(lo, lo+4, 2))
-			if f := int64(srv.Engine().SessionsInFlight()); f > maxInFlight.Load() {
+			if f := int64(srv.SessionsInFlight()); f > maxInFlight.Load() {
 				maxInFlight.Store(f)
 			}
 			if err != nil {
@@ -167,7 +167,7 @@ func TestAdmissionSaturation(t *testing.T) {
 	if m := maxInFlight.Load(); m > bound {
 		t.Errorf("observed %d in-flight sessions, bound is %d", m, bound)
 	}
-	if f := srv.Engine().SessionsInFlight(); f != 0 {
+	if f := srv.SessionsInFlight(); f != 0 {
 		t.Errorf("%d sessions still in flight after completion (leak)", f)
 	}
 	st := srv.Stats()
@@ -314,7 +314,7 @@ func TestBatchEndpoint(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		item := resp.Items[i]
 		if item.Status != http.StatusOK || item.Response == nil {
-			t.Fatalf("item %d: status %d error %q", i, item.Status, item.Error)
+			t.Fatalf("item %d: status %d error %+v", i, item.Status, item.Error)
 		}
 		if len(item.Response.Tuples) != len(solo.Tuples) {
 			t.Fatalf("item %d returned %d tuples, solo returned %d",
@@ -327,8 +327,8 @@ func TestBatchEndpoint(t *testing.T) {
 			}
 		}
 	}
-	if resp.Items[2].Status != http.StatusBadRequest || resp.Items[2].Error == "" {
-		t.Fatalf("bad item: status %d error %q", resp.Items[2].Status, resp.Items[2].Error)
+	if resp.Items[2].Status != http.StatusBadRequest || resp.Items[2].Error == nil {
+		t.Fatalf("bad item: status %d error %+v", resp.Items[2].Status, resp.Items[2].Error)
 	}
 	if resp.QueriesIssued >= 2*solo.QueriesIssued {
 		t.Errorf("batch cost %d upstream queries, want < 2x solo cost %d (coalescing)",
@@ -355,7 +355,7 @@ func TestBatchWeightedAdmission(t *testing.T) {
 	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
 		t.Fatalf("batch of 3 under a 2-session bound: got %v, want 429", err)
 	}
-	if f := srv.Engine().SessionsInFlight(); f != 0 {
+	if f := srv.SessionsInFlight(); f != 0 {
 		t.Fatalf("rejected batch leaked %d session slots", f)
 	}
 }
@@ -497,9 +497,9 @@ func TestStreamDisconnectReleasesSlot(t *testing.T) {
 
 	// The slot must come back without draining the whole stream.
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.Engine().SessionsInFlight() != 0 {
+	for srv.SessionsInFlight() != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("disconnected stream still holds %d session slots", srv.Engine().SessionsInFlight())
+			t.Fatalf("disconnected stream still holds %d session slots", srv.SessionsInFlight())
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

@@ -1,4 +1,5 @@
-// Streaming reranking: POST /v1/rerank/stream.
+// Streaming reranking: POST /v1/rerank/stream and its namespace-scoped
+// form POST /v1/upstreams/{ns}/rerank/stream.
 //
 // The engine's Get-Next interface (§2.2) is incremental by construction:
 // the cursor proves each next-best tuple correct before looking for the
@@ -13,8 +14,9 @@
 // A disconnecting client cancels the stream at the next tuple boundary: the
 // handler observes the request context between Get-Next calls, stops the
 // search, and releases its admission slot — abandoned streams do not leak
-// capacity. Already-issued probes stay in the shared history/probe caches,
-// so a cancelled stream's upstream spend still benefits later requests.
+// capacity. Already-issued probes stay in the namespace's history/probe
+// caches, so a cancelled stream's upstream spend still benefits later
+// requests.
 
 package service
 
@@ -44,12 +46,13 @@ type StreamEvent struct {
 	// event.
 	QueriesIssued int64 `json:"queriesIssued,omitempty"`
 	EngineQueries int64 `json:"engineQueries,omitempty"`
-	// Error and Status report an in-band failure on the final event:
+	// Error and Status report an in-band failure on the final event: Error
+	// is the same envelope payload a non-2xx response body carries, and
 	// Status is the HTTP status the same failure would have produced on
 	// /v1/rerank (429 for upstream rate limiting, 502 otherwise), so
 	// clients can classify mid-stream failures exactly like one-shot ones.
-	Error  string `json:"error,omitempty"`
-	Status int    `json:"status,omitempty"`
+	Error  *ErrorInfo `json:"error,omitempty"`
+	Status int        `json:"status,omitempty"`
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
@@ -57,24 +60,29 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	schema := s.db.Schema()
-	q, rk, variant, err := buildRequest(schema, &req)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	t, ok := s.resolveTenant(w, r, req.Upstream)
+	if !ok {
 		return
 	}
-	release, charge, ok := s.admit(w, r, 1)
+	schema := t.db.Schema()
+	q, rk, variant, err := buildRequest(schema, &req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+		return
+	}
+	release, charge, ok := s.admit(w, r, t, 1)
 	if !ok {
 		return
 	}
 	defer release()
 
-	s.streamRequests.Add(1)
-	sess := s.engine.NewSession()
+	t.streamRequests.Add(1)
+	eng := t.engine()
+	sess := eng.NewSession()
 	defer func() { charge(sess.Queries()) }()
 	cur, err := sess.NewCursor(q, rk, variant)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 		return
 	}
 
@@ -107,13 +115,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if ctx.Err() != nil {
 			return
 		}
-		t, ok, err := cur.Next()
+		tp, ok, err := cur.Next()
 		if err != nil {
 			ev := StreamEvent{Done: true, CumQueries: sess.Queries()}
 			if errors.Is(err, hidden.ErrRateLimited) {
-				ev.Status, ev.Error = http.StatusTooManyRequests, err.Error()
+				ev.Status = http.StatusTooManyRequests
+				ev.Error = errorInfo(ev.Status, ErrCodeUpstreamRateLimited, err)
 			} else {
-				ev.Status, ev.Error = http.StatusBadGateway, "upstream search failed: "+err.Error()
+				ev.Status = http.StatusBadGateway
+				ev.Error = errorInfo(ev.Status, ErrCodeUpstreamFailed, errors.New("upstream search failed: "+err.Error()))
 			}
 			emit(ev)
 			return
@@ -122,18 +132,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			exhausted = true
 			break
 		}
-		toJSONInto(schema, rk, t, &tj)
+		toJSONInto(schema, rk, tp, &tj)
 		if !emit(StreamEvent{Tuple: &tj, CumQueries: sess.Queries()}) {
 			return
 		}
 		emitted++
-		s.streamTuples.Add(1)
+		t.streamTuples.Add(1)
 	}
 	emit(StreamEvent{
 		Done:          true,
 		Exhausted:     exhausted,
 		CumQueries:    sess.Queries(),
 		QueriesIssued: sess.Queries(),
-		EngineQueries: s.engine.Queries(),
+		EngineQueries: eng.Queries(),
 	})
 }
