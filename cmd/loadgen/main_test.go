@@ -1,0 +1,179 @@
+// Workload-generation tests: the request stream must be a pure function of
+// the seed, traces must round-trip through the record file format, and a
+// replay must issue exactly the recorded operations no matter how many
+// workers consume it. (The last pins the fix for a bug where per-worker RNG
+// seeding made the request stream depend on -clients.)
+
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func testOrdinals() []service.AttrSpec {
+	return []service.AttrSpec{
+		{Name: "A0", Kind: "ordinal", Min: 0, Max: 100},
+		{Name: "A1", Kind: "ordinal", Min: -50, Max: 50},
+		{Name: "A2", Kind: "ordinal", Min: 10, Max: 20},
+	}
+}
+
+func testWorkload(t *testing.T, seed int64) *workload {
+	t.Helper()
+	mix, err := parseMix("1d=4,md=3,batch=2,stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ords := testOrdinals()
+	return newWorkload(seed, 1.2, false, mix, buildWindows(ords, 32), ords, 8, 4)
+}
+
+func genSpecs(g *workload, n int) []opSpec {
+	out := make([]opSpec, n)
+	for i := range out {
+		out[i], _ = g.next()
+	}
+	return out
+}
+
+// TestWorkloadDeterministic: two generators with the same seed emit the
+// same operation sequence; a different seed diverges.
+func TestWorkloadDeterministic(t *testing.T) {
+	a := genSpecs(testWorkload(t, 7), 200)
+	b := genSpecs(testWorkload(t, 7), 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different operation sequences")
+	}
+	c := genSpecs(testWorkload(t, 8), 200)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical operation sequences")
+	}
+}
+
+// TestWorkloadShapes sanity-checks the generated operations: batch specs
+// carry batchSize requests, every request stays inside its universe window,
+// and the Zipf mode (window 0) dominates.
+func TestWorkloadShapes(t *testing.T) {
+	g := testWorkload(t, 1)
+	hits := map[int]int64{}
+	for _, s := range genSpecs(g, 2000) {
+		want := 1
+		if s.Kind == opBatch {
+			want = 4
+		}
+		if len(s.Reqs) != want || len(s.Windows) != want {
+			t.Fatalf("%s spec carries %d reqs / %d windows, want %d", s.Kind, len(s.Reqs), len(s.Windows), want)
+		}
+		for i, req := range s.Reqs {
+			w := g.universe[s.Windows[i]]
+			if len(req.Ranges) != 1 || req.Ranges[0].Attr != w.Attr ||
+				*req.Ranges[0].Min != w.Lo || *req.Ranges[0].Max != w.Hi {
+				t.Fatalf("request range does not match universe window %d", s.Windows[i])
+			}
+			if req.H < 1 || req.H > 8 {
+				t.Fatalf("request h = %d outside [1,8]", req.H)
+			}
+			hits[s.Windows[i]]++
+		}
+	}
+	var total, top int64
+	for _, n := range hits {
+		total += n
+	}
+	top = hits[0]
+	for w, n := range hits {
+		if n > top {
+			t.Fatalf("window %d (%d hits) beat the Zipf mode window 0 (%d hits)", w, n, top)
+		}
+	}
+	if float64(top)/float64(total) < 0.2 {
+		t.Fatalf("Zipf mode drew only %d/%d hits; the distribution is not skewed", top, total)
+	}
+}
+
+// TestTraceRoundTrip: specs written through the recording path decode back
+// identically via loadTrace.
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := bufio.NewWriter(f)
+	g := testWorkload(t, 3)
+	g.rec = json.NewEncoder(buf)
+	want := genSpecs(g, 150)
+	if err := buf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := loadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("trace did not round-trip through the record file")
+	}
+}
+
+// TestTraceReplayWorkerCountIndependent: however many workers drain a
+// traceSource, the union of consumed operations is exactly the trace, each
+// spec exactly once — the property that makes -trace-replay bit-identical
+// across -clients values.
+func TestTraceReplayWorkerCountIndependent(t *testing.T) {
+	trace := genSpecs(testWorkload(t, 11), 500)
+	key := func(s opSpec) string {
+		raw, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	want := map[string]int{}
+	for _, s := range trace {
+		want[key(s)]++
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		src := &traceSource{specs: trace}
+		var mu sync.Mutex
+		got := map[string]int{}
+		var n int
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					s, ok := src.next()
+					if !ok {
+						return
+					}
+					k := key(s)
+					mu.Lock()
+					got[k]++
+					n++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if n != len(trace) {
+			t.Fatalf("%d workers consumed %d operations, want %d", workers, n, len(trace))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d workers issued a different operation multiset than the trace", workers)
+		}
+	}
+}

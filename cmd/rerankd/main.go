@@ -109,6 +109,10 @@ func main() {
 		maxSessions  = flag.Int("max-sessions", 0, "max in-flight sessions across all namespaces before requests are shed with 429 (0 = unlimited; a batch of N counts N)")
 		clientBudget = flag.Int64("client-budget", 0, "upstream queries each client (X-Client-ID header) may cost per budget window (0 = unmetered)")
 		budgetWindow = flag.Duration("client-budget-window", time.Minute, "length of the per-client budget window")
+		acquireOn    = flag.Bool("acquire", false, "proactively acquire knowledge for hot query windows from idle capacity (background, always yields to user traffic)")
+		acquireWt    = flag.Int("acquire-weight", 1, "admission weight one background acquisition holds (only with -acquire)")
+		acquireIvl   = flag.Duration("acquire-interval", time.Second, "how often the background acquirer looks for idle capacity (only with -acquire)")
+		acquireIdle  = flag.Duration("acquire-idle", 0, "user-traffic quiet period before acquisition may start (0 = 2x -acquire-interval)")
 		maxBody      = flag.Int64("max-body-bytes", 1<<20, "request body size limit in bytes")
 		streamWrite  = flag.Duration("stream-write-timeout", 30*time.Second, "per-event write deadline on /v1/rerank/stream (stalled readers are disconnected)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
@@ -135,6 +139,12 @@ func main() {
 		ClientBudget:       *clientBudget,
 		ClientBudgetWindow: *budgetWindow,
 		StreamWriteTimeout: *streamWrite,
+		Acquire: service.AcquireOptions{
+			Enabled:   *acquireOn,
+			Weight:    *acquireWt,
+			Interval:  *acquireIvl,
+			IdleAfter: *acquireIdle,
+		},
 	})
 	for _, cfg := range upstreams {
 		cfg.N = hint
@@ -180,6 +190,9 @@ func main() {
 	}
 	if *clientBudget > 0 {
 		log.Printf("rerankd: per-client budget %d upstream queries / %s", *clientBudget, *budgetWindow)
+	}
+	if *acquireOn {
+		log.Printf("rerankd: background acquisition on (interval %s, weight %d)", *acquireIvl, *acquireWt)
 	}
 	// Persistence boot order: replay each namespace's committed knowledge
 	// first, then import the -state snapshot on top. A snapshot loaded after

@@ -1,0 +1,249 @@
+// The Acquirer: the background loop that converts idle capacity into warm
+// knowledge. It is deliberately mechanism-free — everything engine-specific
+// (admission, warmness, the actual crawl) is injected as hooks by the
+// serving tier, so this package depends only on the data model and stays
+// trivially testable.
+//
+// Priority discipline: the acquirer must never compete with user traffic.
+// Three independent guards enforce it:
+//
+//  1. Idle gating — a tick does nothing until the namespace has seen no
+//     user request for Config.IdleAfter.
+//  2. Low-priority admission — each window acquisition is admitted through
+//     the Admit hook, which the serving tier wires to the registry's
+//     reserve-aware low-priority gate: the acquirer is refused while user
+//     sessions could still need the capacity.
+//  3. Mid-flight yield — between upstream probes the acquisition checks the
+//     Pressure hook and aborts immediately when user work is queued or the
+//     namespace stopped being idle.
+package acquire
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes an Acquirer. The zero value gets sensible defaults.
+type Config struct {
+	// Interval is the tick period of the background loop (default 1s).
+	Interval time.Duration
+	// IdleAfter is how long the namespace must have been free of user
+	// requests before a tick does any work (default 2·Interval).
+	IdleAfter time.Duration
+	// WindowsPerTick bounds how many windows one tick may acquire
+	// (default 2).
+	WindowsPerTick int
+	// WarmDepth is how many tuples deep each direction of a window is
+	// warmed (default 16). Set it above the h users typically request so
+	// their probe streams are strict prefixes of the warmed stream.
+	WarmDepth int
+	// MinHeat is the decayed-heat floor below which candidates are not
+	// worth acquiring (default 1).
+	MinHeat float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.IdleAfter <= 0 {
+		c.IdleAfter = 2 * c.Interval
+	}
+	if c.WindowsPerTick <= 0 {
+		c.WindowsPerTick = 2
+	}
+	if c.WarmDepth <= 0 {
+		c.WarmDepth = 16
+	}
+	if c.MinHeat <= 0 {
+		c.MinHeat = 1
+	}
+	return c
+}
+
+// Hooks are the engine-side capabilities an Acquirer drives. All hooks are
+// required.
+type Hooks struct {
+	// Candidates returns up to max hot windows, hottest first (the
+	// engine's heat sketch).
+	Candidates func(max int) []Candidate
+	// Warm reports whether a window is already covered by acquired
+	// knowledge, so re-acquiring it would be wasted work.
+	Warm func(w Window) bool
+	// IdleSince reports how long ago the namespace last served a user
+	// request.
+	IdleSince func() time.Duration
+	// Pressure reports whether user traffic is waiting on admission
+	// capacity right now; polled between probes to yield mid-flight.
+	Pressure func() bool
+	// Admit reserves low-priority admission capacity for one acquisition.
+	// ok=false means user traffic owns the capacity; the tick ends.
+	Admit func() (release func(), ok bool)
+	// Acquire warms one window to the given depth, checking abort between
+	// upstream probes. It returns the upstream probes charged, whether the
+	// acquisition aborted on pressure, and any hard error.
+	Acquire func(w Window, depth int, abort func() bool) (probes int64, aborted bool, err error)
+}
+
+// Stats are the acquirer's lifetime counters, all monotone.
+type Stats struct {
+	Ticks           int64 `json:"ticks"`
+	ProbesIssued    int64 `json:"probesIssued"`
+	WindowsAcquired int64 `json:"windowsAcquired"`
+	SkippedWarm     int64 `json:"skippedWarm"`
+	Yields          int64 `json:"yields"`          // idle/pressure gates + mid-flight aborts
+	AdmissionDenied int64 `json:"admissionDenied"` // low-priority admission refusals
+	Errors          int64 `json:"errors"`
+}
+
+// Acquirer runs the background acquisition loop of one namespace.
+type Acquirer struct {
+	cfg   Config
+	hooks Hooks
+
+	ticks           atomic.Int64
+	probesIssued    atomic.Int64
+	windowsAcquired atomic.Int64
+	skippedWarm     atomic.Int64
+	yields          atomic.Int64
+	admissionDenied atomic.Int64
+	errors          atomic.Int64
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	stopped bool
+}
+
+// New builds an acquirer; call Start to run its background loop, or drive
+// it synchronously with Tick (tests, benchmarks).
+func New(cfg Config, hooks Hooks) *Acquirer {
+	return &Acquirer{cfg: cfg.withDefaults(), hooks: hooks}
+}
+
+// Config returns the acquirer's effective (defaulted) configuration.
+func (a *Acquirer) Config() Config { return a.cfg }
+
+// Start launches the background loop. Starting twice is a no-op; starting
+// after Stop is a no-op (acquirers are not restartable — build a new one).
+func (a *Acquirer) Start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stop != nil || a.stopped {
+		return
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go a.loop(a.stop, a.done)
+}
+
+// Stop halts the background loop and waits for any in-flight acquisition to
+// finish (in-flight work observes stop as pressure and aborts at the next
+// probe boundary). Safe to call twice and without Start.
+func (a *Acquirer) Stop() {
+	a.mu.Lock()
+	if a.stopped {
+		done := a.done
+		a.mu.Unlock()
+		if done != nil {
+			<-done
+		}
+		return
+	}
+	a.stopped = true
+	stop, done := a.stop, a.done
+	a.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (a *Acquirer) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			a.tick(stop)
+		}
+	}
+}
+
+// Tick runs one synchronous acquisition pass: tests and benchmarks call it
+// directly instead of sleeping through the background loop.
+func (a *Acquirer) Tick() { a.tick(nil) }
+
+func (a *Acquirer) tick(stop chan struct{}) {
+	a.ticks.Add(1)
+	if a.hooks.IdleSince() < a.cfg.IdleAfter || a.hooks.Pressure() {
+		a.yields.Add(1)
+		return
+	}
+	abort := func() bool {
+		if stop != nil {
+			select {
+			case <-stop:
+				return true
+			default:
+			}
+		}
+		return a.hooks.Pressure() || a.hooks.IdleSince() < a.cfg.IdleAfter
+	}
+	// Over-fetch candidates so warm ones can be skipped without starving
+	// the tick of work.
+	cands := a.hooks.Candidates(4 * a.cfg.WindowsPerTick)
+	acquired := 0
+	for _, cand := range cands {
+		if acquired >= a.cfg.WindowsPerTick {
+			return
+		}
+		if cand.Heat < a.cfg.MinHeat {
+			return // sorted hottest-first: everything after is colder
+		}
+		if a.hooks.Warm(cand.Window) {
+			a.skippedWarm.Add(1)
+			continue
+		}
+		if abort() {
+			a.yields.Add(1)
+			return
+		}
+		release, ok := a.hooks.Admit()
+		if !ok {
+			a.admissionDenied.Add(1)
+			return
+		}
+		probes, aborted, err := a.hooks.Acquire(cand.Window, a.cfg.WarmDepth, abort)
+		release()
+		a.probesIssued.Add(probes)
+		switch {
+		case aborted:
+			a.yields.Add(1)
+			return
+		case err != nil:
+			a.errors.Add(1)
+		default:
+			a.windowsAcquired.Add(1)
+			acquired++
+		}
+	}
+}
+
+// Stats returns a snapshot of the acquirer's counters.
+func (a *Acquirer) Stats() Stats {
+	return Stats{
+		Ticks:           a.ticks.Load(),
+		ProbesIssued:    a.probesIssued.Load(),
+		WindowsAcquired: a.windowsAcquired.Load(),
+		SkippedWarm:     a.skippedWarm.Load(),
+		Yields:          a.yields.Load(),
+		AdmissionDenied: a.admissionDenied.Load(),
+		Errors:          a.errors.Load(),
+	}
+}

@@ -1,0 +1,422 @@
+// Engine-level tests for background acquisition primitives: low-priority
+// admission with a user reserve, the user-pressure signal, WarmWindow's
+// ledger separation and zero-upstream replay guarantee (live, across
+// snapshot restarts, and across segment-store restarts), and heat-sketch
+// persistence through both the snapshot and checkpoint paths.
+
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/ranking"
+	"repro/internal/segment"
+	"repro/internal/types"
+)
+
+func TestAdmitLowPriorityReserve(t *testing.T) {
+	e := admissionEngine(t, 4) // reserve = 4/4 = 1 slot
+	var rels []func()
+	for i := 0; i < 3; i++ {
+		rel, ok := e.TryAdmitLowPriority(1)
+		if !ok {
+			t.Fatalf("low-priority admit %d rejected with reserve free", i)
+		}
+		rels = append(rels, rel)
+	}
+	// The 4th slot is the user reserve: low priority must never take it.
+	if _, ok := e.TryAdmitLowPriority(1); ok {
+		t.Fatal("low-priority admit took the user reserve slot")
+	}
+	// A user request still fits in the reserve.
+	rel, ok := e.TryAdmit(1)
+	if !ok {
+		t.Fatal("user admit rejected from the reserve slot")
+	}
+	rel()
+	for _, r := range rels {
+		r()
+	}
+	// Weighted: a low-priority batch must fit entirely outside the reserve.
+	if _, ok := e.TryAdmitLowPriority(4); ok {
+		t.Fatal("weight-4 low-priority admit overlapped the reserve")
+	}
+	if rel, ok := e.TryAdmitLowPriority(3); !ok {
+		t.Fatal("weight-3 low-priority admit rejected at empty gate")
+	} else {
+		rel()
+	}
+	// An unlimited gate has no reserve to protect.
+	eu := admissionEngine(t, 0)
+	if rel, ok := eu.TryAdmitLowPriority(5); !ok {
+		t.Fatal("low-priority admit rejected on unlimited gate")
+	} else {
+		rel()
+	}
+}
+
+func TestUserPressureSignal(t *testing.T) {
+	e := admissionEngine(t, 4)
+	if e.UserPressure(time.Hour) {
+		t.Fatal("pressure reported on an idle gate")
+	}
+	// Occupying up to the reserve boundary is pressure: users are using
+	// everything the acquirer would be allowed to touch.
+	rel1, _ := e.TryAdmit(2)
+	rel2, _ := e.TryAdmit(1)
+	if !e.UserPressure(time.Hour) {
+		t.Fatal("no pressure with used == cap-reserve")
+	}
+	rel1()
+	rel2()
+
+	// A denied user admission stamps pressure for the window, even after
+	// the load that caused it drained.
+	rel, _ := e.TryAdmit(4)
+	if _, ok := e.TryAdmit(1); ok {
+		t.Fatal("admit beyond capacity succeeded")
+	}
+	rel()
+	if !e.UserPressure(time.Hour) {
+		t.Fatal("denied admission did not register as pressure")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if e.UserPressure(10 * time.Millisecond) {
+		t.Fatal("pressure persisted past the window with the gate drained")
+	}
+
+	// Only user-held weight counts toward pressure: at cap=2 (reserve 1)
+	// the acquirer's own admitted slot fills cap-reserve, and if that read
+	// as pressure every in-flight acquisition would abort itself at its
+	// first probe.
+	e2 := admissionEngine(t, 2)
+	relLow, ok := e2.TryAdmitLowPriority(1)
+	if !ok {
+		t.Fatal("low-priority admit refused on an idle cap-2 gate")
+	}
+	if e2.UserPressure(time.Hour) {
+		t.Fatal("acquirer's own admission registered as user pressure")
+	}
+	// A user arriving alongside the in-flight acquisition IS pressure.
+	relUser, ok := e2.TryAdmit(1)
+	if !ok {
+		t.Fatal("user admit refused with the reserve free")
+	}
+	if !e2.UserPressure(time.Hour) {
+		t.Fatal("no pressure with a user holding the reserve")
+	}
+	relUser()
+	relLow()
+}
+
+// TestAdmitLowPriorityConcurrent hammers the gate with mixed user and
+// low-priority traffic (run with -race): the total bound must hold, and
+// during a phase where users pin everything outside the reserve, low
+// priority must be shut out completely.
+func TestAdmitLowPriorityConcurrent(t *testing.T) {
+	const capacity = 8
+	e := admissionEngine(t, capacity)
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			weight := 1 + g%2
+			low := g%3 == 0
+			for i := 0; i < 300; i++ {
+				var rel func()
+				var ok bool
+				if low {
+					rel, ok = e.TryAdmitLowPriority(weight)
+				} else {
+					rel, ok = e.TryAdmit(weight)
+				}
+				if !ok {
+					continue
+				}
+				cur := inFlight.Add(int64(weight))
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				inFlight.Add(-int64(weight))
+				rel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("observed %d in-flight weight, bound is %d", p, capacity)
+	}
+	if got := e.SessionsInFlight(); got != 0 {
+		t.Fatalf("SessionsInFlight = %d after all releases, want 0", got)
+	}
+	// Users hold cap-reserve: every low-priority admit must fail.
+	rel, ok := e.TryAdmit(capacity - 1)
+	if !ok {
+		t.Fatal("user admit of cap-reserve rejected on drained gate")
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := e.TryAdmitLowPriority(1); ok {
+			t.Fatal("low-priority admit succeeded with only the reserve free")
+		}
+	}
+	rel()
+}
+
+// acquireWindow is the window the WarmWindow tests warm and then re-query.
+func acquireWindow() types.Interval { return types.ClosedInterval(20, 30) }
+
+// warmedEngine builds a deterministic world and warms one window through an
+// acquirer-style session, returning the engine, the db, and the acquirer
+// session's ledger total.
+func warmedEngine(t *testing.T, depth int) (*Engine, *hiddenDBHandle) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(83))
+	db, _ := newTestDB(t, rng, 2, 500, 10, false, nil)
+	e := NewEngine(db, Options{N: 500})
+	acq := e.NewSession()
+	if err := acq.WarmWindow(0, acquireWindow(), depth); err != nil {
+		t.Fatal(err)
+	}
+	if acq.Queries() == 0 {
+		t.Fatal("cold WarmWindow issued no upstream queries")
+	}
+	if !e.WindowWarm(0, acquireWindow()) {
+		t.Fatal("WarmWindow did not mark the window warm")
+	}
+	return e, &hiddenDBHandle{db: db, acquired: acq.Queries()}
+}
+
+// hiddenDBHandle pairs the upstream with the acquirer's spend, so restart
+// tests can reset and re-read the counter.
+type hiddenDBHandle struct {
+	db interface {
+		ResetCounter()
+		QueryCount() int64
+	}
+	acquired int64
+}
+
+// reloadViaSnapshot snapshots e into memory and loads it into a fresh engine
+// over the same upstream.
+func reloadViaSnapshot(t *testing.T, e *Engine) *Engine {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(e.db, e.opts)
+	if err := e2.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	return e2
+}
+
+// assertUserFree drives a user 1D cursor over the warmed window in dir to
+// depth h and asserts it costs zero upstream and zero session ledger.
+func assertUserFree(t *testing.T, e *Engine, h *hiddenDBHandle, dir ranking.Direction, depth int) {
+	t.Helper()
+	h.db.ResetCounter()
+	user := e.NewSession()
+	q := query.New().WithRange(0, acquireWindow())
+	cur := user.NewOneDCursor(q, 0, dir, Rerank)
+	got, err := TopH(cur, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("warmed window returned no tuples")
+	}
+	if n := h.db.QueryCount(); n != 0 {
+		t.Errorf("user query over warmed window (dir %v) cost %d upstream, want 0", dir, n)
+	}
+	if n := user.Queries(); n != 0 {
+		t.Errorf("user session charged %d queries for a warmed window, want 0", n)
+	}
+}
+
+// TestWarmWindowLedgerSeparation: acquisition cost lands on the acquirer's
+// session and the engine-wide counter, never on a later user session — and
+// the warmed window answers users for zero upstream in both directions.
+func TestWarmWindowLedgerSeparation(t *testing.T) {
+	const depth = 12
+	e, h := warmedEngine(t, depth)
+	if got := e.Queries(); got != h.acquired {
+		t.Fatalf("engine-wide counter %d, want acquirer's %d", got, h.acquired)
+	}
+	assertUserFree(t, e, h, ranking.Asc, depth)
+	assertUserFree(t, e, h, ranking.Desc, depth)
+	// A shallower user query replays a strict prefix of the cached stream.
+	assertUserFree(t, e, h, ranking.Asc, depth/2)
+}
+
+// TestWarmWindowSurvivesSnapshotRestart: the acquired knowledge — dense
+// coverage, history, and the cached probe stream — survives a snapshot
+// round-trip, so the warmed window still answers users for zero upstream
+// after a restart.
+func TestWarmWindowSurvivesSnapshotRestart(t *testing.T) {
+	const depth = 12
+	e1, h := warmedEngine(t, depth)
+	e2 := reloadViaSnapshot(t, e1)
+	if !e2.WindowWarm(0, acquireWindow()) {
+		t.Fatal("warm marker lost across snapshot restart")
+	}
+	assertUserFree(t, e2, h, ranking.Asc, depth)
+	assertUserFree(t, e2, h, ranking.Desc, depth)
+}
+
+// TestWarmWindowSurvivesCheckpointRestart: same guarantee through the
+// incremental segment-store path.
+func TestWarmWindowSurvivesCheckpointRestart(t *testing.T) {
+	const depth = 12
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(83))
+	db, _ := newTestDB(t, rng, 2, 500, 10, false, nil)
+	e1 := NewEngine(db, Options{N: 500})
+	st1 := openStore(t, e1, dir, segment.Options{})
+	p1, err := e1.AttachPersistence(st1, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acq := e1.NewSession()
+	if err := acq.WarmWindow(0, acquireWindow(), depth); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine(db, Options{N: 500})
+	st2 := openStore(t, e2, dir, segment.Options{})
+	p2, err := e2.AttachPersistence(st2, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if !e2.WindowWarm(0, acquireWindow()) {
+		t.Fatal("warm marker lost across checkpoint restart")
+	}
+	h := &hiddenDBHandle{db: db}
+	assertUserFree(t, e2, h, ranking.Asc, depth)
+	assertUserFree(t, e2, h, ranking.Desc, depth)
+}
+
+// TestWarmWindowAbort: an abort hook that fires mid-acquisition surfaces
+// ErrAcquireAborted without charging further probes.
+func TestWarmWindowAbort(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	db, _ := newTestDB(t, rng, 2, 500, 10, false, nil)
+	e := NewEngine(db, Options{N: 500})
+	acq := e.NewSession()
+	var probes atomic.Int64
+	acq.SetAbort(func() bool { return probes.Add(1) > 3 })
+	err := acq.WarmWindow(0, acquireWindow(), 12)
+	if !errors.Is(err, ErrAcquireAborted) {
+		t.Fatalf("aborted WarmWindow returned %v, want ErrAcquireAborted", err)
+	}
+	// abort fires from the 4th poll on, and every probe polls first: at
+	// most 3 probes can have reached the upstream.
+	if charged := acq.Queries(); charged > 3 {
+		t.Fatalf("aborted acquisition kept issuing: session charged %d, want ≤ 3", charged)
+	}
+	// The abort is sticky here, so a retry aborts immediately at cost 0.
+	before := acq.Queries()
+	if err := acq.WarmWindow(0, acquireWindow(), 12); !errors.Is(err, ErrAcquireAborted) {
+		t.Fatalf("retry returned %v, want ErrAcquireAborted", err)
+	}
+	if acq.Queries() != before {
+		t.Fatal("aborted retry still charged the session")
+	}
+}
+
+// TestHeatSnapshotRoundTrip: the request-heat sketch rides the snapshot and
+// restores candidate-for-candidate, so acquisition resumes where it left
+// off after a drain/restart.
+func TestHeatSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	db, _ := newTestDB(t, rng, 2, 200, 10, false, nil)
+	e1 := NewEngine(db, Options{N: 200})
+	hot := query.New().WithRange(0, types.ClosedInterval(10, 20))
+	warm := query.New().WithRange(1, types.ClosedInterval(50, 60))
+	for i := 0; i < 5; i++ {
+		e1.RecordHeat(hot)
+	}
+	e1.RecordHeat(warm)
+	want := e1.Heat().Candidates(4)
+	if len(want) != 2 || want[0].Window.Attr != 0 {
+		t.Fatalf("precondition: candidates = %+v", want)
+	}
+
+	e2 := reloadViaSnapshot(t, e1)
+	got := e2.Heat().Candidates(4)
+	if len(got) != len(want) {
+		t.Fatalf("restored %d heat candidates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Window != want[i].Window {
+			t.Fatalf("candidate %d window %+v, want %+v", i, got[i].Window, want[i].Window)
+		}
+		if got[i].Heat < want[i].Heat*0.99 || got[i].Heat > want[i].Heat*1.01 {
+			t.Fatalf("candidate %d heat %g, want ≈%g", i, got[i].Heat, want[i].Heat)
+		}
+	}
+}
+
+// TestHeatCheckpointRoundTrip: heat rides incremental checkpoints — it is
+// committed when observations advanced, skipped when nothing changed, and
+// replays into a restarted engine.
+func TestHeatCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(87))
+	db, _ := newTestDB(t, rng, 2, 200, 10, false, nil)
+	e1 := NewEngine(db, Options{N: 200})
+	st1 := openStore(t, e1, dir, segment.Options{})
+	p1, err := e1.AttachPersistence(st1, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := query.New().WithRange(0, types.ClosedInterval(10, 20))
+	for i := 0; i < 5; i++ {
+		e1.RecordHeat(hot)
+	}
+	if err := p1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	records := st1.Stats().JournalRecords
+	if records == 0 {
+		t.Fatal("heat-only change produced no checkpoint record")
+	}
+	// Nothing changed since: the next checkpoint must write nothing.
+	if err := p1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st1.Stats().JournalRecords; got != records {
+		t.Fatalf("idle checkpoint appended a record (%d -> %d)", records, got)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine(db, Options{N: 200})
+	st2 := openStore(t, e2, dir, segment.Options{})
+	p2, err := e2.AttachPersistence(st2, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	got := e2.Heat().Candidates(4)
+	if len(got) != 1 || got[0].Window.Attr != 0 || got[0].Window.Lo != 10 || got[0].Window.Hi != 20 {
+		t.Fatalf("restored heat candidates = %+v, want the hot window on attr 0", got)
+	}
+}

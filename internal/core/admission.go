@@ -21,15 +21,37 @@
 
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // admissionGate is a weighted, non-blocking semaphore. The zero capacity
 // means unlimited: TryAdmit always succeeds but still counts in-flight
 // weight, so SessionsInFlight stays meaningful for metrics either way.
+//
+// The gate distinguishes two priorities. User-priority acquisition
+// (tryAcquire) may use the full capacity; low-priority acquisition
+// (tryAcquireLow, used by the background knowledge acquirer) is refused
+// whenever admitting it would leave fewer than a reserve of slots free, so
+// background work can never squeeze a user burst. Every user-priority
+// refusal is timestamped, giving the acquirer a cheap "user traffic was
+// just shed" signal to poll between probes.
 type admissionGate struct {
 	mu   sync.Mutex
 	cap  int // 0 = unlimited
 	used int
+	// lowUsed is the slice of used held at background priority. Pressure is
+	// computed on user-held weight only (used-lowUsed): the acquirer's own
+	// admitted slot must never read as "a user is waiting", or any gate
+	// whose reserve equals its capacity minus the acquisition weight would
+	// make the acquirer abort itself at its first probe.
+	lowUsed int
+
+	// lastDenied is the unix-nano time of the most recent user-priority
+	// refusal (0 = never). Written only on the shed path, read lock-free.
+	lastDenied atomic.Int64
 }
 
 func newAdmissionGate(capacity int) *admissionGate {
@@ -39,7 +61,9 @@ func newAdmissionGate(capacity int) *admissionGate {
 	return &admissionGate{cap: capacity}
 }
 
-// tryAcquire reserves weight slots if they all fit, atomically.
+// tryAcquire reserves weight slots if they all fit, atomically. A refusal
+// stamps lastDenied: user traffic was just shed, so background work must
+// back off.
 func (g *admissionGate) tryAcquire(weight int) bool {
 	if weight <= 0 {
 		weight = 1
@@ -47,10 +71,75 @@ func (g *admissionGate) tryAcquire(weight int) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.cap > 0 && g.used+weight > g.cap {
+		g.lastDenied.Store(time.Now().UnixNano())
 		return false
 	}
 	g.used += weight
 	return true
+}
+
+// reserveSlots returns the capacity withheld from low-priority admission:
+// a quarter of the gate, at least one slot. Zero with an unlimited gate
+// (capacity is not scarce, so there is nothing to reserve).
+func (g *admissionGate) reserveSlots() int {
+	if g.cap <= 0 {
+		return 0
+	}
+	r := g.cap / 4
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// tryAcquireLow reserves weight slots at background priority: it refuses
+// whenever the reservation would dip into the reserve kept free for user
+// traffic. Always admits on an unlimited gate.
+func (g *admissionGate) tryAcquireLow(weight int) bool {
+	if weight <= 0 {
+		weight = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cap > 0 && g.used+weight > g.cap-g.reserveSlots() {
+		return false
+	}
+	g.used += weight
+	g.lowUsed += weight
+	return true
+}
+
+// releaseLow returns slots acquired through tryAcquireLow, keeping the
+// low-priority accounting in step with the total.
+func (g *admissionGate) releaseLow(weight int) {
+	if weight <= 0 {
+		weight = 1
+	}
+	g.mu.Lock()
+	g.used -= weight
+	g.lowUsed -= weight
+	if g.used < 0 {
+		g.used = 0
+	}
+	if g.lowUsed < 0 {
+		g.lowUsed = 0
+	}
+	g.mu.Unlock()
+}
+
+// userPressure reports whether user traffic is contending for the gate:
+// either a user-priority admission was refused within the given window, or
+// user-held weight has climbed into the low-priority reserve. Only user
+// weight (used-lowUsed) counts — background admissions never pressure
+// themselves. The background acquirer polls this between probes to yield
+// mid-flight.
+func (g *admissionGate) userPressure(window time.Duration) bool {
+	if d := g.lastDenied.Load(); d != 0 && time.Now().UnixNano()-d < int64(window) {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cap > 0 && g.used-g.lowUsed >= g.cap-g.reserveSlots()
 }
 
 func (g *admissionGate) release(weight int) {
@@ -91,6 +180,33 @@ func (e *Engine) TryAdmit(weight int) (release func(), ok bool) {
 	return func() {
 		once.Do(func() { e.adm.release(weight) })
 	}, true
+}
+
+// TryAdmitLowPriority reserves weight slots at background (acquirer)
+// priority: admission is refused whenever it would leave less than a
+// quarter of the gate's capacity (at least one slot) free for user
+// traffic, so background work always yields first under load. Same
+// contract as TryAdmit otherwise: non-blocking, idempotent release,
+// always-admit on an unlimited gate.
+func (e *Engine) TryAdmitLowPriority(weight int) (release func(), ok bool) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if !e.adm.tryAcquireLow(weight) {
+		return nil, false
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() { e.adm.releaseLow(weight) })
+	}, true
+}
+
+// UserPressure reports whether user traffic is contending for the engine's
+// admission gate: a user-priority admission was refused within the given
+// window, or in-flight weight has climbed into the low-priority reserve.
+// Background work polls this between probes and aborts when it fires.
+func (e *Engine) UserPressure(window time.Duration) bool {
+	return e.adm.userPressure(window)
 }
 
 // SessionsInFlight reports the total admitted weight currently held — the

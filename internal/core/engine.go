@@ -34,6 +34,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/acquire"
 	"repro/internal/hidden"
 	"repro/internal/history"
 	"repro/internal/index"
@@ -198,6 +199,30 @@ func (e *Engine) ProbeCacheBytes() int64 { return e.probes.cacheBytes() }
 
 // StorageStats returns the history store's columnar storage counters.
 func (e *Engine) StorageStats() history.StorageStats { return e.know.hist.StorageStats() }
+
+// Heat returns the engine's request-window heat sketch — the demand signal
+// the background acquirer mines. Safe for concurrent use.
+func (e *Engine) Heat() *acquire.Sketch { return e.know.heat }
+
+// RecordHeat feeds a user query's bounded range predicates into the heat
+// sketch. Call it from the request path after validation: the cost is one
+// short mutex acquisition per bounded range, no upstream work.
+func (e *Engine) RecordHeat(q query.Query) {
+	for attr, iv := range q.Ranges {
+		if iv.Empty() || iv.Unbounded() {
+			continue
+		}
+		e.know.heat.Observe(attr, iv.Lo, iv.Hi)
+	}
+}
+
+// WindowWarm reports whether the 1D window [iv] on attr is already fully
+// covered by a crawled dense region — acquired knowledge that survives
+// restarts, so a restarted acquirer skips instead of re-crawling.
+func (e *Engine) WindowWarm(attr int, iv types.Interval) bool {
+	_, ok := e.know.dense1.Lookup(attr, iv)
+	return ok
+}
 
 // MDDenseRegions returns the total number of crawled MD dense regions across
 // all ranked-attribute subsets. Snapshots (v3+) persist these regions, so

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/acquire"
 	"repro/internal/history"
 	"repro/internal/index"
 	"repro/internal/query"
@@ -34,6 +35,12 @@ type Knowledge struct {
 	denseMD map[string]*mdEntry // keyed by ranked-attribute signature
 
 	queries atomic.Int64 // upstream queries issued through the engine
+
+	// heat is the request-window heat sketch feeding the background
+	// acquirer: which exact windows users queried recently, with
+	// exponential decay. Fed by RecordHeat on the request path; persisted
+	// in snapshots and checkpoints so acquisition resumes after restarts.
+	heat *acquire.Sketch
 
 	// persist, when attached, records dense-region inserts so incremental
 	// checkpoints can persist them. History needs no recording hook: the
@@ -55,6 +62,7 @@ func newKnowledge(schema *types.Schema) *Knowledge {
 		hist:    history.NewStore(schema),
 		dense1:  index.NewDense1D(),
 		denseMD: make(map[string]*mdEntry),
+		heat:    acquire.NewSketch(schema),
 	}
 }
 
@@ -67,6 +75,9 @@ func (k *Knowledge) DenseIndex1D() *index.Dense1D { return k.dense1 }
 // Queries returns the number of upstream queries issued so far (coalesced
 // probes count once).
 func (k *Knowledge) Queries() int64 { return k.queries.Load() }
+
+// Heat returns the request-window heat sketch. Safe for concurrent use.
+func (k *Knowledge) Heat() *acquire.Sketch { return k.heat }
 
 // mdIndexFor returns the MD dense index shared by all rankers over the same
 // attribute subset, creating it on first use.

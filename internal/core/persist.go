@@ -66,6 +66,7 @@ type Persister struct {
 
 	mu      sync.Mutex
 	histLo  int         // next history arena row not yet committed
+	heatObs int64       // heat-sketch observation count at last committed capture
 	ops     []pendingOp // dense/probe mutations since the last capture
 	lastErr error
 
@@ -122,10 +123,11 @@ func (e *Engine) AttachPersistence(store *segment.Store, opts PersistOptions) (*
 		return nil, fmt.Errorf("core: segment replay: %w", err)
 	}
 	p := &Persister{
-		e:      e,
-		store:  store,
-		logf:   opts.Logf,
-		histLo: e.know.hist.Rows(),
+		e:       e,
+		store:   store,
+		logf:    opts.Logf,
+		histLo:  e.know.hist.Rows(),
+		heatObs: e.know.heat.Observations(),
 	}
 	e.know.persist.Store(p)
 	e.probes.persist.Store(p)
@@ -198,6 +200,9 @@ func (e *Engine) applyDelta(d *segment.Delta) error {
 		}
 		e.probes.seed(op.Key, hidden.Result{Tuples: tuples})
 	}
+	// Heat is last-wins across deltas and Import is idempotent, so replaying
+	// a committed prefix (or the same delta twice after a retry) converges.
+	e.know.heat.Import(d.Heat)
 	// d.Queries is informational (lifetime counter at capture time) and not
 	// restored, matching LoadSnapshot: a restarted engine's counter measures
 	// cost paid by THIS process.
@@ -238,6 +243,7 @@ func (p *Persister) Checkpoint() error {
 	ops := p.ops
 	p.ops = nil
 	histLo := p.histLo
+	heatObs := p.heatObs
 	p.mu.Unlock()
 
 	// The watermark is read AFTER the queue swap: any tuple a captured op
@@ -245,6 +251,16 @@ func (p *Persister) Checkpoint() error {
 	// this histHi, so it commits by reference in this very delta.
 	histHi := p.e.know.hist.Rows()
 	d := p.buildDelta(histLo, histHi, ops)
+	// Heat rides the delta only when observations advanced since the last
+	// committed capture, so an idle engine stays checkpoint-quiet. The
+	// observation count is read BEFORE the export: observations arriving in
+	// between are exported now and re-exported next time — harmless, since
+	// Import is idempotent — whereas the opposite order could mark them
+	// committed without capturing them.
+	obs := p.e.know.heat.Observations()
+	if obs != heatObs {
+		d.Heat = p.e.know.heat.Export()
+	}
 	if d.Empty() {
 		return nil
 	}
@@ -257,6 +273,7 @@ func (p *Persister) Checkpoint() error {
 	}
 	p.mu.Lock()
 	p.histLo = histHi
+	p.heatObs = obs
 	p.lastErr = nil
 	p.mu.Unlock()
 	return nil

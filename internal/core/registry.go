@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/hidden"
 )
@@ -232,6 +233,35 @@ func (r *Registry) TryAdmit(ns *Namespace, weight int) (release func(), ok bool)
 	return func() {
 		once.Do(func() { r.gate.release(weight) })
 	}, true
+}
+
+// TryAdmitAcquire reserves weight sessions' worth of shared capacity for
+// namespace ns at background (acquirer) priority, scaled by the namespace's
+// AdmissionWeight. Unlike TryAdmit it refuses whenever the reservation
+// would dip into the reserve kept free for user traffic (a quarter of the
+// shared capacity, at least one slot), so the acquirer always loses the
+// race for scarce slots. Non-blocking; idempotent release.
+func (r *Registry) TryAdmitAcquire(ns *Namespace, weight int) (release func(), ok bool) {
+	if weight <= 0 {
+		weight = 1
+	}
+	weight *= ns.weight
+	if !r.gate.tryAcquireLow(weight) {
+		return nil, false
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() { r.gate.releaseLow(weight) })
+	}, true
+}
+
+// UserPressure reports whether user traffic is contending for the shared
+// admission gate: a user-priority TryAdmit was refused within the given
+// window, or in-flight weight has climbed into the low-priority reserve.
+// The background acquirer polls this between probes and aborts when it
+// fires.
+func (r *Registry) UserPressure(window time.Duration) bool {
+	return r.gate.userPressure(window)
 }
 
 // SessionsInFlight reports the admitted session weight currently held

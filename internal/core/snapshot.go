@@ -40,6 +40,12 @@
 // deployment changed. History tuples are restored either way — an observed
 // tuple is a corpus fact under the Database contract.
 //
+// Version 4 (PR 9) adds "heat": the request-window heat sketch feeding the
+// background knowledge acquirer (internal/acquire), so proactive
+// acquisition resumes where it left off after a restart. Heat is demand
+// statistics — facts about what users asked, not about the corpus — so it
+// restores without the fingerprint gate, like history.
+//
 // Older versions always load: a vN engine reading a v(N-1) snapshot restores
 // every section the older format carries and leaves the rest cold. Snapshots
 // are written at the current version unconditionally.
@@ -58,6 +64,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/acquire"
 	"repro/internal/hidden"
 	"repro/internal/index"
 	"repro/internal/query"
@@ -68,7 +75,7 @@ import (
 // accepts any version from snapshotVersionMin up to it.
 const (
 	snapshotVersionMin = 1
-	snapshotVersion    = 3
+	snapshotVersion    = 4
 )
 
 // Snapshot is the serialized engine state.
@@ -92,6 +99,10 @@ type Snapshot struct {
 	UpstreamK      int      `json:"upstreamK,omitempty"`
 	UpstreamRanker string   `json:"upstreamRanker,omitempty"`
 	Schema         []string `json:"schema"` // attribute names, for validation
+	// Heat is the request-window heat sketch (v4+; absent before, and
+	// omitted when no heat is live). Restored without the fingerprint
+	// gate: it describes user demand, not the corpus.
+	Heat *acquire.HeatExport `json:"heat,omitempty"`
 }
 
 type snapTuple struct {
@@ -147,6 +158,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 		Schema:         e.db.Schema().Names(),
 		UpstreamK:      e.db.K(),
 		UpstreamRanker: upstreamRankerName(e.db),
+		Heat:           e.know.heat.Export(),
 	}
 	// Dense regions and probe-cache entries first: history only grows, so
 	// capturing them before the tuple dump keeps most ID references
@@ -248,6 +260,10 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 	// One variadic Add: the store batches its per-shard index inserts per
 	// call, so this restores in one pass instead of n lock round-trips.
 	e.know.hist.Add(batch...)
+	// Heat (v4+) restores like history, outside the fingerprint gate: it
+	// records what users asked for, which stays true whatever the upstream
+	// looks like now. Import clamps unknown attributes/cells away.
+	e.know.heat.Import(snap.Heat)
 	// Everything below — dense regions (1D and MD) and the probe cache —
 	// restores only under a matching upstream fingerprint: cached probe
 	// answers replay one specific upstream's responses verbatim, and a

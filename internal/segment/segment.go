@@ -55,6 +55,8 @@ package segment
 import (
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/acquire"
 )
 
 // Format is the segment/journal format version this package reads and
@@ -156,15 +158,23 @@ type Delta struct {
 	Dense1  []Dense1Op `json:"dense1,omitempty"`
 	DenseMD []MDOp     `json:"denseMD,omitempty"`
 	Probes  []ProbeOp  `json:"probes,omitempty"`
+	// Heat, when present, is the engine's request-window heat sketch at
+	// capture time (acquire.HeatExport). Replay is last-wins across
+	// deltas, so only the newest capture matters; older formats without
+	// the field replay as nil and leave heat cold.
+	Heat *acquire.HeatExport `json:"heat,omitempty"`
 	// Queries is the engine's lifetime upstream-query counter at capture
 	// time (informational; surfaced by stats, not restored).
 	Queries int64 `json:"queries"`
 }
 
-// Empty reports whether the delta carries no knowledge at all.
+// Empty reports whether the delta carries no knowledge at all. A delta
+// holding only a heat capture counts as non-empty: acquisition heat is
+// knowledge worth committing on its own.
 func (d *Delta) Empty() bool {
 	return len(d.Hist) == 0 && len(d.Tuples) == 0 &&
-		len(d.Dense1) == 0 && len(d.DenseMD) == 0 && len(d.Probes) == 0
+		len(d.Dense1) == 0 && len(d.DenseMD) == 0 && len(d.Probes) == 0 &&
+		d.Heat == nil
 }
 
 // segmentFile is the serialized form of one immutable segment: a batch of

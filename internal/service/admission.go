@@ -47,6 +47,10 @@ type Options struct {
 	// this stalls its write, which ends the stream and releases its
 	// admission slot — stalled readers cannot pin capacity forever.
 	StreamWriteTimeout time.Duration
+	// Acquire configures proactive background knowledge acquisition per
+	// namespace (disabled by default; see acquire.go and
+	// docs/acquisition.md).
+	Acquire AcquireOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -221,10 +225,18 @@ var errDraining = fmt.Errorf("server is draining for shutdown")
 
 // BeginDrain puts the server into draining mode: every subsequent request
 // (including /healthz, so load balancers deregister the instance) is
-// rejected with 503 while in-flight requests run to completion. Callers
-// typically pair it with http.Server.Shutdown and a final SaveState — see
-// cmd/rerankd. Draining is not reversible.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// rejected with 503 while in-flight requests run to completion. Background
+// acquirers are stopped FIRST — speculative acquisition must not race the
+// final checkpoints or prolong shutdown — and BeginDrain returns only once
+// any in-flight acquisition has yielded. Callers typically pair it with
+// http.Server.Shutdown and a final SaveState — see cmd/rerankd. Draining is
+// not reversible.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	for _, t := range s.tenantList() {
+		t.stopAcquirer()
+	}
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+
+	"repro/internal/acquire"
 )
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -59,6 +61,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("rerank_storage_dict_entries", "Interned categorical symbols in the shared dictionary.", int64(st.StorageDictEntries))
 	gauge("rerank_storage_resident_tuples", "Rows resident in the columnar arena.", int64(st.StorageResidentTuples))
 	gauge("rerank_storage_approx_bytes", "Approximate resident bytes of columnar storage plus cached probe answers.", st.StorageApproxBytes)
+
+	acqEnabled := int64(0)
+	if st.AcquireEnabled {
+		acqEnabled = 1
+	}
+	gauge("rerank_acquire_enabled", "1 when background knowledge acquisition is configured.", acqEnabled)
+	if st.Acquire != nil {
+		counter("rerank_acquire_ticks_total", "Background acquirer tick passes.", st.Acquire.Ticks)
+		counter("rerank_acquire_probes_total", "Upstream probes issued by background acquisition.", st.Acquire.ProbesIssued)
+		counter("rerank_acquire_windows_total", "Query windows fully warmed by background acquisition.", st.Acquire.WindowsAcquired)
+		counter("rerank_acquire_skipped_warm_total", "Candidate windows skipped because they were already warm.", st.Acquire.SkippedWarm)
+		counter("rerank_acquire_yields_total", "Acquirer yields to user traffic (idle/pressure gates and mid-flight aborts).", st.Acquire.Yields)
+		counter("rerank_acquire_admission_denied_total", "Low-priority admission refusals of the acquirer.", st.Acquire.AdmissionDenied)
+		counter("rerank_acquire_errors_total", "Background acquisitions that failed with a hard error.", st.Acquire.Errors)
+	}
 
 	enabled := int64(0)
 	if st.PersistEnabled {
@@ -125,5 +142,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			})
 		labeled("rerank_upstream_persist_pending_ops", "Operations recorded since the namespace's last checkpoint.", "gauge",
 			func(u UpstreamStats) int64 { return int64(u.PersistPendingOps) })
+		if st.Acquire != nil {
+			acq := func(f func(acquire.Stats) int64) func(UpstreamStats) int64 {
+				return func(u UpstreamStats) int64 {
+					if u.Acquire == nil {
+						return 0
+					}
+					return f(*u.Acquire)
+				}
+			}
+			labeled("rerank_upstream_acquire_probes_total", "Upstream probes issued by background acquisition, per upstream namespace.", "counter",
+				acq(func(a acquire.Stats) int64 { return a.ProbesIssued }))
+			labeled("rerank_upstream_acquire_windows_total", "Query windows fully warmed by background acquisition, per upstream namespace.", "counter",
+				acq(func(a acquire.Stats) int64 { return a.WindowsAcquired }))
+			labeled("rerank_upstream_acquire_yields_total", "Acquirer yields to user traffic, per upstream namespace.", "counter",
+				acq(func(a acquire.Stats) int64 { return a.Yields }))
+		}
 	}
 }

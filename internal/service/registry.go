@@ -102,6 +102,12 @@ func (s *Server) RegisterUpstreamDB(cfg UpstreamConfig, db hidden.Database) (*Up
 			return nil, err
 		}
 	}
+	// The acquirer starts after any persistence replay so a restored heat
+	// sketch immediately seeds its candidate ranking. Nothing to start on a
+	// draining server: BeginDrain has already stopped acquisition for good.
+	if s.opts.Acquire.Enabled && !s.draining.Load() {
+		s.startAcquirer(t)
+	}
 	info := s.upstreamInfo(t)
 	return &info, nil
 }
@@ -129,8 +135,15 @@ func (s *Server) DeregisterUpstream(name string) error {
 		s.tmu.Unlock()
 		return err
 	}
+	t := s.tenants[name]
 	delete(s.tenants, name)
 	s.tmu.Unlock()
+	// Stop the acquirer before the final checkpoint: its in-flight
+	// acquisition yields at the next probe boundary, so the checkpoint
+	// captures a quiesced engine.
+	if t != nil {
+		t.stopAcquirer()
+	}
 	// Final checkpoint outside the locks: in-flight requests that resolved
 	// the tenant before removal drain on their own; their knowledge past
 	// this point is simply not persisted.

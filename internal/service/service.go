@@ -45,6 +45,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/acquire"
 	"repro/internal/core"
 	"repro/internal/hidden"
 	"repro/internal/query"
@@ -146,6 +147,10 @@ type UpstreamStats struct {
 	StorageResidentTuples int   `json:"storageResidentTuples"`
 	StorageApproxBytes    int64 `json:"storageApproxBytes"`
 
+	// Acquire is the namespace's background-acquirer counters (absent when
+	// acquisition is disabled).
+	Acquire *acquire.Stats `json:"acquire,omitempty"`
+
 	// Per-namespace persistence gauges (the namespace's own segment store
 	// under data-dir/<ns>/).
 	PersistEnabled        bool   `json:"persistEnabled"`
@@ -231,6 +236,11 @@ type Stats struct {
 	PersistReplayedDeltas int    `json:"persistReplayedDeltas,omitempty"`
 	PersistBytesAppended  int64  `json:"persistBytesAppended,omitempty"`
 	PersistLastError      string `json:"persistLastError,omitempty"`
+	// AcquireEnabled is true when background acquisition is configured;
+	// Acquire sums the per-namespace acquirer counters (absent when
+	// disabled).
+	AcquireEnabled bool           `json:"acquireEnabled"`
+	Acquire        *acquire.Stats `json:"acquire,omitempty"`
 	// DefaultUpstream names the namespace un-namespaced requests hit;
 	// Upstreams is the per-namespace breakdown.
 	DefaultUpstream string                   `json:"defaultUpstream,omitempty"`
@@ -250,6 +260,13 @@ type tenant struct {
 	batchItems     atomic.Int64
 	streamRequests atomic.Int64
 	streamTuples   atomic.Int64
+
+	// lastUser is the unix-nano timestamp of the namespace's most recent
+	// user request execution — the acquirer's idle gate.
+	lastUser atomic.Int64
+	// acq is the namespace's background acquirer (nil unless
+	// Options.Acquire.Enabled).
+	acq *acquire.Acquirer
 }
 
 func (t *tenant) engine() *core.Engine { return t.ns.Engine() }
@@ -536,6 +553,10 @@ func (s *Server) tenantStats(t *tenant) UpstreamStats {
 	if hdb, ok := t.db.(*hidden.DB); ok {
 		us.UpstreamRanker = hdb.RankerName()
 	}
+	if t.acq != nil {
+		as := t.acq.Stats()
+		us.Acquire = &as
+	}
 	if p := eng.Persister(); p != nil {
 		ps := p.Stats()
 		us.PersistEnabled = true
@@ -563,6 +584,7 @@ func (s *Server) Stats() Stats {
 		RejectedBudget:   s.rejectedBudget.Load(),
 		RejectedDraining: s.rejectedDraining.Load(),
 		Draining:         s.draining.Load(),
+		AcquireEnabled:   s.opts.Acquire.Enabled,
 		Upstreams:        make(map[string]UpstreamStats),
 	}
 	if def := s.registry.Default(); def != nil {
@@ -604,6 +626,18 @@ func (s *Server) Stats() Stats {
 			if st.PersistLastError == "" {
 				st.PersistLastError = us.PersistLastError
 			}
+		}
+		if us.Acquire != nil {
+			if st.Acquire == nil {
+				st.Acquire = &acquire.Stats{}
+			}
+			st.Acquire.Ticks += us.Acquire.Ticks
+			st.Acquire.ProbesIssued += us.Acquire.ProbesIssued
+			st.Acquire.WindowsAcquired += us.Acquire.WindowsAcquired
+			st.Acquire.SkippedWarm += us.Acquire.SkippedWarm
+			st.Acquire.Yields += us.Acquire.Yields
+			st.Acquire.AdmissionDenied += us.Acquire.AdmissionDenied
+			st.Acquire.Errors += us.Acquire.Errors
 		}
 		if us.Default {
 			st.SearchParallelism = us.SearchParallelism
@@ -690,6 +724,11 @@ func (s *Server) run(t *tenant, q query.Query, rk ranking.Ranker, variant core.V
 	// (exact under concurrency, unlike a before/after diff of the engine
 	// counter, which would absorb other requests' probes).
 	eng := t.engine()
+	// Every executed user request stamps the acquirer's idle clock and
+	// feeds the heat sketch — both are single atomic-order operations, so
+	// the request path pays nothing measurable.
+	t.touchUser()
+	eng.RecordHeat(q)
 	sess := eng.NewSession()
 	cur, err := sess.NewCursor(q, rk, variant)
 	if err != nil {
