@@ -821,3 +821,83 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		b.ReportMetric(float64(db.QueryCount())/float64(n), "upstreamQ/op")
 	}
 }
+
+// BenchmarkEpochRevalidate prices the living-upstreams epoch machinery on
+// the serving hot path. fresh: touching cached knowledge at the current
+// epoch (the overwhelmingly common case — must stay free: 0 upstream
+// queries, pure cache reads). stale: the same touches right after an epoch
+// bump, where every entry spends its one confirming probe and is promoted.
+// upstreamQ/op reports the paper's cost measure; the benchdiff gate guards
+// the fresh path's ns/op against regressions.
+func BenchmarkEpochRevalidate(b *testing.B) {
+	const nTuples, k, nProbes = 5000, 10, 64
+	rng := rand.New(rand.NewSource(7))
+	schema := types.MustSchema([]types.Attribute{
+		{Name: "A0", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 100}},
+		{Name: "A1", Kind: types.Ordinal, Domain: types.Domain{Min: 0, Max: 100}},
+	})
+	tuples := make([]types.Tuple, nTuples)
+	for i := range tuples {
+		tuples[i] = types.Tuple{ID: i, Ord: []float64{rng.Float64() * 100, rng.Float64() * 100}}
+	}
+	db := hidden.MustDB(schema, tuples, hidden.Options{K: k})
+
+	// Narrow windows over A0, each holding fewer than k tuples so one probe
+	// answers it completely (cacheable, hence promotable).
+	width := 100.0 / nTuples * float64(k) / 4
+	queries := make([]query.Query, nProbes)
+	for i := range queries {
+		lo := rng.Float64() * (100 - width)
+		queries[i] = query.New().WithRange(0, types.ClosedInterval(lo, lo+width))
+	}
+	newWarmEngine := func(b *testing.B) *core.Engine {
+		b.Helper()
+		eng := core.NewEngine(db, core.Options{N: nTuples, ProbeCacheSize: 4 * nProbes})
+		sess := eng.NewSession()
+		for _, q := range queries {
+			if _, err := sess.CrawlAll(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return eng
+	}
+	touchAll := func(b *testing.B, eng *core.Engine) {
+		b.Helper()
+		sess := eng.NewSession()
+		for _, q := range queries {
+			if _, err := sess.CrawlAll(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("fresh", func(b *testing.B) {
+		eng := newWarmEngine(b)
+		before := eng.Queries()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			touchAll(b, eng)
+		}
+		b.StopTimer()
+		spent := eng.Queries() - before
+		if spent != 0 {
+			b.Fatalf("fresh touches spent %d upstream queries, want 0", spent)
+		}
+		b.ReportMetric(0, "upstreamQ/op")
+	})
+	b.Run("stale", func(b *testing.B) {
+		eng := newWarmEngine(b)
+		before := eng.Queries()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Knowledge().BumpEpoch()
+			touchAll(b, eng)
+		}
+		b.StopTimer()
+		spent := eng.Queries() - before
+		if want := int64(b.N) * nProbes; spent != want {
+			b.Fatalf("stale touches spent %d upstream queries, want exactly %d (1 per entry per bump)", spent, want)
+		}
+		b.ReportMetric(float64(spent)/float64(b.N), "upstreamQ/op")
+	})
+}

@@ -113,6 +113,9 @@ func main() {
 		acquireWt    = flag.Int("acquire-weight", 1, "admission weight one background acquisition holds (only with -acquire)")
 		acquireIvl   = flag.Duration("acquire-interval", time.Second, "how often the background acquirer looks for idle capacity (only with -acquire)")
 		acquireIdle  = flag.Duration("acquire-idle", 0, "user-traffic quiet period before acquisition may start (0 = 2x -acquire-interval)")
+		sentinelIvl  = flag.Duration("sentinel-interval", 0, "period of the per-namespace sentinel drift check: a tiny fixed probe set whose changed answers bump the knowledge epoch (0 = off)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "launch a hedged second attempt for a remote probe not answered within this duration (0 = off)")
+		probeRetries = flag.Int("probe-retries", 0, "extra attempts per remote probe before it fails (0 = default 2, negative = none)")
 		maxBody      = flag.Int64("max-body-bytes", 1<<20, "request body size limit in bytes")
 		streamWrite  = flag.Duration("stream-write-timeout", 30*time.Second, "per-event write deadline on /v1/rerank/stream (stalled readers are disconnected)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
@@ -144,6 +147,14 @@ func main() {
 			Weight:    *acquireWt,
 			Interval:  *acquireIvl,
 			IdleAfter: *acquireIdle,
+		},
+		Sentinel: service.SentinelOptions{
+			Enabled:  *sentinelIvl > 0,
+			Interval: *sentinelIvl,
+		},
+		Guard: service.GuardConfig{
+			Retries:    *probeRetries,
+			HedgeAfter: *hedgeAfter,
 		},
 	})
 	for _, cfg := range upstreams {
@@ -193,6 +204,12 @@ func main() {
 	}
 	if *acquireOn {
 		log.Printf("rerankd: background acquisition on (interval %s, weight %d)", *acquireIvl, *acquireWt)
+	}
+	if *sentinelIvl > 0 {
+		log.Printf("rerankd: sentinel drift detection on (interval %s)", *sentinelIvl)
+	}
+	if *hedgeAfter > 0 {
+		log.Printf("rerankd: hedged remote probes after %s", *hedgeAfter)
 	}
 	// Persistence boot order: replay each namespace's committed knowledge
 	// first, then import the -state snapshot on top. A snapshot loaded after

@@ -16,10 +16,14 @@
 // shared across goroutines and must be treated as immutable (the reranking
 // algorithms only read them; the history store clones on insert).
 //
-// Correctness rests on the Database contract being deterministic for the
-// lifetime of the engine (the upstream corpus does not change mid-run) —
-// the same assumption the history store and dense indexes already make.
-// Options.DisableCoalescing opts out for volatile upstreams.
+// Correctness against *living* upstreams comes from knowledge epochs:
+// every cached answer carries the epoch it was learned under, and an entry
+// whose epoch trails the engine's current epoch (a sentinel detected
+// upstream drift) is not replayed blindly. Its first touch issues exactly
+// one confirming probe through the flight group: an unchanged answer
+// promotes the entry to the current epoch, a changed one replaces (or, on
+// overflow, evicts) just that entry. Options.DisableCoalescing opts out
+// entirely for upstreams too volatile even for that.
 //
 // The parallel speculative MD search (md.go) leans on this layer twice
 // over: its concurrent probe rounds dedup against other sessions' in-flight
@@ -37,7 +41,9 @@ import (
 
 	"repro/internal/colstore"
 	"repro/internal/hidden"
+	"repro/internal/index"
 	"repro/internal/query"
+	"repro/internal/types"
 )
 
 // defaultProbeCacheSize bounds the probe LRU when Options.ProbeCacheSize is
@@ -130,10 +136,11 @@ type probeCache struct {
 }
 
 type cacheEntry struct {
-	key  string
-	ans  *colstore.Answer // columnar form; nil when not exactly representable
-	res  hidden.Result    // row form: direct storage, or memoized from ans
-	memo bool             // res has been materialized from ans
+	key   string
+	ans   *colstore.Answer // columnar form; nil when not exactly representable
+	res   hidden.Result    // row form: direct storage, or memoized from ans
+	memo  bool             // res has been materialized from ans
+	epoch int64            // knowledge epoch the answer was learned under
 }
 
 func newProbeCache(capacity int, layout *colstore.Layout, dict *colstore.Dict) *probeCache {
@@ -171,18 +178,33 @@ func (ce *cacheEntry) rowForm() hidden.Result {
 	return ce.res
 }
 
-func (p *probeCache) get(key string) (hidden.Result, bool) {
+func (p *probeCache) get(key string) (hidden.Result, int64, bool) {
 	if p == nil {
-		return hidden.Result{}, false
+		return hidden.Result{}, 0, false
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	el, ok := p.byKey[key]
 	if !ok {
-		return hidden.Result{}, false
+		return hidden.Result{}, 0, false
 	}
 	p.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).rowForm(), true
+	ce := el.Value.(*cacheEntry)
+	return ce.rowForm(), ce.epoch, true
+}
+
+// remove evicts one entry (its cached answer no longer matches the
+// upstream and the fresh answer is not cacheable).
+func (p *probeCache) remove(key string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		p.order.Remove(el)
+		delete(p.byKey, key)
+	}
 }
 
 // export returns the cached entries ordered least-recently-used first, so
@@ -198,7 +220,7 @@ func (p *probeCache) export() []probeEntry {
 	out := make([]probeEntry, 0, p.order.Len())
 	for el := p.order.Back(); el != nil; el = el.Prev() {
 		ce := el.Value.(*cacheEntry)
-		out = append(out, probeEntry{Key: ce.key, Res: ce.rowForm()})
+		out = append(out, probeEntry{Key: ce.key, Res: ce.rowForm(), Epoch: ce.epoch})
 	}
 	return out
 }
@@ -229,7 +251,7 @@ func (p *probeCache) approxBytes() int64 {
 	return b
 }
 
-func (p *probeCache) put(key string, res hidden.Result) {
+func (p *probeCache) put(key string, res hidden.Result, epoch int64) {
 	if p == nil || res.Overflow {
 		return // only complete answers are authoritative
 	}
@@ -237,10 +259,12 @@ func (p *probeCache) put(key string, res hidden.Result) {
 	defer p.mu.Unlock()
 	if el, ok := p.byKey[key]; ok {
 		p.order.MoveToFront(el)
-		p.fill(el.Value.(*cacheEntry), res)
+		ce := el.Value.(*cacheEntry)
+		p.fill(ce, res)
+		ce.epoch = epoch
 		return
 	}
-	ce := &cacheEntry{key: key}
+	ce := &cacheEntry{key: key, epoch: epoch}
 	p.fill(ce, res)
 	p.byKey[key] = p.order.PushFront(ce)
 	for p.order.Len() > p.cap {
@@ -250,12 +274,14 @@ func (p *probeCache) put(key string, res hidden.Result) {
 	}
 }
 
-// probeEntry is one exported probe-LRU entry: a canonical query key and its
-// complete (valid/underflow) answer. Snapshots persist these so a restarted
-// service stays warm at the probe level, not just the tuple level.
+// probeEntry is one exported probe-LRU entry: a canonical query key, its
+// complete (valid/underflow) answer, and the knowledge epoch the answer was
+// learned under. Snapshots persist these so a restarted service stays warm
+// at the probe level, not just the tuple level.
 type probeEntry struct {
-	Key string
-	Res hidden.Result
+	Key   string
+	Res   hidden.Result
+	Epoch int64
 }
 
 // coalescer wraps the engine's primary database with singleflight dedup and
@@ -266,6 +292,14 @@ type coalescer struct {
 	cache    *probeCache
 	disabled bool // pass every probe straight through
 
+	// epochFn reports the engine's current knowledge epoch; cache entries
+	// learned under an older epoch are re-validated before replay.
+	epochFn func() int64
+
+	// Lazy re-validation outcome counters (see TopK).
+	revalPromoted atomic.Int64
+	revalEvicted  atomic.Int64
+
 	// persist, when attached, records every complete answer admitted to the
 	// cache so incremental checkpoints persist probe-level warmth.
 	persist atomic.Pointer[Persister]
@@ -273,8 +307,9 @@ type coalescer struct {
 
 // newCoalescer builds the coalescing layer. layout and dict come from the
 // engine's history store, so cached answers intern their categorical values
-// into the same dictionary as the tuple history.
-func newCoalescer(db hidden.Database, cacheSize int, disabled bool, layout *colstore.Layout, dict *colstore.Dict) *coalescer {
+// into the same dictionary as the tuple history. epochFn supplies the
+// current knowledge epoch (nil pins every entry to index.FirstEpoch).
+func newCoalescer(db hidden.Database, cacheSize int, disabled bool, layout *colstore.Layout, dict *colstore.Dict, epochFn func() int64) *coalescer {
 	if cacheSize == 0 {
 		cacheSize = defaultProbeCacheSize
 	}
@@ -283,7 +318,22 @@ func newCoalescer(db hidden.Database, cacheSize int, disabled bool, layout *cols
 		flights:  newFlightGroup(),
 		cache:    newProbeCache(cacheSize, layout, dict),
 		disabled: disabled,
+		epochFn:  epochFn,
 	}
+}
+
+// curEpoch returns the engine's current knowledge epoch.
+func (c *coalescer) curEpoch() int64 {
+	if c.epochFn == nil {
+		return index.FirstEpoch
+	}
+	return c.epochFn()
+}
+
+// revalStats returns how many stale cache entries were promoted (confirmed
+// unchanged) vs replaced/evicted (drifted) by lazy re-validation.
+func (c *coalescer) revalStats() (promoted, evicted int64) {
+	return c.revalPromoted.Load(), c.revalEvicted.Load()
 }
 
 // export dumps the complete-answer LRU, least recently used first. Empty
@@ -295,37 +345,38 @@ func (c *coalescer) export() []probeEntry {
 	return c.cache.export()
 }
 
-// restore seeds one complete answer into the LRU (snapshot warm-restart),
-// recording it for persistence like a freshly cached answer: a snapshot
-// imported with -state must survive the next restart through the segment
-// store, not just this process's lifetime. A no-op when coalescing is
-// disabled, the cache is off, or the result is not complete.
-func (c *coalescer) restore(key string, res hidden.Result) {
+// restore seeds one complete answer into the LRU (snapshot warm-restart)
+// at the epoch it was learned under, recording it for persistence like a
+// freshly cached answer: a snapshot imported with -state must survive the
+// next restart through the segment store, not just this process's lifetime.
+// A no-op when coalescing is disabled, the cache is off, or the result is
+// not complete.
+func (c *coalescer) restore(key string, res hidden.Result, epoch int64) {
 	if c.disabled {
 		return
 	}
-	c.cache.put(key, res)
-	c.recordPut(key, res)
+	c.cache.put(key, res, epoch)
+	c.recordPut(key, res, epoch)
 }
 
 // seed is restore without the persistence record — the segment-replay path,
 // where the answer being inserted is already committed on disk.
-func (c *coalescer) seed(key string, res hidden.Result) {
+func (c *coalescer) seed(key string, res hidden.Result, epoch int64) {
 	if c.disabled {
 		return
 	}
-	c.cache.put(key, res)
+	c.cache.put(key, res, epoch)
 }
 
 // recordPut forwards a complete, cacheable answer to the attached persister.
 // Mirrors put's own admission rules (no cache, or overflow ⇒ not cached ⇒
 // not recorded) so the journal never carries entries replay would drop.
-func (c *coalescer) recordPut(key string, res hidden.Result) {
+func (c *coalescer) recordPut(key string, res hidden.Result, epoch int64) {
 	if c.cache == nil || res.Overflow {
 		return
 	}
 	if p := c.persist.Load(); p != nil {
-		p.recordProbe(key, res)
+		p.recordProbe(key, res, epoch)
 	}
 }
 
@@ -350,24 +401,88 @@ func (c *coalescer) cacheBytes() int64 {
 // recent complete answers from the LRU. issued reports whether this call
 // actually reached the upstream (cache hits and coalesced followers are
 // free and must not be charged).
+//
+// A cache hit whose epoch trails the current knowledge epoch is *stale*:
+// instead of replaying it, the flight group issues exactly one confirming
+// upstream probe. An identical fresh answer promotes the entry to the
+// current epoch (the knowledge survived the drift); a different one
+// replaces the entry — or evicts it, when the fresh answer overflowed and
+// is no longer cacheable. Either way the stale entry costs one probe on
+// first touch, never a wholesale cache flush.
 func (c *coalescer) TopK(q query.Query) (res hidden.Result, issued bool, err error) {
 	if c.disabled {
 		res, err = c.db.TopK(q)
 		return res, true, err
 	}
 	key := q.String()
-	if res, ok := c.cache.get(key); ok {
-		return res, false, nil
+	cur := c.curEpoch()
+	stale, staleEpoch, inCache := c.cache.get(key)
+	if inCache && staleEpoch >= cur {
+		return stale, false, nil
 	}
-	return c.flights.Do(key, func() (hidden.Result, error) {
-		res, err := c.db.TopK(q)
-		if err == nil {
-			// Populate the cache while the flight is still registered, so
-			// a caller arriving between flight completion and cache write
-			// cannot slip through both and re-issue the probe upstream.
-			c.cache.put(key, res)
-			c.recordPut(key, res)
+	res, _, err = c.flights.Do(key, func() (hidden.Result, error) {
+		// Re-check under the flight: another leader may have filled or
+		// re-validated the entry while this caller contended for the key.
+		if r2, e2, ok2 := c.cache.get(key); ok2 && e2 >= cur {
+			return r2, nil
 		}
-		return res, err
+		issued = true
+		fres, ferr := c.db.TopK(q)
+		if ferr != nil {
+			return fres, ferr
+		}
+		switch {
+		case inCache && resultsEqual(fres, stale):
+			c.revalPromoted.Add(1)
+		case inCache:
+			c.revalEvicted.Add(1)
+			if fres.Overflow {
+				// The drifted answer is partial now; the stale complete
+				// answer must not survive to mislead anyone.
+				c.cache.remove(key)
+			}
+		}
+		// Populate the cache while the flight is still registered, so a
+		// caller arriving between flight completion and cache write cannot
+		// slip through both and re-issue the probe upstream. put is also
+		// the promote path: same answer, current epoch.
+		c.cache.put(key, fres, cur)
+		c.recordPut(key, fres, cur)
+		return fres, ferr
 	})
+	return res, issued, err
+}
+
+// resultsEqual reports whether two complete probe answers are identical:
+// same overflow flag and the same tuples (ID, ordinal values, categorical
+// values) in the same order. Used to decide promote-vs-evict during lazy
+// re-validation.
+func resultsEqual(a, b hidden.Result) bool {
+	if a.Overflow != b.Overflow || len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Tuples {
+		if !sameTuple(a.Tuples[i], b.Tuples[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameTuple compares ID and attribute values (not slice identity).
+func sameTuple(a, b types.Tuple) bool {
+	if a.ID != b.ID || len(a.Ord) != len(b.Ord) || len(a.Cat) != len(b.Cat) {
+		return false
+	}
+	for i := range a.Ord {
+		if a.Ord[i] != b.Ord[i] {
+			return false
+		}
+	}
+	for k, v := range a.Cat {
+		if b.Cat[k] != v {
+			return false
+		}
+	}
+	return true
 }

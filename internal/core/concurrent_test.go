@@ -321,23 +321,23 @@ func TestProbeCacheLRU(t *testing.T) {
 	mk := func(id int) hidden.Result {
 		return hidden.Result{Tuples: []types.Tuple{{ID: id}}}
 	}
-	p.put("a", mk(1))
-	p.put("b", mk(2))
-	if _, ok := p.get("a"); !ok {
+	p.put("a", mk(1), 1)
+	p.put("b", mk(2), 1)
+	if _, _, ok := p.get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	p.put("c", mk(3)) // evicts b (a was just touched)
-	if _, ok := p.get("b"); ok {
+	p.put("c", mk(3), 1) // evicts b (a was just touched)
+	if _, _, ok := p.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
-	if _, ok := p.get("a"); !ok {
+	if _, _, ok := p.get("a"); !ok {
 		t.Fatal("a should have survived")
 	}
-	p.put("d", hidden.Result{Overflow: true, Tuples: []types.Tuple{{ID: 4}}})
-	if _, ok := p.get("d"); ok {
+	p.put("d", hidden.Result{Overflow: true, Tuples: []types.Tuple{{ID: 4}}}, 1)
+	if _, _, ok := p.get("d"); ok {
 		t.Fatal("overflow pages must not be cached")
 	}
-	if res, ok := p.get("c"); !ok || res.Tuples[0].ID != 3 {
+	if res, _, ok := p.get("c"); !ok || res.Tuples[0].ID != 3 {
 		t.Fatalf("c = %v, %v", res, ok)
 	}
 }
@@ -355,12 +355,12 @@ func TestProbeCacheColumnar(t *testing.T) {
 		{ID: 1, Ord: []float64{1, 0}, Cat: map[string]string{"c": "x"}},
 		{ID: 2, Ord: []float64{2, 0}},
 	}}
-	p.put("reg", reg)
-	got1, ok := p.get("reg")
+	p.put("reg", reg, 1)
+	got1, _, ok := p.get("reg")
 	if !ok || len(got1.Tuples) != 2 || got1.Tuples[0].Cat["c"] != "x" || got1.Tuples[1].Ord[1] != 0 {
 		t.Fatalf("columnar round-trip broken: %v %v", got1, ok)
 	}
-	got2, _ := p.get("reg")
+	got2, _, _ := p.get("reg")
 	if &got1.Tuples[0] != &got2.Tuples[0] {
 		t.Fatal("repeat hit re-materialized instead of sharing the memoized decode")
 	}
@@ -369,8 +369,8 @@ func TestProbeCacheColumnar(t *testing.T) {
 	}
 	// Irregular tuple (short Ord): must fall back to row storage, unchanged.
 	irr := hidden.Result{Tuples: []types.Tuple{{ID: 3, Ord: []float64{5}}}}
-	p.put("irr", irr)
-	got, ok := p.get("irr")
+	p.put("irr", irr, 1)
+	got, _, ok := p.get("irr")
 	if !ok || len(got.Tuples) != 1 || len(got.Tuples[0].Ord) != 1 {
 		t.Fatalf("irregular fallback broken: %v %v", got, ok)
 	}

@@ -32,6 +32,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/acquire"
@@ -152,6 +153,14 @@ type Engine struct {
 	// improvement before their result could be used.
 	specIssued atomic.Int64
 	specWasted atomic.Int64
+
+	// Sentinel drift detection (see sentinel.go): digests of the fixed
+	// sentinel probe set from the previous pass, compared each pass.
+	sentMu      sync.Mutex
+	sentDigests map[string]uint64
+	sentPasses  atomic.Int64
+	sentBumps   atomic.Int64
+	sentLast    atomic.Int64 // unix seconds of the last completed pass
 }
 
 // NewEngine builds an engine over db.
@@ -164,7 +173,7 @@ func NewEngine(db hidden.Database, opts Options) *Engine {
 		db:     db,
 		opts:   opts,
 		know:   know,
-		probes: newCoalescer(db, opts.ProbeCacheSize, opts.DisableCoalescing, know.hist.Layout(), know.hist.Dict()),
+		probes: newCoalescer(db, opts.ProbeCacheSize, opts.DisableCoalescing, know.hist.Layout(), know.hist.Dict(), know.Epoch),
 		crawls: newFlightGroup(),
 		adm:    newAdmissionGate(opts.MaxConcurrentSessions),
 	}
@@ -217,11 +226,27 @@ func (e *Engine) RecordHeat(q query.Query) {
 }
 
 // WindowWarm reports whether the 1D window [iv] on attr is already fully
-// covered by a crawled dense region — acquired knowledge that survives
-// restarts, so a restarted acquirer skips instead of re-crawling.
+// covered by a crawled dense region AT THE CURRENT EPOCH — acquired
+// knowledge that survives restarts, so a restarted acquirer skips instead
+// of re-crawling. A covering region learned under an earlier epoch does
+// not count as warm: the background acquirer treats such windows as cold
+// again, refreshing stale knowledge from idle capacity alongside genuinely
+// un-crawled windows.
 func (e *Engine) WindowWarm(attr int, iv types.Interval) bool {
-	_, ok := e.know.dense1.Lookup(attr, iv)
-	return ok
+	reg, ok := e.know.dense1.Lookup(attr, iv)
+	return ok && reg.Epoch >= e.know.Epoch()
+}
+
+// Epoch returns the namespace's current knowledge epoch.
+func (e *Engine) Epoch() int64 { return e.know.Epoch() }
+
+// RevalidationStats returns the engine-lifetime lazy re-validation
+// outcomes, combining dense-region and probe-cache surfaces: stale entries
+// confirmed unchanged (promoted to the current epoch) and stale entries
+// whose confirming probe showed drift (evicted).
+func (e *Engine) RevalidationStats() (promoted, evicted int64) {
+	cp, ce := e.probes.revalStats()
+	return e.know.denseRevalPromoted.Load() + cp, e.know.denseRevalEvicted.Load() + ce
 }
 
 // MDDenseRegions returns the total number of crawled MD dense regions across

@@ -36,6 +36,23 @@ type Knowledge struct {
 
 	queries atomic.Int64 // upstream queries issued through the engine
 
+	// epoch is the namespace's current knowledge epoch. Every dense region,
+	// probe-LRU entry, and history watermark records the epoch it was
+	// learned under; a sentinel-detected upstream drift bumps this counter,
+	// turning everything learned earlier stale. Stale knowledge is
+	// re-validated lazily on first touch (one confirming probe), never
+	// discarded wholesale.
+	epoch atomic.Int64
+	// histStaleRows is the history row watermark at the last epoch bump:
+	// rows below it were learned under an earlier epoch. History rows are
+	// candidate hints that always get probe-confirmed before use, so the
+	// watermark is observability, not a correctness gate.
+	histStaleRows atomic.Int64
+	// Lazy re-validation outcomes for dense regions (the probe cache keeps
+	// its own pair in the coalescer).
+	denseRevalPromoted atomic.Int64
+	denseRevalEvicted  atomic.Int64
+
 	// heat is the request-window heat sketch feeding the background
 	// acquirer: which exact windows users queried recently, with
 	// exponential decay. Fed by RecordHeat on the request path; persisted
@@ -58,12 +75,64 @@ type mdEntry struct {
 
 // newKnowledge builds an empty knowledge layer over the given schema.
 func newKnowledge(schema *types.Schema) *Knowledge {
-	return &Knowledge{
+	k := &Knowledge{
 		hist:    history.NewStore(schema),
 		dense1:  index.NewDense1D(),
 		denseMD: make(map[string]*mdEntry),
 		heat:    acquire.NewSketch(schema),
 	}
+	k.epoch.Store(index.FirstEpoch)
+	return k
+}
+
+// Epoch returns the current knowledge epoch.
+func (k *Knowledge) Epoch() int64 { return k.epoch.Load() }
+
+// EpochBumps returns how many drift-triggered bumps the epoch has seen.
+func (k *Knowledge) EpochBumps() int64 { return k.epoch.Load() - index.FirstEpoch }
+
+// BumpEpoch advances the knowledge epoch (a sentinel detected upstream
+// drift), marks the current history rows stale, records the bump for
+// persistence, and returns the new epoch.
+func (k *Knowledge) BumpEpoch() int64 {
+	e := k.epoch.Add(1)
+	k.histStaleRows.Store(int64(k.hist.Rows()))
+	if p := k.persist.Load(); p != nil {
+		p.recordEpoch(e)
+	}
+	return e
+}
+
+// restoreEpoch moves the epoch forward to e (snapshot/journal replay).
+// Epochs never move backward; an older restore is a no-op.
+func (k *Knowledge) restoreEpoch(e int64) {
+	for {
+		cur := k.epoch.Load()
+		if e <= cur || k.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// StaleHistoryRows returns the history row watermark below which rows were
+// learned under an earlier epoch.
+func (k *Knowledge) StaleHistoryRows() int64 { return k.histStaleRows.Load() }
+
+// StaleRegions counts dense regions (1D and MD) whose epoch trails the
+// current one — knowledge awaiting lazy re-validation.
+func (k *Knowledge) StaleRegions() int {
+	cur := k.Epoch()
+	n := k.dense1.StaleCount(cur)
+	k.mdMu.Lock()
+	entries := make([]*mdEntry, 0, len(k.denseMD))
+	for _, e := range k.denseMD {
+		entries = append(entries, e)
+	}
+	k.mdMu.Unlock()
+	for _, e := range entries {
+		n += e.idx.StaleCount(cur)
+	}
+	return n
 }
 
 // History returns the cross-query tuple cache. Safe for concurrent use.
@@ -101,9 +170,16 @@ func (k *Knowledge) mdIndexFor(attrs []int) *index.DenseMD {
 // rather than the index directly, so no committed knowledge is invisible to
 // the next checkpoint.
 func (k *Knowledge) InsertDense1(attr int, iv types.Interval, tuples []types.Tuple) {
-	k.dense1.Insert(attr, iv, tuples)
+	k.insertDense1Epoch(attr, iv, tuples, k.Epoch())
+}
+
+// insertDense1Epoch is InsertDense1 at an explicit epoch (snapshot restore
+// inserts regions at the epoch they were persisted under, not the current
+// one).
+func (k *Knowledge) insertDense1Epoch(attr int, iv types.Interval, tuples []types.Tuple, epoch int64) {
+	k.dense1.InsertEpoch(attr, iv, tuples, epoch)
 	if p := k.persist.Load(); p != nil {
-		p.recordDense1(attr, iv, tuples)
+		p.recordDense1(attr, iv, tuples, epoch)
 	}
 }
 
@@ -112,11 +188,17 @@ func (k *Knowledge) InsertDense1(attr int, iv types.Interval, tuples []types.Tup
 // incremental persistence. See InsertDense1 for why inserts must route
 // through this wrapper.
 func (k *Knowledge) InsertDenseMD(attrs []int, box query.Box, tuples []types.Tuple) {
+	k.insertDenseMDEpoch(attrs, box, tuples, k.Epoch())
+}
+
+// insertDenseMDEpoch is InsertDenseMD at an explicit epoch (snapshot
+// restore).
+func (k *Knowledge) insertDenseMDEpoch(attrs []int, box query.Box, tuples []types.Tuple, epoch int64) {
 	sorted := append([]int(nil), attrs...)
 	sort.Ints(sorted)
-	k.mdIndexFor(sorted).Insert(box, tuples)
+	k.mdIndexFor(sorted).InsertEpoch(box, tuples, epoch)
 	if p := k.persist.Load(); p != nil {
-		p.recordDenseMD(sorted, box, tuples)
+		p.recordDenseMD(sorted, box, tuples, epoch)
 	}
 }
 

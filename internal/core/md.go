@@ -718,9 +718,16 @@ func (r *mdResolver) top1(box query.Box, cand *candidate) (types.Tuple, bool, er
 				continue
 			}
 			// MD-RERANK fast path: a box already covered by a crawled
-			// dense region is answered locally with zero queries.
+			// dense region at the current epoch is answered locally with
+			// zero queries. A stale covering region is re-validated first
+			// (one confirming probe); if it drifted, it is evicted and the
+			// box falls through to ordinary batch probing.
 			if c.variant == Rerank && c.denseVol > 0 && b.IsFinite() && r.isDense(b) {
-				if reg, ok := c.denseIdx.Lookup(r.realBoxInto(b)); ok {
+				reg, ok, err := c.s.denseLookupMD(c.denseIdx, c.sorted, r.realBoxInto(b))
+				if err != nil {
+					return types.Tuple{}, false, err
+				}
+				if ok {
 					r.improve(cand, reg.Tuples, b)
 					continue
 				}
@@ -1120,17 +1127,26 @@ func (r *mdResolver) isDense(b query.Box) bool {
 func (r *mdResolver) denseAnswer(b query.Box, cand *candidate) error {
 	realBox := r.realBoxOf(b)
 	idx := r.c.denseIdx
-	reg, ok := idx.Lookup(realBox)
+	// Epoch-aware lookup: a stale covering region is re-validated with one
+	// confirming probe before it may answer locally.
+	reg, ok, err := r.c.s.denseLookupMD(idx, r.c.sorted, realBox)
+	if err != nil {
+		return err
+	}
 	if !ok {
 		// Crawl-and-index, deduplicated: concurrent sessions hitting the
 		// same dense box crawl it once; followers read it from the index.
 		if err := r.c.s.crawlDenseMD(r.c.sorted, realBox); err != nil {
 			return err
 		}
-		reg, ok = idx.Lookup(realBox)
+		reg, ok, err = r.c.s.denseLookupMD(idx, r.c.sorted, realBox)
+		if err != nil {
+			return err
+		}
 		if !ok {
-			// Coverage is monotone: a crawled box stays covered, so
-			// this indicates index corruption, never a benign miss.
+			// Coverage is monotone within an epoch: a freshly crawled box
+			// stays covered, so this indicates index corruption, never a
+			// benign miss.
 			return fmt.Errorf("core: dense region %v missing after crawl", realBox)
 		}
 	}

@@ -402,17 +402,27 @@ func (c *OneDCursor) oracle(searchLo float64, searchLoOpen bool, cand types.Tupl
 	// which the lazy §5 tie machinery already handles.
 	axisIv := types.Interval{Lo: searchLo, LoOpen: searchLoOpen, Hi: c.axisOf(cand), HiOpen: true}
 	realIv := c.realRange(axisIv)
-	reg, ok := c.s.e.know.dense1.Lookup(c.attr, realIv)
+	// Epoch-aware lookup: a stale covering region is re-validated with one
+	// confirming probe (promoted if unchanged, evicted if drifted) before
+	// it may answer with zero probes.
+	reg, ok, err := c.s.denseLookup1(c.attr, realIv)
+	if err != nil {
+		return types.Tuple{}, false, err
+	}
 	if !ok {
 		// Crawl-and-index, deduplicated: concurrent sessions wanting the
 		// same region crawl it once; followers read it from the index.
 		if err := c.s.crawlDense1(c.attr, realIv); err != nil {
 			return types.Tuple{}, false, err
 		}
-		reg, ok = c.s.e.know.dense1.Lookup(c.attr, realIv)
+		reg, ok, err = c.s.denseLookup1(c.attr, realIv)
+		if err != nil {
+			return types.Tuple{}, false, err
+		}
 		if !ok {
-			// Coverage is monotone: a crawled interval stays covered, so
-			// this indicates index corruption, never a benign miss.
+			// Coverage is monotone within an epoch: a freshly crawled
+			// interval stays covered, so this indicates index corruption,
+			// never a benign miss.
 			return types.Tuple{}, false, fmt.Errorf("core: dense interval %s missing after crawl", realIv)
 		}
 	}

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/hidden"
+	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/segment"
 	"repro/internal/types"
@@ -81,6 +82,7 @@ const (
 	opDense1 opKind = iota
 	opDenseMD
 	opProbe
+	opEpoch
 )
 
 // pendingOp is one recorded knowledge mutation awaiting checkpoint. The
@@ -93,6 +95,7 @@ type pendingOp struct {
 	box    query.Box      // opDenseMD
 	key    string         // opProbe
 	tuples []types.Tuple
+	epoch  int64 // acquisition epoch (opDense1/opDenseMD/opProbe), or the new epoch (opEpoch)
 }
 
 // PersistFingerprint identifies this engine's upstream deployment for the
@@ -172,12 +175,17 @@ func (e *Engine) applyDelta(d *segment.Delta) error {
 		}
 		return tuples, nil
 	}
+	// Restore the epoch before region inserts so that any region this delta
+	// carries at the (now current) epoch reads as fresh, not stale.
+	if d.Epoch > 0 {
+		e.know.restoreEpoch(d.Epoch)
+	}
 	for _, op := range d.Dense1 {
 		tuples, err := resolve(op.IDs)
 		if err != nil {
 			return err
 		}
-		e.know.dense1.Insert(op.Attr, coreInterval(op.Dim), tuples)
+		e.know.dense1.InsertEpoch(op.Attr, coreInterval(op.Dim), tuples, epochOrFirst(op.Epoch))
 	}
 	for _, op := range d.DenseMD {
 		if len(op.Attrs) == 0 || len(op.Dims) != len(op.Attrs) {
@@ -191,14 +199,14 @@ func (e *Engine) applyDelta(d *segment.Delta) error {
 		for i, dim := range op.Dims {
 			box.Dims[i] = coreInterval(dim)
 		}
-		e.know.mdIndexFor(op.Attrs).Insert(box, tuples)
+		e.know.mdIndexFor(op.Attrs).InsertEpoch(box, tuples, epochOrFirst(op.Epoch))
 	}
 	for _, op := range d.Probes {
 		tuples, err := resolve(op.IDs)
 		if err != nil {
 			return err
 		}
-		e.probes.seed(op.Key, hidden.Result{Tuples: tuples})
+		e.probes.seed(op.Key, hidden.Result{Tuples: tuples}, epochOrFirst(op.Epoch))
 	}
 	// Heat is last-wins across deltas and Import is idempotent, so replaying
 	// a committed prefix (or the same delta twice after a retry) converges.
@@ -210,25 +218,34 @@ func (e *Engine) applyDelta(d *segment.Delta) error {
 }
 
 // recordDense1 queues a 1D dense-region insert for the next checkpoint.
-func (p *Persister) recordDense1(attr int, iv types.Interval, tuples []types.Tuple) {
+func (p *Persister) recordDense1(attr int, iv types.Interval, tuples []types.Tuple, epoch int64) {
 	p.mu.Lock()
-	p.ops = append(p.ops, pendingOp{kind: opDense1, attr: attr, iv: iv, tuples: tuples})
+	p.ops = append(p.ops, pendingOp{kind: opDense1, attr: attr, iv: iv, tuples: tuples, epoch: epoch})
 	p.mu.Unlock()
 }
 
 // recordDenseMD queues an MD dense-region insert for the next checkpoint.
 // attrs must already be in canonical sorted order (Knowledge.InsertDenseMD
 // guarantees this).
-func (p *Persister) recordDenseMD(attrs []int, box query.Box, tuples []types.Tuple) {
+func (p *Persister) recordDenseMD(attrs []int, box query.Box, tuples []types.Tuple, epoch int64) {
 	p.mu.Lock()
-	p.ops = append(p.ops, pendingOp{kind: opDenseMD, attrs: attrs, box: box, tuples: tuples})
+	p.ops = append(p.ops, pendingOp{kind: opDenseMD, attrs: attrs, box: box, tuples: tuples, epoch: epoch})
 	p.mu.Unlock()
 }
 
 // recordProbe queues a cached complete probe answer for the next checkpoint.
-func (p *Persister) recordProbe(key string, res hidden.Result) {
+func (p *Persister) recordProbe(key string, res hidden.Result, epoch int64) {
 	p.mu.Lock()
-	p.ops = append(p.ops, pendingOp{kind: opProbe, key: key, tuples: res.Tuples})
+	p.ops = append(p.ops, pendingOp{kind: opProbe, key: key, tuples: res.Tuples, epoch: epoch})
+	p.mu.Unlock()
+}
+
+// recordEpoch queues a knowledge-epoch bump for the next checkpoint. A bump
+// is durable knowledge in its own right: losing it would resurrect stale
+// regions as current after a restart.
+func (p *Persister) recordEpoch(epoch int64) {
+	p.mu.Lock()
+	p.ops = append(p.ops, pendingOp{kind: opEpoch, epoch: epoch})
 	p.mu.Unlock()
 }
 
@@ -306,15 +323,19 @@ func (p *Persister) buildDelta(histLo, histHi int, ops []pendingOp) *segment.Del
 	for _, op := range ops {
 		switch op.kind {
 		case opDense1:
-			d.Dense1 = append(d.Dense1, segment.Dense1Op{Attr: op.attr, Dim: segDim(op.iv), IDs: resolve(op.tuples)})
+			d.Dense1 = append(d.Dense1, segment.Dense1Op{Attr: op.attr, Dim: segDim(op.iv), IDs: resolve(op.tuples), Epoch: op.epoch})
 		case opDenseMD:
-			md := segment.MDOp{Attrs: op.attrs, Dims: make([]segment.Dim, len(op.box.Dims)), IDs: resolve(op.tuples)}
+			md := segment.MDOp{Attrs: op.attrs, Dims: make([]segment.Dim, len(op.box.Dims)), IDs: resolve(op.tuples), Epoch: op.epoch}
 			for i, iv := range op.box.Dims {
 				md.Dims[i] = segDim(iv)
 			}
 			d.DenseMD = append(d.DenseMD, md)
 		case opProbe:
-			d.Probes = append(d.Probes, segment.ProbeOp{Key: op.key, IDs: resolve(op.tuples)})
+			d.Probes = append(d.Probes, segment.ProbeOp{Key: op.key, IDs: resolve(op.tuples), Epoch: op.epoch})
+		case opEpoch:
+			if op.epoch > d.Epoch {
+				d.Epoch = op.epoch
+			}
 		}
 	}
 	return d
@@ -390,4 +411,13 @@ func segDim(iv types.Interval) segment.Dim {
 
 func coreInterval(d segment.Dim) types.Interval {
 	return types.Interval{Lo: d.Lo, Hi: d.Hi, LoOpen: d.LoOpen, HiOpen: d.HiOpen}
+}
+
+// epochOrFirst maps a persisted epoch to its replay value: 0 (older
+// formats without epoch fields) means the first epoch.
+func epochOrFirst(e int64) int64 {
+	if e <= 0 {
+		return index.FirstEpoch
+	}
+	return e
 }

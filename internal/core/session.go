@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/crawl"
 	"repro/internal/hidden"
+	"repro/internal/index"
 	"repro/internal/query"
 	"repro/internal/ranking"
 	"repro/internal/types"
@@ -195,6 +196,96 @@ func (s *Session) CrawlAll(q query.Query) ([]types.Tuple, error) {
 	return s.crawlRegion(q, nil)
 }
 
+// denseLookup1 resolves iv against the 1D dense index with lazy epoch
+// re-validation: a covering region at the current epoch is returned as-is
+// (zero probes); a stale one gets exactly one confirming probe over its
+// full range — an unchanged answer promotes the region to the current
+// epoch, a drifted one evicts it (and the lookup retries, in case an
+// older overlapping region also covers iv). A miss means the caller must
+// crawl.
+func (s *Session) denseLookup1(attr int, iv types.Interval) (index.Interval1D, bool, error) {
+	for {
+		reg, ok := s.e.know.dense1.Lookup(attr, iv)
+		if !ok {
+			return index.Interval1D{}, false, nil
+		}
+		cur := s.e.know.Epoch()
+		if reg.Epoch >= cur {
+			return reg, true, nil
+		}
+		confirm, err := s.issue(query.New().WithRange(attr, reg.Range))
+		if err != nil {
+			return index.Interval1D{}, false, err
+		}
+		if confirmsRegion(reg.Tuples, confirm) {
+			s.e.know.dense1.Promote(attr, reg.Range, cur)
+			s.e.know.denseRevalPromoted.Add(1)
+			reg.Epoch = cur
+			return reg, true, nil
+		}
+		s.e.know.dense1.Remove(attr, reg.Range)
+		s.e.know.denseRevalEvicted.Add(1)
+	}
+}
+
+// denseLookupMD is denseLookup1 for an MD dense index: lookup realBox,
+// re-validating a stale covering region with one confirming probe over the
+// region's full box.
+func (s *Session) denseLookupMD(idx *index.DenseMD, sorted []int, realBox query.Box) (index.Region, bool, error) {
+	for {
+		reg, ok := idx.Lookup(realBox)
+		if !ok {
+			return index.Region{}, false, nil
+		}
+		cur := s.e.know.Epoch()
+		if reg.Epoch >= cur {
+			return reg, true, nil
+		}
+		generic := query.New()
+		for i, attr := range sorted {
+			generic = generic.WithRange(attr, reg.Box.Dims[i])
+		}
+		confirm, err := s.issue(generic)
+		if err != nil {
+			return index.Region{}, false, err
+		}
+		if confirmsRegion(reg.Tuples, confirm) {
+			idx.Promote(reg.Box, cur)
+			s.e.know.denseRevalPromoted.Add(1)
+			reg.Epoch = cur
+			return reg, true, nil
+		}
+		idx.Remove(reg.Box)
+		s.e.know.denseRevalEvicted.Add(1)
+	}
+}
+
+// confirmsRegion decides whether a confirming probe's answer is consistent
+// with a stored dense region's tuples. A complete answer must match the
+// region exactly (same tuple set, same values — the region claims every
+// corpus tuple in range). An overflowing answer is partial; every returned
+// tuple must then match the stored tuple with the same ID, which is the
+// strongest check one probe can buy.
+func confirmsRegion(stored []types.Tuple, res hidden.Result) bool {
+	if !res.Overflow && len(res.Tuples) != len(stored) {
+		return false
+	}
+	if len(res.Tuples) > len(stored) {
+		return false
+	}
+	byID := make(map[int]types.Tuple, len(stored))
+	for _, t := range stored {
+		byID[t.ID] = t
+	}
+	for _, t := range res.Tuples {
+		st, ok := byID[t.ID]
+		if !ok || !sameTuple(st, t) {
+			return false
+		}
+	}
+	return true
+}
+
 // crawlDense1 crawls the 1D dense region (attr, iv) and inserts it into the
 // shared index, deduplicating concurrent crawls of the same region: one
 // session leads, the rest wait and read the inserted region for free.
@@ -204,7 +295,11 @@ func (s *Session) crawlDense1(attr int, iv types.Interval) error {
 		// Re-check under the flight: a leader that finished between our
 		// caller's lookup miss and this Do would otherwise be re-crawled
 		// in full (coverage is monotone, so a hit here is authoritative).
-		if _, ok := s.e.know.dense1.Lookup(attr, iv); ok {
+		// The epoch-aware lookup re-validates a stale covering region
+		// instead of skipping the crawl on its word alone.
+		if _, ok, err := s.denseLookup1(attr, iv); err != nil {
+			return hidden.Result{}, err
+		} else if ok {
 			return hidden.Result{}, nil
 		}
 		generic := query.New().WithRange(attr, iv)
@@ -225,7 +320,9 @@ func (s *Session) crawlDenseMD(sorted []int, realBox query.Box) error {
 	idx := s.e.know.mdIndexFor(sorted)
 	key := fmt.Sprintf("md:%s:%s", attrsKey(sorted), realBox)
 	_, _, err := s.e.crawls.Do(key, func() (hidden.Result, error) {
-		if _, ok := idx.Lookup(realBox); ok {
+		if _, ok, err := s.denseLookupMD(idx, sorted, realBox); err != nil {
+			return hidden.Result{}, err
+		} else if ok {
 			return hidden.Result{}, nil // crawled by a leader that just finished
 		}
 		generic := query.New()

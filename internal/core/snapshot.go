@@ -46,6 +46,14 @@
 // statistics — facts about what users asked, not about the corpus — so it
 // restores without the fingerprint gate, like history.
 //
+// Version 5 (PR 10) adds knowledge epochs: the namespace's current epoch
+// ("epoch" on the snapshot) and each dense region's / cached probe's
+// acquisition epoch. A restored engine knows which of its knowledge is
+// current and which predates the last detected upstream drift and must be
+// lazily re-validated before answering. Absent epochs (older formats) load
+// as the first epoch. (The ISSUE text calls this the "v4 bump"; v4 was
+// already taken by heat, so epochs land in v5.)
+//
 // Older versions always load: a vN engine reading a v(N-1) snapshot restores
 // every section the older format carries and leaves the rest cold. Snapshots
 // are written at the current version unconditionally.
@@ -75,7 +83,7 @@ import (
 // accepts any version from snapshotVersionMin up to it.
 const (
 	snapshotVersionMin = 1
-	snapshotVersion    = 4
+	snapshotVersion    = 5
 )
 
 // Snapshot is the serialized engine state.
@@ -103,6 +111,9 @@ type Snapshot struct {
 	// omitted when no heat is live). Restored without the fingerprint
 	// gate: it describes user demand, not the corpus.
 	Heat *acquire.HeatExport `json:"heat,omitempty"`
+	// Epoch is the namespace's knowledge epoch at save time (v5+; absent
+	// loads as the first epoch).
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 type snapTuple struct {
@@ -115,8 +126,9 @@ type snapTuple struct {
 // the answered tuple IDs in upstream rank order. Only complete answers are
 // ever cached, so no overflow flag is needed.
 type snapProbe struct {
-	Key string `json:"key"`
-	IDs []int  `json:"ids"` // payloads live in Tuples
+	Key   string `json:"key"`
+	IDs   []int  `json:"ids"`             // payloads live in Tuples
+	Epoch int64  `json:"epoch,omitempty"` // acquisition epoch (v5+)
 }
 
 type snapInterval struct {
@@ -125,7 +137,8 @@ type snapInterval struct {
 	Hi     float64 `json:"hi"`
 	LoOpen bool    `json:"loOpen"`
 	HiOpen bool    `json:"hiOpen"`
-	IDs    []int   `json:"ids"` // tuple IDs; payloads live in Tuples
+	IDs    []int   `json:"ids"`             // tuple IDs; payloads live in Tuples
+	Epoch  int64   `json:"epoch,omitempty"` // acquisition epoch (v5+)
 }
 
 // snapDim is one side of an MD region's box in real-value space.
@@ -147,6 +160,7 @@ type snapMDRegion struct {
 	Dims     []snapDim `json:"dims"`
 	IDs      []int     `json:"ids"` // payloads live in Tuples
 	Complete bool      `json:"complete"`
+	Epoch    int64     `json:"epoch,omitempty"` // acquisition epoch (v5+)
 }
 
 // SaveSnapshot writes the engine's accumulated knowledge to w. It is safe
@@ -159,6 +173,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 		UpstreamK:      e.db.K(),
 		UpstreamRanker: upstreamRankerName(e.db),
 		Heat:           e.know.heat.Export(),
+		Epoch:          e.know.Epoch(),
 	}
 	// Dense regions and probe-cache entries first: history only grows, so
 	// capturing them before the tuple dump keeps most ID references
@@ -185,7 +200,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 		return true
 	})
 	for _, pe := range probes {
-		sp := snapProbe{Key: pe.Key, IDs: make([]int, 0, len(pe.Res.Tuples))}
+		sp := snapProbe{Key: pe.Key, Epoch: pe.Epoch, IDs: make([]int, 0, len(pe.Res.Tuples))}
 		for _, t := range pe.Res.Tuples {
 			sp.IDs = append(sp.IDs, t.ID)
 			addTuple(t)
@@ -198,6 +213,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 				Attr: attr,
 				Lo:   reg.Range.Lo, Hi: reg.Range.Hi,
 				LoOpen: reg.Range.LoOpen, HiOpen: reg.Range.HiOpen,
+				Epoch: reg.Epoch,
 			}
 			for _, t := range reg.Tuples {
 				si.IDs = append(si.IDs, t.ID)
@@ -212,6 +228,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 				Attrs:    ex.attrs,
 				Dims:     make([]snapDim, len(reg.Box.Dims)),
 				Complete: true, // only fully-crawled regions enter the index
+				Epoch:    reg.Epoch,
 			}
 			for j, iv := range reg.Box.Dims {
 				sr.Dims[j] = snapDim{Lo: iv.Lo, Hi: iv.Hi, LoOpen: iv.LoOpen, HiOpen: iv.HiOpen}
@@ -264,6 +281,12 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 	// records what users asked for, which stays true whatever the upstream
 	// looks like now. Import clamps unknown attributes/cells away.
 	e.know.heat.Import(snap.Heat)
+	// The namespace epoch (v5+) restores forward-only, before the regions
+	// below, so regions persisted at the then-current epoch read as fresh
+	// and older ones as stale — exactly the saved engine's view.
+	if snap.Epoch > 0 {
+		e.know.restoreEpoch(snap.Epoch)
+	}
 	// Everything below — dense regions (1D and MD) and the probe cache —
 	// restores only under a matching upstream fingerprint: cached probe
 	// answers replay one specific upstream's responses verbatim, and a
@@ -292,9 +315,9 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 			}
 			tuples = append(tuples, t)
 		}
-		e.know.InsertDense1(si.Attr, types.Interval{
+		e.know.insertDense1Epoch(si.Attr, types.Interval{
 			Lo: si.Lo, Hi: si.Hi, LoOpen: si.LoOpen, HiOpen: si.HiOpen,
-		}, tuples)
+		}, tuples, epochOrFirst(si.Epoch))
 	}
 	// MD dense-region warm restart (v3+). Incomplete regions (a
 	// forward-compatibility hook; never written today) are skipped, not
@@ -326,7 +349,7 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 			}
 			tuples = append(tuples, t)
 		}
-		e.know.InsertDenseMD(sr.Attrs, box, tuples)
+		e.know.insertDenseMDEpoch(sr.Attrs, box, tuples, epochOrFirst(sr.Epoch))
 	}
 	// Probe-cache warm restart (v2+). Entries are stored least recently
 	// used first, so replaying them in order reproduces the LRU state.
@@ -339,7 +362,7 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 			}
 			res.Tuples = append(res.Tuples, t)
 		}
-		e.probes.restore(sp.Key, res)
+		e.probes.restore(sp.Key, res, epochOrFirst(sp.Epoch))
 	}
 	return nil
 }

@@ -125,13 +125,20 @@ type DB struct {
 	k      int
 	ranker SystemRanker
 
+	// dmu guards byRank against drift injection (Mutate/SetOrd). Queries
+	// take the read side; the scan itself stays lock-free over the
+	// immutable snapshot. Mutations swap in a freshly sorted copy — they
+	// never write a tuple in place, because answered tuples share their
+	// Ord slices with whatever the caller stored.
+	dmu sync.RWMutex
 	// byRank holds all tuples sorted by system rank (best first).
 	byRank []types.Tuple
 
 	// views caches ORDER BY permutations per (attr, dir) so repeated
 	// NewOrderByView calls (benchmark setup, per-request view construction)
-	// sort each ordering once. Shared by WithK views: byRank is immutable,
-	// so the cached permutations stay valid for every k.
+	// sort each ordering once. Shared by WithK views: byRank is immutable
+	// between mutations, so the cached permutations stay valid for every k;
+	// a mutation purges the cache.
 	views *viewCache
 
 	counter Counter
@@ -176,6 +183,16 @@ func (vc *viewCache) rankFor(byRank []types.Tuple, attr int, dir ranking.Directi
 	return lst
 }
 
+// purge drops every cached permutation (the underlying corpus mutated).
+func (vc *viewCache) purge() {
+	if vc == nil {
+		return
+	}
+	vc.mu.Lock()
+	vc.m = nil
+	vc.mu.Unlock()
+}
+
 // NewDB builds a hidden database over the given tuples. The tuple slice is
 // copied; ordinal value count must match the schema.
 func NewDB(schema *types.Schema, tuples []types.Tuple, opts Options) (*DB, error) {
@@ -195,28 +212,35 @@ func NewDB(schema *types.Schema, tuples []types.Tuple, opts Options) (*DB, error
 			return nil, fmt.Errorf("hidden: tuple %d has %d ordinal slots, schema has %d attributes", t.ID, len(t.Ord), schema.Len())
 		}
 	}
-	if db.ranker != nil {
-		scores := make([]float64, len(db.byRank))
-		for i, t := range db.byRank {
-			scores[i] = db.ranker.SystemScore(t)
-		}
-		idx := make([]int, len(db.byRank))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			if scores[idx[a]] != scores[idx[b]] {
-				return scores[idx[a]] < scores[idx[b]]
-			}
-			return db.byRank[idx[a]].ID < db.byRank[idx[b]].ID
-		})
-		sorted := make([]types.Tuple, len(db.byRank))
-		for i, j := range idx {
-			sorted[i] = db.byRank[j]
-		}
-		db.byRank = sorted
-	}
+	db.byRank = rankSort(db.byRank, db.ranker)
 	return db, nil
+}
+
+// rankSort returns ts sorted by (system score, ID), or unchanged when the
+// ranking is insertion order (nil ranker).
+func rankSort(ts []types.Tuple, ranker SystemRanker) []types.Tuple {
+	if ranker == nil {
+		return ts
+	}
+	scores := make([]float64, len(ts))
+	for i, t := range ts {
+		scores[i] = ranker.SystemScore(t)
+	}
+	idx := make([]int, len(ts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] < scores[idx[b]]
+		}
+		return ts[idx[a]].ID < ts[idx[b]].ID
+	})
+	sorted := make([]types.Tuple, len(ts))
+	for i, j := range idx {
+		sorted[i] = ts[j]
+	}
+	return sorted
 }
 
 // MustDB is NewDB that panics on error; for tests.
@@ -241,16 +265,19 @@ func (db *DB) TopK(q query.Query) (Result, error) {
 		db.mu.Unlock()
 	}
 	db.counter.Add()
+	db.dmu.RLock()
+	byRank := db.byRank
+	db.dmu.RUnlock()
 	var res Result
-	for i := range db.byRank {
-		if !q.Matches(db.byRank[i]) {
+	for i := range byRank {
+		if !q.Matches(byRank[i]) {
 			continue
 		}
 		if len(res.Tuples) == db.k {
 			res.Overflow = true
 			break
 		}
-		res.Tuples = append(res.Tuples, db.byRank[i])
+		res.Tuples = append(res.Tuples, byRank[i])
 	}
 	return res, nil
 }
@@ -263,7 +290,37 @@ func (db *DB) Schema() *types.Schema { return db.schema }
 
 // Size returns the number of tuples stored (not exposed to rerankers; used
 // by experiments and tests).
-func (db *DB) Size() int { return len(db.byRank) }
+func (db *DB) Size() int {
+	db.dmu.RLock()
+	defer db.dmu.RUnlock()
+	return len(db.byRank)
+}
+
+// SetOrd injects drift: it changes tuple id's ordinal attribute attr to v,
+// as if the upstream operator edited a listing in place. The rank order is
+// re-sorted and cached ORDER BY views are purged, so subsequent queries see
+// the post-mutation corpus; previously answered tuples are untouched (the
+// mutated tuple is cloned, never written through shared Ord slices).
+// Reports whether a tuple with that ID existed. Safe to call concurrently
+// with TopK; OrderByViews constructed before the mutation keep answering
+// from the pre-mutation corpus and should be rebuilt.
+func (db *DB) SetOrd(id, attr int, v float64) bool {
+	db.dmu.Lock()
+	defer db.dmu.Unlock()
+	for i := range db.byRank {
+		if db.byRank[i].ID != id {
+			continue
+		}
+		nt := db.byRank[i].Clone()
+		nt.Ord[attr] = v
+		next := append([]types.Tuple(nil), db.byRank...)
+		next[i] = nt
+		db.byRank = rankSort(next, db.ranker)
+		db.views.purge()
+		return true
+	}
+	return false
+}
 
 // QueryCount returns the number of top-k queries answered so far.
 func (db *DB) QueryCount() int64 { return db.counter.Count() }
@@ -280,6 +337,8 @@ func (db *DB) ResetCounter() {
 // test oracles and dataset plumbing only — reranking algorithms must not
 // call it.
 func (db *DB) All() []types.Tuple {
+	db.dmu.RLock()
+	defer db.dmu.RUnlock()
 	out := make([]types.Tuple, len(db.byRank))
 	for i, t := range db.byRank {
 		out[i] = t.Clone()
@@ -299,6 +358,8 @@ func (db *DB) RankerName() string {
 // tuples (and the ORDER BY view cache) but with an independent counter. Used
 // by the system-k experiments.
 func (db *DB) WithK(k int) *DB {
+	db.dmu.RLock()
+	defer db.dmu.RUnlock()
 	return &DB{schema: db.schema, k: k, ranker: db.ranker, byRank: db.byRank, views: db.views}
 }
 
@@ -321,12 +382,15 @@ type OrderByView struct {
 // read-only scan already guarantees.
 func NewOrderByView(db *DB, attr int, dir ranking.Direction) *OrderByView {
 	v := &OrderByView{db: db, attr: attr, dir: dir}
+	db.dmu.RLock()
+	byRank := db.byRank
+	db.dmu.RUnlock()
 	if db.views != nil {
-		v.rank = db.views.rankFor(db.byRank, attr, dir)
+		v.rank = db.views.rankFor(byRank, attr, dir)
 		return v
 	}
 	vc := viewCache{}
-	v.rank = vc.rankFor(db.byRank, attr, dir)
+	v.rank = vc.rankFor(byRank, attr, dir)
 	return v
 }
 

@@ -41,12 +41,20 @@ import (
 	"repro/internal/types"
 )
 
+// FirstEpoch is the knowledge epoch every region starts in. Epochs only
+// move forward; a region whose Epoch trails the owner's current epoch is
+// *stale* — still authoritative about what the upstream looked like when it
+// was crawled, but requiring one confirming probe before it may answer
+// again (see internal/core's lazy re-validation).
+const FirstEpoch int64 = 1
+
 // Interval1D is one fully-crawled value interval on a single attribute,
 // together with every tuple of the *entire database* whose attribute value
 // lies inside it.
 type Interval1D struct {
 	Range  types.Interval
 	Tuples []types.Tuple // sorted ascending by the attribute; immutable
+	Epoch  int64         // knowledge epoch the interval was crawled under
 }
 
 // Dense1D is the per-attribute dense index: a set of disjoint fully-crawled
@@ -101,20 +109,28 @@ func covers1D(outer, inner types.Interval) bool {
 	return true
 }
 
-// Insert records a fully-crawled interval with its tuples (which must be
-// every database tuple whose attr value falls inside rng). Overlapping or
-// adjacent existing regions are merged; tuples are deduplicated by ID.
+// Insert records a fully-crawled interval at FirstEpoch; see InsertEpoch.
+func (d *Dense1D) Insert(attr int, rng types.Interval, tuples []types.Tuple) {
+	d.InsertEpoch(attr, rng, tuples, FirstEpoch)
+}
+
+// InsertEpoch records a fully-crawled interval with its tuples (which must
+// be every database tuple whose attr value falls inside rng) under the given
+// knowledge epoch. Overlapping or adjacent existing regions are merged;
+// tuples are deduplicated by ID. A merge takes the *minimum* epoch of its
+// constituents: the merged region's old tuples were not re-verified by the
+// new crawl, so the combined region is only as fresh as its oldest part.
 //
 // The region array stays sorted by Range.Lo without ever being re-sorted:
 // overlapping regions are contiguous in the sorted array, so Insert binary
 // searches for the overlap window, merges the window's (already sorted)
 // tuple runs with the freshly sorted incoming run via linear merges, and
 // splices the merged region into place.
-func (d *Dense1D) Insert(attr int, rng types.Interval, tuples []types.Tuple) {
+func (d *Dense1D) InsertEpoch(attr int, rng types.Interval, tuples []types.Tuple, epoch int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	regs := d.regions[attr]
-	merged := Interval1D{Range: rng, Tuples: sortRun(append([]types.Tuple(nil), tuples...), attr)}
+	merged := Interval1D{Range: rng, Tuples: sortRun(append([]types.Tuple(nil), tuples...), attr), Epoch: epoch}
 	// Overlap window: regions are sorted by Lo and interior-disjoint, so
 	// every region mergeable with rng lies in one contiguous span. Regions
 	// touching rng at an endpoint excluded by BOTH sides — (a,b) then
@@ -137,6 +153,9 @@ func (d *Dense1D) Insert(attr int, rng types.Interval, tuples []types.Tuple) {
 		if r.Range.Hi > merged.Range.Hi || (r.Range.Hi == merged.Range.Hi && !r.Range.HiOpen) {
 			merged.Range.Hi, merged.Range.HiOpen = r.Range.Hi, r.Range.HiOpen
 		}
+		if r.Epoch < merged.Epoch {
+			merged.Epoch = r.Epoch
+		}
 		merged.Tuples = mergeTupleRuns(merged.Tuples, r.Tuples, attr)
 	}
 	// Splice: prefix, kept touch-neighbors below, merged, kept above, suffix.
@@ -155,6 +174,59 @@ func (d *Dense1D) Insert(attr int, rng types.Interval, tuples []types.Tuple) {
 	}
 	out = append(out, regs[hi:]...)
 	d.regions[attr] = out
+}
+
+// Promote raises the epoch of the region whose Range is exactly rng to
+// epoch (a re-validation confirmed its contents are still current). It
+// reports whether the region was found; an already-newer epoch is kept.
+func (d *Dense1D) Promote(attr int, rng types.Interval, epoch int64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	regs := d.regions[attr]
+	i := sort.Search(len(regs), func(i int) bool { return regs[i].Range.Hi >= rng.Lo })
+	for ; i < len(regs) && regs[i].Range.Lo <= rng.Lo; i++ {
+		if regs[i].Range == rng {
+			if regs[i].Epoch < epoch {
+				regs[i].Epoch = epoch
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Remove evicts the region whose Range is exactly rng (a re-validation
+// found its contents drifted). Coverage of that interval reverts to
+// unknown; the next visit re-crawls it. Reports whether a region was
+// removed.
+func (d *Dense1D) Remove(attr int, rng types.Interval) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	regs := d.regions[attr]
+	i := sort.Search(len(regs), func(i int) bool { return regs[i].Range.Hi >= rng.Lo })
+	for ; i < len(regs) && regs[i].Range.Lo <= rng.Lo; i++ {
+		if regs[i].Range == rng {
+			d.regions[attr] = append(regs[:i:i], regs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// StaleCount returns the number of recorded regions across all attributes
+// whose epoch trails cur.
+func (d *Dense1D) StaleCount(cur int64) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, regs := range d.regions {
+		for _, r := range regs {
+			if r.Epoch < cur {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Regions returns the number of recorded regions for attr.
@@ -296,6 +368,7 @@ func ScanMaxMatching(lst []types.Tuple, q query.Query, attr int, iv types.Interv
 type Region struct {
 	Box    query.Box
 	Tuples []types.Tuple // immutable once inserted
+	Epoch  int64         // knowledge epoch the box was crawled under
 }
 
 // DenseMD records fully-crawled boxes in the axis space of one ranker.
@@ -484,9 +557,16 @@ func (d *DenseMD) walkCells(box query.Box, base, coords []int64, j int, found *R
 	return false
 }
 
-// Insert records a fully-crawled box. Regions contained in the new box are
-// absorbed (their tuples are a subset of the crawl).
+// Insert records a fully-crawled box at FirstEpoch; see InsertEpoch.
 func (d *DenseMD) Insert(box query.Box, tuples []types.Tuple) {
+	d.InsertEpoch(box, tuples, FirstEpoch)
+}
+
+// InsertEpoch records a fully-crawled box under the given knowledge epoch.
+// Regions contained in the new box are absorbed (their tuples are a subset
+// of the fresh crawl, so the absorbing region carries the *new* epoch — the
+// crawl just re-verified everything inside it).
+func (d *DenseMD) InsertEpoch(box query.Box, tuples []types.Tuple, epoch int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	merged := append([]types.Tuple(nil), tuples...)
@@ -498,7 +578,7 @@ func (d *DenseMD) Insert(box query.Box, tuples []types.Tuple) {
 		kept = append(kept, r)
 	}
 	absorbed := len(kept) != len(d.regions)
-	d.regions = append(kept, Region{Box: box, Tuples: merged})
+	d.regions = append(kept, Region{Box: box, Tuples: merged, Epoch: epoch})
 	switch {
 	case !d.grid.built, absorbed, d.widerThanCells(box):
 		// Stored bucket indices shifted (absorb) or the cell-width
@@ -523,6 +603,65 @@ func (d *DenseMD) widerThanCells(box query.Box) bool {
 		}
 	}
 	return false
+}
+
+// Promote raises the epoch of the region whose Box equals box exactly (a
+// re-validation confirmed its contents). Reports whether the region was
+// found; an already-newer epoch is kept.
+func (d *DenseMD) Promote(box query.Box, epoch int64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.regions {
+		if sameBox(d.regions[i].Box, box) {
+			if d.regions[i].Epoch < epoch {
+				d.regions[i].Epoch = epoch
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Remove evicts the region whose Box equals box exactly (a re-validation
+// found drift). The grid is rebuilt since stored bucket indices shift.
+// Reports whether a region was removed.
+func (d *DenseMD) Remove(box query.Box) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.regions {
+		if sameBox(d.regions[i].Box, box) {
+			d.regions = append(d.regions[:i:i], d.regions[i+1:]...)
+			d.rebuild()
+			return true
+		}
+	}
+	return false
+}
+
+// StaleCount returns the number of recorded regions whose epoch trails cur.
+func (d *DenseMD) StaleCount(cur int64) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, r := range d.regions {
+		if r.Epoch < cur {
+			n++
+		}
+	}
+	return n
+}
+
+// sameBox reports exact (dimension-wise) box equality.
+func sameBox(a, b query.Box) bool {
+	if len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for j := range a.Dims {
+		if a.Dims[j] != b.Dims[j] {
+			return false
+		}
+	}
+	return true
 }
 
 // Len returns the number of recorded regions.

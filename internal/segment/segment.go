@@ -121,6 +121,9 @@ type Dense1Op struct {
 	Attr int   `json:"attr"`
 	Dim  Dim   `json:"dim"`
 	IDs  []int `json:"ids"`
+	// Epoch is the knowledge epoch the region was acquired under; 0 (older
+	// formats) replays as the first epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // MDOp is one recorded MD dense-region insert over a canonical (sorted
@@ -129,6 +132,9 @@ type MDOp struct {
 	Attrs []int `json:"attrs"`
 	Dims  []Dim `json:"dims"`
 	IDs   []int `json:"ids"`
+	// Epoch is the knowledge epoch the region was acquired under; 0 (older
+	// formats) replays as the first epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // ProbeOp is one recorded complete probe answer entering the coalescing
@@ -137,6 +143,9 @@ type MDOp struct {
 type ProbeOp struct {
 	Key string `json:"key"`
 	IDs []int  `json:"ids"`
+	// Epoch is the knowledge epoch the answer was learned under; 0 (older
+	// formats) replays as the first epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Delta is one checkpoint's knowledge increment: the history arena rows
@@ -163,18 +172,23 @@ type Delta struct {
 	// deltas, so only the newest capture matters; older formats without
 	// the field replay as nil and leave heat cold.
 	Heat *acquire.HeatExport `json:"heat,omitempty"`
+	// Epoch, when non-zero, is the namespace knowledge epoch at capture
+	// time, committed only by checkpoints that observed an epoch bump.
+	// Replay restores it forward-only (epochs never move backward).
+	Epoch int64 `json:"epoch,omitempty"`
 	// Queries is the engine's lifetime upstream-query counter at capture
 	// time (informational; surfaced by stats, not restored).
 	Queries int64 `json:"queries"`
 }
 
 // Empty reports whether the delta carries no knowledge at all. A delta
-// holding only a heat capture counts as non-empty: acquisition heat is
-// knowledge worth committing on its own.
+// holding only a heat capture or an epoch bump counts as non-empty: both
+// are knowledge worth committing on their own (an un-persisted bump would
+// resurrect stale knowledge as current after a restart).
 func (d *Delta) Empty() bool {
 	return len(d.Hist) == 0 && len(d.Tuples) == 0 &&
 		len(d.Dense1) == 0 && len(d.DenseMD) == 0 && len(d.Probes) == 0 &&
-		d.Heat == nil
+		d.Heat == nil && d.Epoch == 0
 }
 
 // segmentFile is the serialized form of one immutable segment: a batch of

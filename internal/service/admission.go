@@ -51,6 +51,36 @@ type Options struct {
 	// namespace (disabled by default; see acquire.go and
 	// docs/acquisition.md).
 	Acquire AcquireOptions
+	// Sentinel configures periodic drift detection per namespace (disabled
+	// by default; see sentinel.go and docs/epochs.md).
+	Sentinel SentinelOptions
+	// Guard configures the retry/hedge/health layer wrapped around REMOTE
+	// upstreams (in-process databases are never wrapped — they cannot flake).
+	Guard GuardConfig
+}
+
+// SentinelOptions configure the per-namespace sentinel scheduler: the cheap
+// periodic probe pass that detects upstream drift and bumps the knowledge
+// epoch (see internal/core/sentinel.go).
+type SentinelOptions struct {
+	// Enabled turns the per-namespace sentinel loop on.
+	Enabled bool
+	// Interval is the pass period (default 30s).
+	Interval time.Duration
+}
+
+// GuardConfig configures the hidden.Guard wrapped around every remote
+// upstream at registration. The guard's backoff/health defaults apply; only
+// the knobs operators actually tune are surfaced here.
+type GuardConfig struct {
+	// Disable skips wrapping remote upstreams entirely.
+	Disable bool
+	// Retries is the number of extra attempts per logical probe
+	// (< 0 disables retrying; 0 means the guard default of 2).
+	Retries int
+	// HedgeAfter launches a hedged second attempt when the first has not
+	// answered within this duration (0 disables hedging).
+	HedgeAfter time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +95,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StreamWriteTimeout <= 0 {
 		o.StreamWriteTimeout = 30 * time.Second
+	}
+	if o.Sentinel.Interval <= 0 {
+		o.Sentinel.Interval = 30 * time.Second
 	}
 	return o
 }
@@ -235,6 +268,7 @@ func (s *Server) BeginDrain() {
 	s.draining.Store(true)
 	for _, t := range s.tenantList() {
 		t.stopAcquirer()
+		t.stopSentinel()
 	}
 }
 

@@ -79,6 +79,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	setEpochHeader(w, t)
 	resp := s.rerankBatch(t, req)
 	charge(resp.QueriesIssued)
 	writeJSON(w, http.StatusOK, resp)

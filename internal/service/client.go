@@ -214,6 +214,13 @@ func (c *Client) Rerank(req RerankRequest) (*RerankResponse, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("decode rerank response: %w", err)
 	}
+	if out.Epoch == 0 {
+		// Pre-redesign servers omit the body field; the header (if present)
+		// still carries the namespace's knowledge epoch.
+		if e, err := strconv.ParseInt(resp.Header.Get(KnowledgeEpochHeader), 10, 64); err == nil {
+			out.Epoch = e
+		}
+	}
 	return &out, nil
 }
 
@@ -298,10 +305,23 @@ func (c *Client) Schema() (*SchemaResponse, error) {
 	return &out, nil
 }
 
-// Upstreams lists the registered upstream namespaces.
+// Upstreams lists the registered upstream namespaces with their full
+// descriptors: knowledge epoch, probe-guard health, last sentinel pass, and
+// stale-region count alongside the registration fields.
 func (c *Client) Upstreams() (*UpstreamsResponse, error) {
 	var out UpstreamsResponse
 	if err := c.getJSON("/v1/upstreams", "upstreams", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// UpstreamNames lists only the registered namespace names (the
+// ?format=names shape — cheaper than Upstreams when the descriptors are
+// not needed).
+func (c *Client) UpstreamNames() (*UpstreamNamesResponse, error) {
+	var out UpstreamNamesResponse
+	if err := c.getJSON("/v1/upstreams?format=names", "upstreams", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -312,6 +332,24 @@ func (c *Client) UpstreamInfo(name string) (*UpstreamInfo, error) {
 	var out UpstreamInfo
 	if err := c.getJSON("/v1/upstreams/"+url.PathEscape(name), "upstream", &out); err != nil {
 		return nil, err
+	}
+	return &out, nil
+}
+
+// Revalidate triggers an immediate sentinel pass against one namespace's
+// upstream and reports the resulting epoch state.
+func (c *Client) Revalidate(name string) (*RevalidateResponse, error) {
+	resp, err := c.post("/v1/upstreams/"+url.PathEscape(name)+"/revalidate", struct{}{})
+	if err != nil {
+		return nil, fmt.Errorf("revalidate request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("revalidate request: %w", statusError(resp))
+	}
+	var out RevalidateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode revalidate response: %w", err)
 	}
 	return &out, nil
 }

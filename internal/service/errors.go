@@ -13,8 +13,11 @@
 package service
 
 import (
+	"errors"
 	"net/http"
 	"time"
+
+	"repro/internal/hidden"
 )
 
 // Error codes of the service's error envelope.
@@ -37,6 +40,12 @@ const (
 	ErrCodeUpstreamRateLimited = "upstream_rate_limited"
 	// ErrCodeUpstreamFailed: the upstream search failed (502).
 	ErrCodeUpstreamFailed = "upstream_failed"
+	// ErrCodeUpstreamDegraded: the probe guard exhausted its retries but the
+	// upstream is still being tried (502).
+	ErrCodeUpstreamDegraded = "upstream_degraded"
+	// ErrCodeUpstreamDown: the probe guard's health state machine is open —
+	// the upstream fails fast until its backoff expires (503 + Retry-After).
+	ErrCodeUpstreamDown = "upstream_down"
 	// ErrCodeDraining: the instance is draining for shutdown (503).
 	ErrCodeDraining = "draining"
 )
@@ -80,6 +89,23 @@ func codeForStatus(status int) string {
 		return ErrCodeDraining
 	default:
 		return ErrCodeUpstreamFailed
+	}
+}
+
+// upstreamStatus maps an upstream probe failure to its HTTP status and
+// envelope code. Order matters: ErrRateLimited is a semantic answer (the
+// guard passes it through untouched), down/degraded are guard verdicts,
+// anything else is a generic upstream failure.
+func upstreamStatus(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, hidden.ErrRateLimited):
+		return http.StatusTooManyRequests, ErrCodeUpstreamRateLimited
+	case errors.Is(err, hidden.ErrUpstreamDown):
+		return http.StatusServiceUnavailable, ErrCodeUpstreamDown
+	case errors.Is(err, hidden.ErrUpstreamDegraded):
+		return http.StatusBadGateway, ErrCodeUpstreamDegraded
+	default:
+		return http.StatusBadGateway, ErrCodeUpstreamFailed
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/acquire"
+	"repro/internal/hidden"
 )
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -56,6 +57,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("rerank_spec_probes_issued_total", "Speculative MD probes issued.", st.SpecProbesIssued)
 	counter("rerank_spec_probes_wasted_total", "Speculative MD probes invalidated before use.", st.SpecProbesWasted)
 	gauge("rerank_upstream_k", "Upstream interface's system-k.", int64(st.UpstreamK))
+
+	gauge("rerank_epoch", "Default namespace's knowledge epoch.", st.Epoch)
+	counter("rerank_epoch_bumps_total", "Drift-triggered knowledge epoch bumps across namespaces.", st.EpochBumps)
+	gauge("rerank_epoch_stale_regions", "Dense regions awaiting lazy re-validation across namespaces.", int64(st.StaleRegions))
+	counter("rerank_epoch_reval_promoted_total", "Stale knowledge promoted to the current epoch by a confirming probe.", st.RevalPromoted)
+	counter("rerank_epoch_reval_evicted_total", "Stale knowledge evicted after a re-validation mismatch.", st.RevalEvicted)
+	counter("rerank_sentinel_passes_total", "Completed sentinel drift-detection passes across namespaces.", st.SentinelPasses)
+	counter("rerank_sentinel_bumps_total", "Sentinel passes that detected drift and bumped an epoch.", st.SentinelBumps)
+	counter("rerank_probe_retry_total", "Physical retry attempts spent by the probe guards.", st.ProbeRetries)
+	counter("rerank_probe_retry_failures_total", "Logical probes that failed after exhausting their retries.", st.ProbeFailures)
+	counter("rerank_probe_hedges_total", "Hedged second attempts launched by the probe guards.", st.ProbeHedges)
+	counter("rerank_probe_fast_fails_total", "Probes refused while an upstream was down, without touching it.", st.ProbeFastFails)
 
 	gauge("rerank_storage_blocks", "Sealed column blocks in the history arena.", int64(st.StorageBlocks))
 	gauge("rerank_storage_dict_entries", "Interned categorical symbols in the shared dictionary.", int64(st.StorageDictEntries))
@@ -133,6 +146,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			func(u UpstreamStats) int64 { return int64(u.MDDenseRegions) })
 		labeled("rerank_upstream_admission_weight", "Per-session multiplier on the shared admission capacity.", "gauge",
 			func(u UpstreamStats) int64 { return int64(u.AdmissionWeight) })
+		labeled("rerank_upstream_epoch", "Knowledge epoch, per upstream namespace.", "gauge",
+			func(u UpstreamStats) int64 { return u.Epoch })
+		labeled("rerank_upstream_stale_regions", "Dense regions awaiting lazy re-validation, per upstream namespace.", "gauge",
+			func(u UpstreamStats) int64 { return int64(u.StaleRegions) })
+		labeled("rerank_upstream_health", "Probe-guard health state (0 healthy, 1 degraded, 2 down), per upstream namespace.", "gauge",
+			func(u UpstreamStats) int64 {
+				switch u.Health {
+				case hidden.HealthDegraded.String():
+					return 1
+				case hidden.HealthDown.String():
+					return 2
+				default:
+					return 0
+				}
+			})
 		labeled("rerank_upstream_persist_enabled", "1 when the namespace has an open segment store.", "gauge",
 			func(u UpstreamStats) int64 {
 				if u.PersistEnabled {

@@ -1,15 +1,24 @@
 // The upstream registry API: programmatic registration of upstream
 // namespaces and the /v1/upstreams HTTP surface.
 //
-//	GET    /v1/upstreams       list registered upstreams
-//	POST   /v1/upstreams       dial {url} and register it as namespace {name}
-//	GET    /v1/upstreams/{ns}  one upstream's descriptor
-//	DELETE /v1/upstreams/{ns}  deregister (finalizes the namespace's persistence)
+//	GET    /v1/upstreams                   list registered upstreams (rich objects;
+//	                                       ?format=names for the name-only shape)
+//	POST   /v1/upstreams                   dial {url} and register it as namespace {name}
+//	GET    /v1/upstreams/{ns}              one upstream's descriptor
+//	POST   /v1/upstreams/{ns}/revalidate   immediate sentinel pass (drift check now)
+//	DELETE /v1/upstreams/{ns}              deregister (finalizes the namespace's persistence)
 //
 // Each descriptor carries the namespace name, upstream URL, the engine's
 // persistence fingerprint (schema + k + system ranker — the identity that
-// guards data-dir reuse), the upstream schema, and the namespace's slice of
-// the service counters.
+// guards data-dir reuse), the upstream schema, the namespace's slice of the
+// service counters, and the living-upstream state: knowledge epoch, probe
+// guard health, last sentinel pass, and the count of stale regions awaiting
+// lazy re-validation.
+//
+// Remote upstreams registered here are wrapped in a hidden.Guard (retries,
+// optional hedging, half-open health state machine) unless Options.Guard
+// disables it; in-process databases are never wrapped and always report
+// "healthy".
 
 package service
 
@@ -55,6 +64,23 @@ type UpstreamInfo struct {
 	Fingerprint segment.Fingerprint `json:"fingerprint"`
 	Schema      SchemaResponse      `json:"schema"`
 	Stats       UpstreamStats       `json:"stats"`
+
+	// Epoch is the namespace's current knowledge epoch: every piece of
+	// acquired knowledge carries the epoch it was learned under, and
+	// knowledge from older epochs is re-validated lazily on first touch.
+	Epoch int64 `json:"epoch"`
+	// Health is the probe guard's view of the upstream: "healthy",
+	// "degraded", or "down". In-process namespaces are always "healthy".
+	Health string `json:"health"`
+	// LastSentinelUnix is the unix time of the last completed sentinel
+	// pass (0 = none yet).
+	LastSentinelUnix int64 `json:"lastSentinelUnix"`
+	// BackoffUntilUnix is when a down upstream's backoff window expires
+	// (0 unless down).
+	BackoffUntilUnix int64 `json:"backoffUntilUnix,omitempty"`
+	// StaleRegions counts dense regions acquired under an older epoch and
+	// not yet re-validated.
+	StaleRegions int `json:"staleRegions"`
 }
 
 // UpstreamsResponse is the GET /v1/upstreams body.
@@ -62,6 +88,27 @@ type UpstreamsResponse struct {
 	// Default names the namespace un-namespaced requests resolve to.
 	Default   string         `json:"default,omitempty"`
 	Upstreams []UpstreamInfo `json:"upstreams"`
+}
+
+// UpstreamNamesResponse is the GET /v1/upstreams?format=names body — the
+// pre-redesign list shape, kept for scripts that only want the names.
+type UpstreamNamesResponse struct {
+	Default   string   `json:"default,omitempty"`
+	Upstreams []string `json:"upstreams"`
+}
+
+// RevalidateResponse is the POST /v1/upstreams/{ns}/revalidate body: the
+// outcome of the immediate sentinel pass it triggered.
+type RevalidateResponse struct {
+	// Epoch is the namespace's knowledge epoch after the pass.
+	Epoch int64 `json:"epoch"`
+	// Bumped reports whether the pass detected drift and bumped the epoch.
+	Bumped bool `json:"bumped"`
+	// Queries is the upstream cost of the pass (charged to the engine
+	// ledger, like every logical probe).
+	Queries int64 `json:"queries"`
+	// StaleRegions counts dense regions now awaiting lazy re-validation.
+	StaleRegions int `json:"staleRegions"`
 }
 
 // RegisterUpstreamDB registers a namespace over an in-process database
@@ -86,6 +133,9 @@ func (s *Server) RegisterUpstreamDB(cfg UpstreamConfig, db hidden.Database) (*Up
 		return nil, err
 	}
 	t := &tenant{ns: ns, db: db, url: cfg.URL}
+	if g, ok := db.(*hidden.Guard); ok {
+		t.guard = g
+	}
 	s.tenants[cfg.Name] = t
 	s.tmu.Unlock()
 
@@ -108,12 +158,20 @@ func (s *Server) RegisterUpstreamDB(cfg UpstreamConfig, db hidden.Database) (*Up
 	if s.opts.Acquire.Enabled && !s.draining.Load() {
 		s.startAcquirer(t)
 	}
+	// The sentinel also starts post-replay: its first pass baselines the
+	// upstream's current answers, so restored knowledge that predates a
+	// corpus change is caught by the second pass at the latest.
+	if s.opts.Sentinel.Enabled && !s.draining.Load() {
+		s.startSentinel(t)
+	}
 	info := s.upstreamInfo(t)
 	return &info, nil
 }
 
 // RegisterUpstream dials a remote hiddendb endpoint and registers it as a
-// namespace (the programmatic form of POST /v1/upstreams).
+// namespace (the programmatic form of POST /v1/upstreams). The remote is
+// wrapped in a probe guard — retries, optional hedging, half-open health —
+// unless Options.Guard.Disable is set.
 func (s *Server) RegisterUpstream(cfg UpstreamConfig) (*UpstreamInfo, error) {
 	if cfg.URL == "" {
 		return nil, errors.New("service: upstream url required")
@@ -122,31 +180,57 @@ func (s *Server) RegisterUpstream(cfg UpstreamConfig) (*UpstreamInfo, error) {
 	if err != nil {
 		return nil, &dialError{fmt.Errorf("service: dial upstream %q: %w", cfg.URL, err)}
 	}
-	return s.RegisterUpstreamDB(cfg, rdb)
+	var db hidden.Database = rdb
+	if !s.opts.Guard.Disable {
+		db = hidden.NewGuard(rdb, hidden.GuardOptions{
+			Retries:    s.opts.Guard.Retries,
+			HedgeAfter: s.opts.Guard.HedgeAfter,
+		})
+	}
+	return s.RegisterUpstreamDB(cfg, db)
 }
 
 // DeregisterUpstream removes a namespace and finalizes its persistence with
 // a last checkpoint. The default namespace can only be removed once it is
 // the last one left.
+//
+// Ordering is stop-then-finalize: the namespace's background loops (acquirer
+// and sentinel) are stopped — waiting for any in-flight tick to yield —
+// BEFORE the registry entry is removed and the final checkpoint runs. The
+// previous deregister-first ordering raced an in-flight acquirer tick
+// against teardown: the tick could still be probing (and feeding the
+// persister) while Close() wrote the "final" checkpoint, losing its
+// knowledge or tripping over the closed store.
 func (s *Server) DeregisterUpstream(name string) error {
+	s.tmu.RLock()
+	t := s.tenants[name]
+	s.tmu.RUnlock()
+	if t != nil {
+		t.stopAcquirer()
+		t.stopSentinel()
+	}
 	s.tmu.Lock()
 	ns, err := s.registry.Deregister(name)
 	if err != nil {
 		s.tmu.Unlock()
+		// The namespace stays registered (unknown names reach here too, with
+		// t == nil): restart what was stopped so a refused DELETE — e.g. of
+		// the default namespace — leaves the server exactly as it was.
+		if t != nil && !s.draining.Load() {
+			if s.opts.Acquire.Enabled {
+				s.startAcquirer(t)
+			}
+			if s.opts.Sentinel.Enabled {
+				s.startSentinel(t)
+			}
+		}
 		return err
 	}
-	t := s.tenants[name]
 	delete(s.tenants, name)
 	s.tmu.Unlock()
-	// Stop the acquirer before the final checkpoint: its in-flight
-	// acquisition yields at the next probe boundary, so the checkpoint
-	// captures a quiesced engine.
-	if t != nil {
-		t.stopAcquirer()
-	}
-	// Final checkpoint outside the locks: in-flight requests that resolved
-	// the tenant before removal drain on their own; their knowledge past
-	// this point is simply not persisted.
+	// Final checkpoint outside the locks, against a quiesced engine:
+	// in-flight requests that resolved the tenant before removal drain on
+	// their own; their knowledge past this point is simply not persisted.
 	if p := ns.Engine().Persister(); p != nil {
 		if err := p.Close(); err != nil {
 			return fmt.Errorf("service: finalize persistence for %q: %w", name, err)
@@ -157,18 +241,44 @@ func (s *Server) DeregisterUpstream(name string) error {
 
 // upstreamInfo renders one tenant's registry descriptor.
 func (s *Server) upstreamInfo(t *tenant) UpstreamInfo {
-	return UpstreamInfo{
-		Name:            t.ns.Name(),
-		URL:             t.url,
-		Default:         s.registry.Default() == t.ns,
-		AdmissionWeight: t.ns.AdmissionWeight(),
-		Fingerprint:     t.engine().PersistFingerprint(),
-		Schema:          schemaResponse(t.db.Schema(), t.db.K()),
-		Stats:           s.tenantStats(t),
+	eng := t.engine()
+	_, _, lastSentinel := eng.SentinelStats()
+	info := UpstreamInfo{
+		Name:             t.ns.Name(),
+		URL:              t.url,
+		Default:          s.registry.Default() == t.ns,
+		AdmissionWeight:  t.ns.AdmissionWeight(),
+		Fingerprint:      eng.PersistFingerprint(),
+		Schema:           schemaResponse(t.db.Schema(), t.db.K()),
+		Stats:            s.tenantStats(t),
+		Epoch:            eng.Epoch(),
+		Health:           hidden.HealthHealthy.String(),
+		LastSentinelUnix: lastSentinel,
+		StaleRegions:     eng.Knowledge().StaleRegions(),
 	}
+	if t.guard != nil {
+		h := t.guard.Health()
+		info.Health = h.State.String()
+		if !h.BackoffUntil.IsZero() {
+			info.BackoffUntilUnix = h.BackoffUntil.Unix()
+		}
+	}
+	return info
 }
 
-func (s *Server) handleListUpstreams(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleListUpstreams(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "names" {
+		resp := UpstreamNamesResponse{Upstreams: []string{}}
+		if def := s.registry.Default(); def != nil {
+			resp.Default = def.Name()
+		}
+		for _, t := range s.tenantList() {
+			resp.Upstreams = append(resp.Upstreams, t.ns.Name())
+		}
+		sort.Strings(resp.Upstreams)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	resp := UpstreamsResponse{Upstreams: []UpstreamInfo{}}
 	if def := s.registry.Default(); def != nil {
 		resp.Default = def.Name()
@@ -178,6 +288,30 @@ func (s *Server) handleListUpstreams(w http.ResponseWriter, _ *http.Request) {
 	}
 	sort.Slice(resp.Upstreams, func(i, j int) bool { return resp.Upstreams[i].Name < resp.Upstreams[j].Name })
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRevalidate runs an immediate sentinel pass against the namespace's
+// upstream — the operator's "check for drift NOW" button — and reports the
+// resulting epoch state. An upstream failure maps exactly like a rerank-path
+// probe failure (down → 503, degraded → 502, rate-limited → 429).
+func (s *Server) handleRevalidate(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.resolveTenant(w, r, "")
+	if !ok {
+		return
+	}
+	eng := t.engine()
+	bumped, queries, err := eng.SentinelPass()
+	if err != nil {
+		status, code := upstreamStatus(err)
+		httpError(w, status, code, fmt.Errorf("sentinel pass failed: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, RevalidateResponse{
+		Epoch:        eng.Epoch(),
+		Bumped:       bumped,
+		Queries:      queries,
+		StaleRegions: eng.Knowledge().StaleRegions(),
+	})
 }
 
 func (s *Server) handleGetUpstream(w http.ResponseWriter, r *http.Request) {

@@ -242,8 +242,37 @@ func HiddenDBHandler(db *hidden.DB) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
+	// POST /v1/mutate edits one tuple's ordinal value in place — the drift
+	// injection hook tests and the e2e harness use to make the hidden corpus
+	// "live" so sentinel passes have something to detect. Real upstreams
+	// obviously drift on their own; cmd/hiddendb needs to be told to.
+	mux.HandleFunc("POST /v1/mutate", func(w http.ResponseWriter, r *http.Request) {
+		var req MutateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("decode mutate: %w", err))
+			return
+		}
+		idx := schema.Index(req.Attr)
+		if idx < 0 || schema.Attr(idx).Kind != types.Ordinal {
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("unknown ordinal attribute %q", req.Attr))
+			return
+		}
+		if !db.SetOrd(req.ID, idx, req.Value) {
+			httpError(w, http.StatusNotFound, ErrCodeBadRequest, fmt.Errorf("no tuple with id %d", req.ID))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// MutateRequest is the POST /v1/mutate body of the hiddendb protocol: set
+// tuple ID's ordinal attribute (by name) to Value.
+type MutateRequest struct {
+	ID    int     `json:"id"`
+	Attr  string  `json:"attr"`
+	Value float64 `json:"value"`
 }

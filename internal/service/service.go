@@ -42,8 +42,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/acquire"
 	"repro/internal/core"
@@ -111,6 +113,9 @@ type RerankResponse struct {
 	QueriesIssued int64 `json:"queriesIssued"`
 	// EngineQueries is the namespace engine's lifetime upstream query count.
 	EngineQueries int64 `json:"engineQueries"`
+	// Epoch is the namespace's knowledge epoch the answer was computed
+	// under (also sent as the X-Knowledge-Epoch response header).
+	Epoch int64 `json:"epoch"`
 }
 
 // UpstreamStats is one namespace's slice of the service counters, served
@@ -146,6 +151,24 @@ type UpstreamStats struct {
 	StorageDictEntries    int   `json:"storageDictEntries"`
 	StorageResidentTuples int   `json:"storageResidentTuples"`
 	StorageApproxBytes    int64 `json:"storageApproxBytes"`
+
+	// Living-upstream state: the knowledge epoch, sentinel drift detection,
+	// lazy re-validation and probe-guard counters (see docs/epochs.md).
+	Epoch            int64  `json:"epoch"`
+	EpochBumps       int64  `json:"epochBumps"`
+	StaleRegions     int    `json:"staleRegions"`
+	StaleHistoryRows int64  `json:"staleHistoryRows"`
+	RevalPromoted    int64  `json:"revalPromoted"`
+	RevalEvicted     int64  `json:"revalEvicted"`
+	SentinelPasses   int64  `json:"sentinelPasses"`
+	SentinelBumps    int64  `json:"sentinelBumps"`
+	LastSentinelUnix int64  `json:"lastSentinelUnix,omitempty"`
+	Health           string `json:"health"`
+	ProbeRetries     int64  `json:"probeRetries"`
+	ProbeHedges      int64  `json:"probeHedges"`
+	ProbeHedgeWins   int64  `json:"probeHedgeWins"`
+	ProbeFailures    int64  `json:"probeFailures"`
+	ProbeFastFails   int64  `json:"probeFastFails"`
 
 	// Acquire is the namespace's background-acquirer counters (absent when
 	// acquisition is disabled).
@@ -236,6 +259,21 @@ type Stats struct {
 	PersistReplayedDeltas int    `json:"persistReplayedDeltas,omitempty"`
 	PersistBytesAppended  int64  `json:"persistBytesAppended,omitempty"`
 	PersistLastError      string `json:"persistLastError,omitempty"`
+	// Living-upstream aggregates: epoch bumps, stale-knowledge gauges,
+	// lazy re-validation outcomes, sentinel passes and probe-guard counters
+	// summed across namespaces. Epoch is the DEFAULT namespace's knowledge
+	// epoch (epochs are per-namespace; see the Upstreams breakdown).
+	Epoch          int64 `json:"epoch"`
+	EpochBumps     int64 `json:"epochBumps"`
+	StaleRegions   int   `json:"staleRegions"`
+	RevalPromoted  int64 `json:"revalPromoted"`
+	RevalEvicted   int64 `json:"revalEvicted"`
+	SentinelPasses int64 `json:"sentinelPasses"`
+	SentinelBumps  int64 `json:"sentinelBumps"`
+	ProbeRetries   int64 `json:"probeRetries"`
+	ProbeHedges    int64 `json:"probeHedges"`
+	ProbeFailures  int64 `json:"probeFailures"`
+	ProbeFastFails int64 `json:"probeFastFails"`
 	// AcquireEnabled is true when background acquisition is configured;
 	// Acquire sums the per-namespace acquirer counters (absent when
 	// disabled).
@@ -267,6 +305,12 @@ type tenant struct {
 	// acq is the namespace's background acquirer (nil unless
 	// Options.Acquire.Enabled).
 	acq *acquire.Acquirer
+	// guard is the probe guard wrapped around a remote upstream (nil for
+	// in-process databases, which always report healthy).
+	guard *hidden.Guard
+	// sent is the namespace's running sentinel loop (nil unless
+	// Options.Sentinel.Enabled).
+	sent *sentinelLoop
 }
 
 func (t *tenant) engine() *core.Engine { return t.ns.Engine() }
@@ -456,6 +500,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/upstreams", s.handleListUpstreams)
 	mux.HandleFunc("POST /v1/upstreams", s.handleRegisterUpstream)
 	mux.HandleFunc("GET /v1/upstreams/{ns}", s.handleGetUpstream)
+	mux.HandleFunc("POST /v1/upstreams/{ns}/revalidate", s.handleRevalidate)
 	mux.HandleFunc("DELETE /v1/upstreams/{ns}", s.handleDeregisterUpstream)
 	// Namespace-scoped serving surface.
 	mux.HandleFunc("POST /v1/upstreams/{ns}/rerank", s.handleRerank)
@@ -545,6 +590,22 @@ func (s *Server) tenantStats(t *tenant) UpstreamStats {
 		StreamTuples:      t.streamTuples.Load(),
 		UpstreamK:         t.db.K(),
 	}
+	us.Epoch = eng.Epoch()
+	us.EpochBumps = eng.Knowledge().EpochBumps()
+	us.StaleRegions = eng.Knowledge().StaleRegions()
+	us.StaleHistoryRows = eng.Knowledge().StaleHistoryRows()
+	us.RevalPromoted, us.RevalEvicted = eng.RevalidationStats()
+	us.SentinelPasses, us.SentinelBumps, us.LastSentinelUnix = eng.SentinelStats()
+	us.Health = hidden.HealthHealthy.String()
+	if t.guard != nil {
+		gh := t.guard.Health()
+		us.Health = gh.State.String()
+		us.ProbeRetries = gh.Retries
+		us.ProbeHedges = gh.Hedges
+		us.ProbeHedgeWins = gh.HedgeWins
+		us.ProbeFailures = gh.Failures
+		us.ProbeFastFails = gh.FastFails
+	}
 	ss := eng.StorageStats()
 	us.StorageBlocks = ss.Blocks
 	us.StorageDictEntries = ss.DictEntries
@@ -609,6 +670,16 @@ func (s *Server) Stats() Stats {
 		st.BatchItems += us.BatchItems
 		st.StreamRequests += us.StreamRequests
 		st.StreamTuples += us.StreamTuples
+		st.EpochBumps += us.EpochBumps
+		st.StaleRegions += us.StaleRegions
+		st.RevalPromoted += us.RevalPromoted
+		st.RevalEvicted += us.RevalEvicted
+		st.SentinelPasses += us.SentinelPasses
+		st.SentinelBumps += us.SentinelBumps
+		st.ProbeRetries += us.ProbeRetries
+		st.ProbeHedges += us.ProbeHedges
+		st.ProbeFailures += us.ProbeFailures
+		st.ProbeFastFails += us.ProbeFastFails
 		st.StorageBlocks += us.StorageBlocks
 		st.StorageDictEntries += us.StorageDictEntries
 		st.StorageResidentTuples += us.StorageResidentTuples
@@ -643,6 +714,7 @@ func (s *Server) Stats() Stats {
 			st.SearchParallelism = us.SearchParallelism
 			st.UpstreamK = us.UpstreamK
 			st.UpstreamRanker = us.UpstreamRanker
+			st.Epoch = us.Epoch
 		}
 	}
 	return st
@@ -684,13 +756,37 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	// Counted here, not in the shared core: batch sub-items have their own
 	// BatchItems counter and must not inflate the single-request rate.
 	t.requests.Add(1)
+	setEpochHeader(w, t)
 	resp, issued, status, code, err := s.run(t, q, rk, variant, req.H)
 	charge(issued)
 	if err != nil {
-		httpError(w, status, code, err)
+		s.upstreamError(w, t, status, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// setEpochHeader stamps the namespace's current knowledge epoch onto a
+// rerank-route response, so clients can watch for bumps without polling the
+// upstreams API.
+func setEpochHeader(w http.ResponseWriter, t *tenant) {
+	w.Header().Set(KnowledgeEpochHeader, strconv.FormatInt(t.engine().Epoch(), 10))
+}
+
+// KnowledgeEpochHeader carries the namespace's knowledge epoch on every
+// rerank-route response.
+const KnowledgeEpochHeader = "X-Knowledge-Epoch"
+
+// upstreamError writes a failed request's error envelope; a down upstream
+// additionally advertises the guard's remaining backoff as Retry-After.
+func (s *Server) upstreamError(w http.ResponseWriter, t *tenant, status int, code string, err error) {
+	if code == ErrCodeUpstreamDown && t.guard != nil {
+		if until := t.guard.Health().BackoffUntil; !until.IsZero() {
+			httpErrorRetry(w, status, code, err, time.Until(until))
+			return
+		}
+	}
+	httpError(w, status, code, err)
 }
 
 // Rerank executes one reranking request against the namespace its Upstream
@@ -736,15 +832,17 @@ func (s *Server) run(t *tenant, q query.Query, rk ranking.Ranker, variant core.V
 	}
 	tuples, err := core.TopH(cur, h)
 	if err != nil {
-		if errors.Is(err, hidden.ErrRateLimited) {
-			return nil, sess.Queries(), http.StatusTooManyRequests, ErrCodeUpstreamRateLimited, err
+		status, code := upstreamStatus(err)
+		if code == ErrCodeUpstreamFailed {
+			err = fmt.Errorf("upstream search failed: %w", err)
 		}
-		return nil, sess.Queries(), http.StatusBadGateway, ErrCodeUpstreamFailed, fmt.Errorf("upstream search failed: %w", err)
+		return nil, sess.Queries(), status, code, err
 	}
 	resp := &RerankResponse{
 		Exhausted:     len(tuples) < h,
 		QueriesIssued: sess.Queries(),
 		EngineQueries: eng.Queries(),
+		Epoch:         eng.Epoch(),
 	}
 	for _, tp := range tuples {
 		resp.Tuples = append(resp.Tuples, toJSON(t.db.Schema(), rk, tp))

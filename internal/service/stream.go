@@ -90,6 +90,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	setEpochHeader(w, t)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	// Per-event write deadlines (the server's WriteTimeout is 0 so streams
